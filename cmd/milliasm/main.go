@@ -1,0 +1,121 @@
+// Command milliasm is the kernel developer tool: it assembles kernel
+// source, prints the disassembly with resolved labels, reports the encoded
+// code footprint against the paper's 4 KB code-broadcast budget, and can
+// dump the control-flow graph and SIMT reconvergence points the divergence
+// stacks use.
+//
+// Usage:
+//
+//	milliasm [-cfg] [-builtin count] [file.s]
+//
+// With -builtin NAME it inspects one of the eight built-in BMLA kernels;
+// otherwise it reads the given source file (or stdin).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	showCFG := flag.Bool("cfg", false, "dump basic blocks and reconvergence points")
+	builtin := flag.String("builtin", "", "inspect a built-in kernel (count, sample, variance, nbayes, classify, kmeans, pca, gda)")
+	out := flag.String("o", "", "write the binary encoding to this file")
+	dec := flag.String("d", "", "decode a binary program file instead of assembling")
+	flag.Parse()
+
+	var prog *isa.Program
+	var k *kernels.Kernel
+	switch {
+	case *dec != "":
+		b, err := os.ReadFile(*dec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err = isa.DecodeProgram(*dec, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *builtin != "":
+		b, err := workloads.ByName(*builtin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		k = b.K
+		prog = k.Prog
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err = asm.Assemble(flag.Arg(0), string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err = asm.Assemble("stdin", string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, isa.EncodeProgram(prog), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d bytes to %s\n", isa.EncodedBytes(prog), *out)
+	}
+	fmt.Printf("kernel %s: %d instructions, %d B encoded (4 KB broadcast budget: %s)\n",
+		prog.Name, len(prog.Insts), isa.EncodedBytes(prog), budget(isa.EncodedBytes(prog)))
+	if k != nil {
+		fmt.Printf("record %d words, live state %d words/thread, %d constant words\n",
+			k.RecordWords, k.StateWords, len(k.Consts))
+	}
+	fmt.Println()
+	fmt.Print(prog.Disassemble())
+
+	if *showCFG {
+		g := asm.BuildCFG(prog)
+		ipdom := asm.PostDominators(g)
+		fmt.Println("\nbasic blocks:")
+		for i, b := range g.Blocks {
+			d := "exit"
+			if ipdom[i] >= 0 && ipdom[i] < len(g.Blocks) {
+				d = fmt.Sprintf("B%d", ipdom[i])
+			}
+			fmt.Printf("  B%-3d insts [%d,%d)  succs %v  ipdom %s\n", i, b.Start, b.End, b.Succs, d)
+		}
+		if len(prog.ReconvPC) > 0 {
+			fmt.Println("\nSIMT reconvergence points (branch pc -> reconverge pc):")
+			var pcs []int
+			for pc := range prog.ReconvPC {
+				pcs = append(pcs, pc)
+			}
+			sort.Ints(pcs)
+			for _, pc := range pcs {
+				fmt.Printf("  %4d -> %d\n", pc, prog.ReconvPC[pc])
+			}
+		}
+	}
+}
+
+func budget(n int) string {
+	if n <= 4096 {
+		return "ok"
+	}
+	return "EXCEEDED"
+}

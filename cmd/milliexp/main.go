@@ -1,0 +1,85 @@
+// Command milliexp regenerates every table and figure of the paper's
+// evaluation (Section VI) and prints them as text tables.
+//
+// Usage:
+//
+//	milliexp [-scale 1.0] [-only fig3,fig4,fig5,fig6,fig7,table2,table3,table4]
+//
+// scale multiplies each benchmark's default input size; 1.0 is the
+// paper-scale run recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	millipede "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 1.0, "input-size multiplier")
+	only := flag.String("only", "", "comma-separated subset (fig3..fig7, table2, table3, table4, ablation, characteristics, warpwidth, residency, node)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+	cfg := millipede.DefaultConfig()
+
+	if sel("table3") {
+		fmt.Println(millipede.TableIII(cfg))
+	}
+	if sel("table2") {
+		fmt.Println(millipede.TableII())
+	}
+	run := func(name string, f func() (*millipede.Figure, error)) {
+		if !sel(name) {
+			return
+		}
+		t0 := time.Now()
+		fig, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Print(fig.Render())
+		fmt.Printf("(%s wall time: %s)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+	run("table4", func() (*millipede.Figure, error) { return millipede.TableIV(cfg, *scale) })
+	run("fig3", func() (*millipede.Figure, error) { return millipede.Figure3(cfg, *scale) })
+	if sel("fig4") {
+		t0 := time.Now()
+		fig, parts, err := millipede.Figure4(cfg, *scale)
+		if err != nil {
+			log.Fatalf("fig4: %v", err)
+		}
+		fmt.Print(fig.Render())
+		fmt.Print(parts.Render())
+		fmt.Printf("(fig4 wall time: %s)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	run("fig5", func() (*millipede.Figure, error) { return millipede.Figure5(cfg, *scale) })
+	run("fig6", func() (*millipede.Figure, error) { return millipede.Figure6(cfg, *scale) })
+	run("fig7", func() (*millipede.Figure, error) { return millipede.Figure7(cfg, *scale) })
+	run("ablation", func() (*millipede.Figure, error) { return millipede.BarrierAblation(cfg, *scale) })
+	run("characteristics", func() (*millipede.Figure, error) { return millipede.CharacteristicsStudy(cfg, *scale/4) })
+	run("warpwidth", func() (*millipede.Figure, error) { return millipede.WarpWidthSweep(cfg, *scale) })
+	run("residency", func() (*millipede.Figure, error) { return millipede.ResidencyStudy(cfg, 16, *scale) })
+	if sel("node") {
+		t0 := time.Now()
+		r, err := millipede.RunNode("count", cfg, 8, 1024)
+		if err != nil {
+			log.Fatalf("node: %v", err)
+		}
+		fmt.Printf("Measured 8-processor node run (count, 1024 records/thread):\n")
+		fmt.Printf("  makespan %.1f us, load imbalance %.1f%%, energy %.1f uJ\n",
+			float64(r.Time)/1e6, r.Imbalance()*100, r.Energy.TotalPJ()/1e6)
+		fmt.Printf("(node wall time: %s)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,100 @@
+// Command millisim runs one {architecture x benchmark} simulation and
+// prints its verified measurements.
+//
+// Usage:
+//
+//	millisim [-arch millipede] [-bench kmeans] [-records 512] [-corelets 32] [-buffers 16]
+//
+// Every run is checked against the golden MapReduce reference; a reported
+// time can never come from a functionally wrong execution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	millipede "repro"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/harness"
+	"repro/internal/kernels"
+	"repro/internal/layout"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	archName := flag.String("arch", millipede.ArchMillipede,
+		"architecture: "+strings.Join(append(millipede.Architectures(), millipede.ArchMulticore), ", "))
+	bench := flag.String("bench", "kmeans", "benchmark: "+strings.Join(millipede.Benchmarks(), ", "))
+	records := flag.Int("records", 0, "records per hardware thread (0 = benchmark default)")
+	traceN := flag.Int("trace", 0, "print the first N trace events (millipede only)")
+	corelets := flag.Int("corelets", 32, "corelets/lanes per processor")
+	buffers := flag.Int("buffers", 16, "prefetch buffer entries")
+	flag.Parse()
+
+	cfg := millipede.DefaultConfig().WithSize(*corelets)
+	cfg.PrefetchEntries = *buffers
+	n := *records
+	if n == 0 {
+		n = 512
+	}
+	if *traceN > 0 {
+		if *archName != millipede.ArchMillipede {
+			log.Fatal("-trace is only supported for -arch millipede")
+		}
+		if err := runTraced(cfg, *bench, n, *traceN); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	res, err := millipede.RunBenchmark(*archName, *bench, cfg, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("architecture        %s\n", res.Arch)
+	fmt.Printf("benchmark           %s\n", res.Bench)
+	fmt.Printf("input words         %d (%d records/thread x %d threads)\n", res.Words, n, cfg.Threads())
+	fmt.Printf("simulated time      %.3f us\n", float64(res.Time)/1e6)
+	fmt.Printf("instructions        %d (%.2f per input word)\n", res.Insts, res.InstsPerWord)
+	fmt.Printf("branches/inst       %.4f\n", res.BranchesPerInst)
+	fmt.Printf("DRAM row miss rate  %.3f\n", res.RowMissRate)
+	fmt.Printf("DRAM bytes read     %d (%.2f GB/s)\n", res.DRAMBytes, float64(res.DRAMBytes)/float64(res.Time)*1000)
+	fmt.Printf("final clock         %.0f MHz\n", res.FinalHz/1e6)
+	fmt.Printf("energy              %.3f uJ (core %.3f / dram %.3f / leak %.3f)\n",
+		res.Energy.TotalPJ()/1e6, res.Energy.CorePJ/1e6, res.Energy.DRAMPJ/1e6, res.Energy.LeakPJ/1e6)
+	fmt.Println("golden check        PASS (enforced)")
+}
+
+// runTraced executes the benchmark on Millipede with event tracing of
+// corelet 0 and the prefetch buffer, printing the first n events.
+func runTraced(cfg millipede.Config, bench string, records, n int) error {
+	b, err := workloads.ByName(bench)
+	if err != nil {
+		return err
+	}
+	streams := b.Streams(cfg.Threads(), records, harness.Seed)
+	lay := layout.Layout{RowBytes: cfg.DRAM.RowBytes, Corelets: cfg.Corelets,
+		Contexts: cfg.Contexts, Interleave: layout.Slab}
+	sl, err := kernels.LocalState(b.K, cfg.LocalBytes, cfg.Contexts)
+	if err != nil {
+		return err
+	}
+	args := kernels.ArgsAndConsts(b.K, lay.Walk(), sl, records)
+	pr, err := core.NewProcessor(cfg, energy.Default(), core.Launch{
+		Prog: b.K.Prog, Interleave: layout.Slab, Streams: streams, Args: args,
+	})
+	if err != nil {
+		return err
+	}
+	l := trace.NewLog(n)
+	pr.EnableTrace(l, 0)
+	if _, err := pr.Run(0); err != nil {
+		return err
+	}
+	fmt.Print(l.Render())
+	return nil
+}

@@ -1,0 +1,30 @@
+// Quickstart: run one BMLA benchmark on the Millipede processor and on the
+// GPGPU baseline, and compare time and energy. This is the smallest
+// end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	millipede "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := millipede.DefaultConfig() // the paper's Table III machine
+	const bench, records = "count", 512
+
+	fmt.Printf("running %q on two PNM architectures (%d corelets/lanes, %d records/thread)\n\n",
+		bench, cfg.Corelets, records)
+	for _, arch := range []string{millipede.ArchGPGPU, millipede.ArchMillipede} {
+		res, err := millipede.RunBenchmark(arch, bench, cfg, records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s  time %8.1f us   energy %7.2f uJ   row-miss %.3f   %.1f GB/s\n",
+			arch, float64(res.Time)/1e6, res.Energy.TotalPJ()/1e6,
+			res.RowMissRate, float64(res.DRAMBytes)/float64(res.Time)*1000)
+	}
+	fmt.Println("\nboth results were verified against the golden MapReduce reference.")
+}

@@ -1,0 +1,93 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+)
+
+// ComputeUnit is a processor model driven at the compute clock.
+type ComputeUnit interface {
+	Tick(now sim.Time)
+	Halted() bool
+}
+
+// Node is one PNM node: the two clock domains, the die-stacked DRAM channel
+// and its FR-FCFS controller. Every architecture model builds on it.
+type Node struct {
+	Params  Params
+	Engine  *sim.Engine
+	DRAM    *dram.DRAM
+	Ctl     *memctrl.Controller
+	Compute *sim.Domain
+	Mem     *sim.Domain
+	unit    ComputeUnit
+}
+
+// NewNode builds the memory side; AttachCompute must be called before Run.
+func NewNode(p Params, capacityBytes int) (*Node, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := dram.New(p.DRAM, capacityBytes)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := memctrl.New(d, p.MemQueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Params: p, Engine: sim.NewEngine(), DRAM: d, Ctl: ctl}
+	n.Mem, err = n.Engine.AddDomain("mem", sim.PeriodFromHz(p.ChannelHz),
+		sim.TickFunc(func(sim.Time) { ctl.Tick() }))
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// InjectMemoryJitter enables deterministic DRAM completion jitter of up to
+// max channel cycles (fault injection for robustness tests).
+func (n *Node) InjectMemoryJitter(max int64, seed uint64) { n.Ctl.SetJitter(max, seed) }
+
+// AttachCompute registers the processor on the compute clock.
+func (n *Node) AttachCompute(unit ComputeUnit) error {
+	if n.unit != nil {
+		return fmt.Errorf("arch: compute unit already attached")
+	}
+	var err error
+	n.Compute, err = n.Engine.AddDomain("compute", sim.PeriodFromHz(n.Params.ComputeHz), unit)
+	if err != nil {
+		return err
+	}
+	n.unit = unit
+	return nil
+}
+
+// Run advances the simulation until the compute unit halts. The limit
+// guards against kernel deadlocks in development; pass 0 for the default
+// (10 simulated seconds).
+func (n *Node) Run(limit sim.Time) (sim.Time, error) {
+	if n.unit == nil {
+		return 0, fmt.Errorf("arch: no compute unit attached")
+	}
+	if limit == 0 {
+		limit = 10 * sim.Second
+	}
+	return n.Engine.Run(limit, n.unit.Halted)
+}
+
+// MemBacking adapts the FR-FCFS controller to the fetch interfaces used by
+// caches (cache.Backing) and the prefetch buffer (prefetch.FetchFunc).
+type MemBacking struct{ Ctl *memctrl.Controller }
+
+// Fetch implements cache.Backing.
+func (m MemBacking) Fetch(addr uint32, bytes int, done func()) bool {
+	return m.Ctl.Enqueue(memctrl.Request{Addr: addr, Bytes: bytes, Done: func(int64, bool) {
+		if done != nil {
+			done()
+		}
+	}})
+}

@@ -1,0 +1,90 @@
+package arch
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+type fakeUnit struct {
+	ticks  int
+	target int
+}
+
+func (u *fakeUnit) Tick(sim.Time) { u.ticks++ }
+func (u *fakeUnit) Halted() bool  { return u.ticks >= u.target }
+
+func TestNodeLifecycle(t *testing.T) {
+	n, err := NewNode(Default(), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(0); err == nil {
+		t.Error("Run without compute unit accepted")
+	}
+	u := &fakeUnit{target: 100}
+	if err := n.AttachCompute(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachCompute(u); err == nil {
+		t.Error("double attach accepted")
+	}
+	now, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.ticks != 100 || now <= 0 {
+		t.Errorf("ticks=%d now=%d", u.ticks, now)
+	}
+}
+
+func TestNewNodeRejectsBadParams(t *testing.T) {
+	p := Default()
+	p.Corelets = 0
+	if _, err := NewNode(p, 1024); err == nil {
+		t.Error("bad params accepted")
+	}
+	p = Default()
+	if _, err := NewNode(p, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestRunTimeLimitDefault(t *testing.T) {
+	n, _ := NewNode(Default(), 1024)
+	u := &fakeUnit{target: 1 << 30} // never halts within limit
+	_ = n.AttachCompute(u)
+	if _, err := n.Run(100 * sim.Nanosecond); err == nil {
+		t.Error("time limit not enforced")
+	}
+}
+
+func TestMemBacking(t *testing.T) {
+	n, _ := NewNode(Default(), 1<<16)
+	mb := MemBacking{Ctl: n.Ctl}
+	done := false
+	if !mb.Fetch(0, 64, func() { done = true }) {
+		t.Fatal("fetch rejected on empty queue")
+	}
+	for i := 0; i < 200 && !done; i++ {
+		n.Ctl.Tick()
+	}
+	if !done {
+		t.Error("fetch never completed")
+	}
+	// Nil callback must not panic.
+	mb.Fetch(128, 64, nil)
+	for i := 0; i < 200; i++ {
+		n.Ctl.Tick()
+	}
+	// Jitter injection plumbs through.
+	n.InjectMemoryJitter(50, 3)
+	delayed := false
+	mb.Fetch(4096, 64, func() { delayed = true })
+	for i := 0; i < 500 && !delayed; i++ {
+		n.Ctl.Tick()
+	}
+	if !delayed {
+		t.Error("jittered fetch never completed")
+	}
+}

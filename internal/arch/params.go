@@ -1,0 +1,129 @@
+// Package arch holds the Table III hardware configuration shared by every
+// PNM architecture model (Millipede, SSMC, GPGPU, VWS) plus the shared
+// node-level plumbing: the two clock domains, the die-stacked DRAM channel,
+// and the FR-FCFS memory controller. Keeping the configuration in one place
+// enforces the paper's methodology: all architectures get the same number of
+// cores, the same on-processor-die memory budget (160 KB per processor),
+// the same pipeline latencies, and identical die-stacking.
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/corelet"
+	"repro/internal/dram"
+)
+
+// Params is the Table III configuration.
+type Params struct {
+	// Processor geometry (identical across PNM architectures).
+	Corelets int // corelets / lanes / cores per processor or SM: 32
+	Contexts int // hardware multithreading contexts / warps: 4
+
+	// Clocks.
+	ComputeHz float64 // 700 MHz nominal
+	ChannelHz float64 // 1.2 GHz
+
+	// Per-corelet resources (Millipede).
+	LocalBytes      int // 4 KB local memory
+	PrefetchEntries int // 16 row entries
+	FlowControl     bool
+	RateMatch       bool
+
+	// SSMC.
+	SSMCL1Bytes int // 5 KB per core (matches Millipede's 4 KB + 1 KB slice)
+	// SSMCLineBytes is the SSMC L1D line size. Table III lists 128 B, but
+	// under the interleaved layout a corelet's per-row slab is 64 B, so a
+	// 128 B line would double-fetch the neighbouring core's slab from the
+	// private caches; the model uses layout-matched 64 B lines (see
+	// DESIGN.md substitutions).
+	SSMCLineBytes  int
+	CacheLineBytes int // 128 B (GPGPU L1D, multicore hierarchy)
+	CacheAssoc     int
+	PrefetchDepth  int // sequential cache-block prefetch depth
+
+	// GPGPU SM.
+	GPGPUL1Bytes   int // 32 KB
+	SharedMemBytes int // 128 KB
+	VWSWarpWidth   int // 4 (Variable Warp Sizing picks 4-wide for BMLAs)
+
+	// Memory system.
+	DRAM          dram.Params
+	MemQueueDepth int // FR-FCFS depth: 16
+
+	// Pipeline latencies (identical simple in-order pipelines everywhere).
+	Latencies corelet.Latencies
+
+	// Rate matching (Section IV-F).
+	DFSStepPct         float64 // 0.05
+	DFSIntervalCycles  int     // compute cycles between controller updates
+	DFSMinHz, DFSMaxHz float64
+}
+
+// Default returns the paper's Table III configuration.
+func Default() Params {
+	return Params{
+		Corelets:          32,
+		Contexts:          4,
+		ComputeHz:         700e6,
+		ChannelHz:         1.2e9,
+		LocalBytes:        4096,
+		PrefetchEntries:   16,
+		FlowControl:       true,
+		RateMatch:         false,
+		SSMCL1Bytes:       5120,
+		SSMCLineBytes:     64,
+		CacheLineBytes:    128,
+		CacheAssoc:        4,
+		PrefetchDepth:     2,
+		GPGPUL1Bytes:      32768,
+		SharedMemBytes:    131072,
+		VWSWarpWidth:      4,
+		DRAM:              dram.DefaultParams(),
+		MemQueueDepth:     16,
+		Latencies:         corelet.DefaultLatencies(),
+		DFSStepPct:        0.05,
+		DFSIntervalCycles: 256,
+		DFSMinHz:          175e6,
+		DFSMaxHz:          700e6, // DFS cannot exceed nominal at fixed voltage
+	}
+}
+
+// Validate checks internal consistency.
+func (p Params) Validate() error {
+	switch {
+	case p.Corelets <= 0 || p.Contexts <= 0:
+		return fmt.Errorf("arch: bad geometry %dx%d", p.Corelets, p.Contexts)
+	case p.ComputeHz <= 0 || p.ChannelHz <= 0:
+		return fmt.Errorf("arch: bad clocks")
+	case p.LocalBytes <= 0 || p.SSMCL1Bytes <= 0 || p.GPGPUL1Bytes <= 0:
+		return fmt.Errorf("arch: bad memory sizes")
+	case p.PrefetchEntries < 2:
+		return fmt.Errorf("arch: need >= 2 prefetch entries")
+	case p.MemQueueDepth <= 0:
+		return fmt.Errorf("arch: bad memory queue depth")
+	case p.SSMCLineBytes <= 0 || p.CacheLineBytes <= 0:
+		return fmt.Errorf("arch: bad cache line sizes")
+	case p.DRAM.RowBytes/4%p.Corelets != 0:
+		return fmt.Errorf("arch: row words %d not divisible by %d corelets", p.DRAM.RowBytes/4, p.Corelets)
+	}
+	return p.DRAM.Validate()
+}
+
+// Threads returns hardware threads per processor.
+func (p Params) Threads() int { return p.Corelets * p.Contexts }
+
+// WithSize returns a copy scaled to n corelets per processor with
+// proportionally scaled memory bandwidth, as in the paper's system-size
+// sensitivity study (Figure 6: 32 -> 64 cores, 2x bandwidth).
+func (p Params) WithSize(corelets int) Params {
+	q := p
+	q.Corelets = corelets
+	scale := float64(corelets) / 32.0
+	q.ChannelHz = p.ChannelHz * scale
+	// Per-lane on-die memory budgets are held constant, so SM-wide
+	// structures scale with the lane count.
+	q.SharedMemBytes = int(float64(p.SharedMemBytes) * scale)
+	q.GPGPUL1Bytes = int(float64(p.GPGPUL1Bytes) * scale)
+	return q
+}

@@ -1,0 +1,64 @@
+package arch
+
+import "testing"
+
+func TestDefaultValidates(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Corelets != 32 || p.Contexts != 4 || p.Threads() != 128 {
+		t.Errorf("geometry: %d x %d", p.Corelets, p.Contexts)
+	}
+	if p.ComputeHz != 700e6 || p.ChannelHz != 1.2e9 {
+		t.Error("Table III clocks wrong")
+	}
+	// Table III memory budget: Millipede 4 KB local + 1 KB prefetch slice
+	// = SSMC 5 KB L1D per core.
+	if p.LocalBytes+p.PrefetchEntries*64 != p.SSMCL1Bytes {
+		t.Errorf("on-die memory budgets differ: %d vs %d",
+			p.LocalBytes+p.PrefetchEntries*64, p.SSMCL1Bytes)
+	}
+	// GPGPU SM: 32 KB L1D + 128 KB shared = 160 KB = 32 x 5 KB.
+	if p.GPGPUL1Bytes+p.SharedMemBytes != p.Corelets*p.SSMCL1Bytes {
+		t.Error("GPGPU SM memory budget differs from SSMC processor budget")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mod := func(f func(*Params)) Params {
+		p := Default()
+		f(&p)
+		return p
+	}
+	bad := []Params{
+		mod(func(p *Params) { p.Corelets = 0 }),
+		mod(func(p *Params) { p.ComputeHz = 0 }),
+		mod(func(p *Params) { p.LocalBytes = 0 }),
+		mod(func(p *Params) { p.PrefetchEntries = 1 }),
+		mod(func(p *Params) { p.MemQueueDepth = 0 }),
+		mod(func(p *Params) { p.Corelets = 33 }),
+		mod(func(p *Params) { p.DRAM.Banks = 0 }),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWithSize(t *testing.T) {
+	p := Default().WithSize(64)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Corelets != 64 {
+		t.Errorf("corelets = %d", p.Corelets)
+	}
+	if p.ChannelHz != 2.4e9 {
+		t.Errorf("bandwidth not doubled: %g", p.ChannelHz)
+	}
+	if p.SharedMemBytes != 2*131072 || p.GPGPUL1Bytes != 2*32768 {
+		t.Error("SM memories not scaled with lane count")
+	}
+}

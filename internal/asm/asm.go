@@ -1,0 +1,567 @@
+// Package asm assembles kernel source text into isa.Programs.
+//
+// The BMLA kernels in internal/kernels are written in a small assembly
+// dialect so that the paper's application characteristics — instructions per
+// input word, branch frequency, indirect local-memory accesses (Table IV) —
+// emerge from real instruction streams rather than being injected as
+// synthetic statistics.
+//
+// Syntax, one statement per line:
+//
+//	; comment            # comment also accepted
+//	.name kernelname     program name
+//	.equ  SYM expr       assemble-time constant
+//	label:               (may share a line with an instruction)
+//	add  r1, r2, r3      register-register
+//	addi r1, r2, expr    register-immediate; expr may use .equ symbols, + - * / ( )
+//	lw   r1, expr(r2)    loads/stores
+//	bne  r1, r2, label   branches name labels
+//	csrr r1, coreletid   named CSRs: coreletid contextid ncorelets ncontexts tid nthreads
+//	lds  r1              stream load via the hardware walker (isa.Stream* registers)
+//	bar                  processor-wide software barrier
+//
+// Pseudo-instructions: li rd, expr · lif rd, float · mv rd, rs · beqz/bnez
+// rs, label · ble/bgt rs1, rs2, label (operand swap of bge/blt) · call label
+// (jal r31) · ret (jr r31).
+//
+// Assemble also builds the control-flow graph and computes each conditional
+// branch's reconvergence PC (the immediate post-dominator), which the SIMT
+// pipeline models (internal/simt) use for their divergence stacks.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Error describes an assembly failure with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+var csrNames = map[string]int32{
+	"coreletid": isa.CSRCoreletID,
+	"contextid": isa.CSRContextID,
+	"ncorelets": isa.CSRNumCorelet,
+	"ncontexts": isa.CSRNumContext,
+	"tid":       isa.CSRThreadID,
+	"nthreads":  isa.CSRNumThreads,
+}
+
+type fixup struct {
+	inst  int    // instruction index whose Imm needs the label address
+	label string // target label
+	line  int
+}
+
+type assembler struct {
+	name   string
+	insts  []isa.Inst
+	labels map[string]int
+	equs   map[string]int64
+	fixups []fixup
+}
+
+// Assemble translates source into a validated program with reconvergence
+// metadata. The name argument is used if the source has no .name directive.
+func Assemble(name, src string) (*isa.Program, error) {
+	a := &assembler{
+		name:   name,
+		labels: make(map[string]int),
+		equs:   make(map[string]int64),
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		if err := a.line(i+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range a.fixups {
+		idx, ok := a.labels[f.label]
+		if !ok {
+			return nil, &Error{f.line, fmt.Sprintf("undefined label %q", f.label)}
+		}
+		a.insts[f.inst].Imm = int32(idx)
+		a.insts[f.inst].Sym = f.label
+	}
+	if len(a.insts) == 0 {
+		return nil, &Error{0, "empty program"}
+	}
+	p := &isa.Program{Name: a.name, Insts: a.insts, Labels: a.labels}
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	p.ReconvPC = Reconvergence(p)
+	return p, nil
+}
+
+// MustAssemble is Assemble for statically known-good sources (the built-in
+// kernels); it panics on error.
+func MustAssemble(name, src string) *isa.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) line(n int, raw string) error {
+	// Strip comments.
+	if i := strings.IndexAny(raw, ";#"); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	// Labels (possibly several, possibly followed by an instruction).
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if !isIdent(label) {
+			return &Error{n, fmt.Sprintf("bad label %q", label)}
+		}
+		if _, dup := a.labels[label]; dup {
+			return &Error{n, fmt.Sprintf("duplicate label %q", label)}
+		}
+		a.labels[label] = len(a.insts)
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return nil
+	}
+	// Directives.
+	if strings.HasPrefix(s, ".") {
+		return a.directive(n, s)
+	}
+	return a.instruction(n, s)
+}
+
+func (a *assembler) directive(n int, s string) error {
+	fields := strings.Fields(s)
+	switch fields[0] {
+	case ".name":
+		if len(fields) != 2 {
+			return &Error{n, ".name wants one argument"}
+		}
+		a.name = fields[1]
+		return nil
+	case ".equ":
+		if len(fields) < 3 {
+			return &Error{n, ".equ wants a symbol and an expression"}
+		}
+		sym := fields[1]
+		if !isIdent(sym) {
+			return &Error{n, fmt.Sprintf("bad .equ symbol %q", sym)}
+		}
+		if _, dup := a.equs[sym]; dup {
+			return &Error{n, fmt.Sprintf("duplicate .equ %q", sym)}
+		}
+		v, err := evalExpr(strings.Join(fields[2:], ""), a.equs)
+		if err != nil {
+			return &Error{n, err.Error()}
+		}
+		a.equs[sym] = v
+		return nil
+	}
+	return &Error{n, fmt.Sprintf("unknown directive %q", fields[0])}
+}
+
+// operand splitting: "add r1, r2, r3" -> mnemonic "add", ops ["r1","r2","r3"].
+func splitOperands(s string) (string, []string) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return strings.ToLower(s), nil
+	}
+	mn := strings.ToLower(s[:i])
+	rest := strings.TrimSpace(s[i:])
+	if rest == "" {
+		return mn, nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return mn, parts
+}
+
+func (a *assembler) reg(n int, s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, &Error{n, fmt.Sprintf("expected register, got %q", s)}
+	}
+	v, err := strconv.Atoi(s[1:])
+	if err != nil || v < 0 || v >= isa.NumRegs {
+		return 0, &Error{n, fmt.Sprintf("bad register %q", s)}
+	}
+	return uint8(v), nil
+}
+
+func (a *assembler) imm(n int, s string) (int32, error) {
+	v, err := evalExpr(s, a.equs)
+	if err != nil {
+		return 0, &Error{n, err.Error()}
+	}
+	if v > 0xFFFFFFFF || v < -0x80000000 {
+		return 0, &Error{n, fmt.Sprintf("immediate %d out of 32-bit range", v)}
+	}
+	return int32(uint32(v)), nil
+}
+
+// memOperand parses "expr(rN)".
+func (a *assembler) memOperand(n int, s string) (int32, uint8, error) {
+	open := strings.LastIndex(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, &Error{n, fmt.Sprintf("expected offset(reg), got %q", s)}
+	}
+	base, err := a.reg(n, strings.TrimSpace(s[open+1:len(s)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err := a.imm(n, offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+func (a *assembler) emit(in isa.Inst) { a.insts = append(a.insts, in) }
+
+func (a *assembler) branchTarget(n int, inst int, label string) {
+	a.fixups = append(a.fixups, fixup{inst: inst, label: label, line: n})
+}
+
+var regRegOps = map[string]isa.Op{
+	"add": isa.ADD, "sub": isa.SUB, "mul": isa.MUL, "div": isa.DIV, "rem": isa.REM,
+	"and": isa.AND, "or": isa.OR, "xor": isa.XOR, "sll": isa.SLL, "srl": isa.SRL,
+	"sra": isa.SRA, "slt": isa.SLT, "sltu": isa.SLTU, "min": isa.MIN, "max": isa.MAX,
+	"fadd": isa.FADD, "fsub": isa.FSUB, "fmul": isa.FMUL, "fdiv": isa.FDIV,
+	"fmin": isa.FMIN, "fmax": isa.FMAX, "flt": isa.FLT, "fle": isa.FLE, "feq": isa.FEQ,
+}
+
+var regImmOps = map[string]isa.Op{
+	"addi": isa.ADDI, "andi": isa.ANDI, "ori": isa.ORI, "xori": isa.XORI,
+	"slli": isa.SLLI, "srli": isa.SRLI, "srai": isa.SRAI, "slti": isa.SLTI,
+}
+
+var branchOps = map[string]isa.Op{
+	"beq": isa.BEQ, "bne": isa.BNE, "blt": isa.BLT, "bge": isa.BGE,
+	"bltu": isa.BLTU, "bgeu": isa.BGEU,
+}
+
+// swapped-operand branch pseudos: ble a,b == bge b,a ; bgt a,b == blt b,a.
+var branchSwapOps = map[string]isa.Op{
+	"ble": isa.BGE, "bgt": isa.BLT, "bleu": isa.BGEU, "bgtu": isa.BLTU,
+}
+
+var unaryOps = map[string]isa.Op{
+	"fsqrt": isa.FSQRT, "cvtif": isa.CVTIF, "cvtfi": isa.CVTFI,
+}
+
+func (a *assembler) instruction(n int, s string) error {
+	mn, ops := splitOperands(s)
+	want := func(k int) error {
+		if len(ops) != k {
+			return &Error{n, fmt.Sprintf("%s wants %d operands, got %d", mn, k, len(ops))}
+		}
+		return nil
+	}
+	switch {
+	case mn == "nop":
+		if err := want(0); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.NOP})
+	case mn == "halt":
+		if err := want(0); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.HALT})
+	case mn == "bar":
+		if err := want(0); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.BAR})
+	case regRegOps[mn] != 0:
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(n, ops[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(n, ops[2])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: regRegOps[mn], Rd: rd, Rs1: rs1, Rs2: rs2})
+	case regImmOps[mn] != 0:
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(n, ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(n, ops[2])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: regImmOps[mn], Rd: rd, Rs1: rs1, Imm: imm})
+	case unaryOps[mn] != 0:
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(n, ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: unaryOps[mn], Rd: rd, Rs1: rs1})
+	case mn == "lui":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(n, ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.LUI, Rd: rd, Imm: imm})
+	case mn == "lds":
+		if err := want(1); err != nil {
+			return err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.LDS, Rd: rd})
+	case mn == "lw" || mn == "ldg":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(n, ops[1])
+		if err != nil {
+			return err
+		}
+		op := isa.LW
+		if mn == "ldg" {
+			op = isa.LDG
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: off})
+	case mn == "sw" || mn == "stg":
+		if err := want(2); err != nil {
+			return err
+		}
+		rs2, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(n, ops[1])
+		if err != nil {
+			return err
+		}
+		op := isa.SW
+		if mn == "stg" {
+			op = isa.STG
+		}
+		a.emit(isa.Inst{Op: op, Rs2: rs2, Rs1: base, Imm: off})
+	case branchOps[mn] != 0 || branchSwapOps[mn] != 0:
+		if err := want(3); err != nil {
+			return err
+		}
+		i, j := 0, 1
+		op := branchOps[mn]
+		if op == 0 {
+			op = branchSwapOps[mn]
+			i, j = 1, 0 // swap sources
+		}
+		rs1, err := a.reg(n, ops[i])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(n, ops[j])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2})
+		a.branchTarget(n, len(a.insts)-1, ops[2])
+	case mn == "beqz" || mn == "bnez":
+		if err := want(2); err != nil {
+			return err
+		}
+		rs1, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		op := isa.BEQ
+		if mn == "bnez" {
+			op = isa.BNE
+		}
+		a.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: 0})
+		a.branchTarget(n, len(a.insts)-1, ops[1])
+	case mn == "j":
+		if err := want(1); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.J})
+		a.branchTarget(n, len(a.insts)-1, ops[0])
+	case mn == "jal":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.JAL, Rd: rd})
+		a.branchTarget(n, len(a.insts)-1, ops[1])
+	case mn == "call":
+		if err := want(1); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.JAL, Rd: 31})
+		a.branchTarget(n, len(a.insts)-1, ops[0])
+	case mn == "jr":
+		if err := want(1); err != nil {
+			return err
+		}
+		rs1, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.JR, Rs1: rs1})
+	case mn == "ret":
+		if err := want(0); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.JR, Rs1: 31})
+	case mn == "csrr":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		csr, ok := csrNames[strings.ToLower(ops[1])]
+		if !ok {
+			imm, err := a.imm(n, ops[1])
+			if err != nil {
+				return &Error{n, fmt.Sprintf("unknown CSR %q", ops[1])}
+			}
+			csr = imm
+		}
+		a.emit(isa.Inst{Op: isa.CSRR, Rd: rd, Imm: csr})
+	case mn == "li":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(n, ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: 0, Imm: imm})
+	case mn == "lif":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		f, err := strconv.ParseFloat(ops[1], 32)
+		if err != nil {
+			return &Error{n, fmt.Sprintf("bad float %q", ops[1])}
+		}
+		a.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: 0, Imm: int32(isa.Bits(float32(f)))})
+	case mn == "mv":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(n, ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs1, Imm: 0})
+	default:
+		return &Error{n, fmt.Sprintf("unknown mnemonic %q", mn)}
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validate performs whole-program checks: branch targets in range and every
+// path reaches HALT or a backward jump (i.e., no fall-off-the-end).
+func validate(p *isa.Program) error {
+	nInst := len(p.Insts)
+	for i, in := range p.Insts {
+		if isa.IsBranch(in.Op) && in.Op != isa.JR {
+			if in.Imm < 0 || int(in.Imm) > nInst {
+				return &Error{0, fmt.Sprintf("inst %d: branch target %d out of range", i, in.Imm)}
+			}
+		}
+	}
+	last := p.Insts[nInst-1]
+	switch {
+	case last.Op == isa.HALT, last.Op == isa.J, last.Op == isa.JR:
+	default:
+		return &Error{0, fmt.Sprintf("program %q can fall off the end (last inst %s)", p.Name, last)}
+	}
+	return nil
+}

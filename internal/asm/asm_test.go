@@ -1,0 +1,359 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAsm(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleBasic(t *testing.T) {
+	p := mustAsm(t, `
+		; a tiny kernel
+		.name tiny
+		.equ  BASE 0x100
+		.equ  N    4
+		start:
+			li   r1, BASE + N*8     # 0x120
+			addi r2, r1, -1
+			lw   r3, 8(r1)
+			sw   r3, N*4(r2)
+			ldg  r4, (r1)
+			bne  r3, r0, start
+			halt
+	`)
+	if p.Name != "tiny" {
+		t.Errorf("name = %q", p.Name)
+	}
+	want := []isa.Inst{
+		{Op: isa.ADDI, Rd: 1, Rs1: 0, Imm: 0x120},
+		{Op: isa.ADDI, Rd: 2, Rs1: 1, Imm: -1},
+		{Op: isa.LW, Rd: 3, Rs1: 1, Imm: 8},
+		{Op: isa.SW, Rs2: 3, Rs1: 2, Imm: 16},
+		{Op: isa.LDG, Rd: 4, Rs1: 1, Imm: 0},
+		{Op: isa.BNE, Rs1: 3, Rs2: 0, Imm: 0, Sym: "start"},
+		{Op: isa.HALT},
+	}
+	if len(p.Insts) != len(want) {
+		t.Fatalf("got %d insts, want %d:\n%s", len(p.Insts), len(want), p.Disassemble())
+	}
+	for i, w := range want {
+		if p.Insts[i] != w {
+			t.Errorf("inst %d = %+v, want %+v", i, p.Insts[i], w)
+		}
+	}
+	if p.Labels["start"] != 0 {
+		t.Errorf("label start = %d", p.Labels["start"])
+	}
+}
+
+func TestAssemblePseudos(t *testing.T) {
+	p := mustAsm(t, `
+		mv   r1, r2
+		lif  r3, 1.5
+		beqz r1, done
+		bnez r1, done
+		ble  r1, r2, done
+		bgt  r1, r2, done
+		bleu r1, r2, done
+		bgtu r1, r2, done
+		call sub
+		done: halt
+		sub: ret
+	`)
+	ins := p.Insts
+	if ins[0] != (isa.Inst{Op: isa.ADDI, Rd: 1, Rs1: 2, Imm: 0}) {
+		t.Errorf("mv = %+v", ins[0])
+	}
+	if ins[1].Op != isa.ADDI || isa.F32(uint32(ins[1].Imm)) != 1.5 {
+		t.Errorf("lif = %+v", ins[1])
+	}
+	if ins[2].Op != isa.BEQ || ins[2].Rs1 != 1 || ins[2].Rs2 != 0 {
+		t.Errorf("beqz = %+v", ins[2])
+	}
+	if ins[3].Op != isa.BNE {
+		t.Errorf("bnez = %+v", ins[3])
+	}
+	// ble r1,r2 -> bge r2,r1
+	if ins[4].Op != isa.BGE || ins[4].Rs1 != 2 || ins[4].Rs2 != 1 {
+		t.Errorf("ble = %+v", ins[4])
+	}
+	if ins[5].Op != isa.BLT || ins[5].Rs1 != 2 || ins[5].Rs2 != 1 {
+		t.Errorf("bgt = %+v", ins[5])
+	}
+	if ins[6].Op != isa.BGEU || ins[7].Op != isa.BLTU {
+		t.Errorf("bleu/bgtu = %+v / %+v", ins[6], ins[7])
+	}
+	if ins[8].Op != isa.JAL || ins[8].Rd != 31 || ins[8].Imm != 10 {
+		t.Errorf("call = %+v", ins[8])
+	}
+	if ins[10].Op != isa.JR || ins[10].Rs1 != 31 {
+		t.Errorf("ret = %+v", ins[10])
+	}
+}
+
+func TestAssembleCSRNames(t *testing.T) {
+	p := mustAsm(t, `
+		csrr r1, coreletid
+		csrr r2, contextid
+		csrr r3, ncorelets
+		csrr r4, ncontexts
+		csrr r5, tid
+		csrr r6, nthreads
+		csrr r7, 3
+		halt
+	`)
+	wantCSR := []int32{isa.CSRCoreletID, isa.CSRContextID, isa.CSRNumCorelet,
+		isa.CSRNumContext, isa.CSRThreadID, isa.CSRNumThreads, 3}
+	for i, w := range wantCSR {
+		if p.Insts[i].Op != isa.CSRR || p.Insts[i].Imm != w {
+			t.Errorf("csrr %d = %+v, want imm %d", i, p.Insts[i], w)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"", "empty program"},
+		{"bogus r1, r2\nhalt", "unknown mnemonic"},
+		{"add r1, r2\nhalt", "wants 3 operands"},
+		{"add r1, r2, r99\nhalt", "bad register"},
+		{"add r1, r2, x3\nhalt", "expected register"},
+		{"j nowhere\nhalt", "undefined label"},
+		{"x: x: halt", "duplicate label"},
+		{"1bad: halt", "bad label"},
+		{".equ A 1\n.equ A 2\nhalt", "duplicate .equ"},
+		{".equ 9x 1\nhalt", "bad .equ symbol"},
+		{".equ A\nhalt", ".equ wants"},
+		{".weird\nhalt", "unknown directive"},
+		{".name\nhalt", ".name wants"},
+		{"li r1, NOPE\nhalt", "undefined symbol"},
+		{"lw r1, 4[r2]\nhalt", "expected offset(reg)"},
+		{"csrr r1, fancy\nhalt", "unknown CSR"},
+		{"lif r1, abc\nhalt", "bad float"},
+		{"add r1, r2, r3", "fall off the end"},
+		{"li r1, 0x1FFFFFFFF\nhalt", "out of 32-bit range"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("t", c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Assemble(%q) error = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bad", "not an instruction")
+}
+
+func TestEvalExpr(t *testing.T) {
+	syms := map[string]int64{"A": 10, "B_2": 3, "row.size": 2048}
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"42", 42},
+		{"-7", -7},
+		{"0x10", 16},
+		{"0XFF", 255},
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"A*B_2", 30},
+		{"A-B_2-1", 6},
+		{"100/7", 14},
+		{"100%7", 2},
+		{"1<<10", 1024},
+		{"row.size>>1", 1024},
+		{"1<<4+1", 17}, // Go-style precedence: (1<<4)+1
+		{"-(A+2)", -12},
+		{" 2 * ( A + 1 ) ", 22},
+	}
+	for _, c := range cases {
+		got, err := evalExpr(c.expr, syms)
+		if err != nil {
+			t.Errorf("evalExpr(%q): %v", c.expr, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("evalExpr(%q) = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestEvalExprErrors(t *testing.T) {
+	for _, e := range []string{"", "1/0", "1%0", "(1", "1)", "X", "1 <<64", "@", "1 2"} {
+		if _, err := evalExpr(e, nil); err == nil {
+			t.Errorf("evalExpr(%q) succeeded", e)
+		}
+	}
+}
+
+const diamondSrc = `
+	; if/else diamond
+	li   r1, 1
+	beq  r1, r0, elseb
+	addi r2, r0, 1
+	j    join
+elseb:
+	addi r2, r0, 2
+join:
+	addi r3, r2, 0
+	halt
+`
+
+func TestCFGDiamond(t *testing.T) {
+	p := mustAsm(t, diamondSrc)
+	g := BuildCFG(p)
+	// Blocks: [0,2) entry; [2,4) then; [4,5) else; [5,7) join.
+	if len(g.Blocks) != 4 {
+		t.Fatalf("got %d blocks: %+v", len(g.Blocks), g.Blocks)
+	}
+	if g.BlockOf(0) != 0 || g.BlockOf(3) != 1 || g.BlockOf(4) != 2 || g.BlockOf(6) != 3 {
+		t.Errorf("blockOf wrong: %+v", g.blockOf)
+	}
+	wantSuccs := [][]int{{1, 2}, {3}, {3}, {4}}
+	for i, w := range wantSuccs {
+		if len(g.Blocks[i].Succs) != len(w) {
+			t.Fatalf("block %d succs = %v, want %v", i, g.Blocks[i].Succs, w)
+		}
+		for j := range w {
+			if g.Blocks[i].Succs[j] != w[j] {
+				t.Errorf("block %d succs = %v, want %v", i, g.Blocks[i].Succs, w)
+			}
+		}
+	}
+}
+
+func TestReconvergenceDiamond(t *testing.T) {
+	p := mustAsm(t, diamondSrc)
+	// The branch at inst 1 must reconverge at the join block (inst 5).
+	if got := p.ReconvPC[1]; got != 5 {
+		t.Errorf("reconv of diamond branch = %d, want 5", got)
+	}
+}
+
+func TestReconvergenceLoop(t *testing.T) {
+	p := mustAsm(t, `
+		li r1, 10
+	loop:
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`)
+	// Loop back-edge branch at inst 2: paths are loop (inst 1) and halt
+	// (inst 3); they reconverge at the loop exit, inst 3.
+	if got := p.ReconvPC[2]; got != 3 {
+		t.Errorf("reconv of loop branch = %d, want 3", got)
+	}
+}
+
+func TestReconvergenceNested(t *testing.T) {
+	p := mustAsm(t, `
+		li r1, 4
+	outer:
+		li r2, 4
+	inner:
+		addi r2, r2, -1
+		beq  r2, r0, innerdone  ; diverging exit check
+		j    inner
+	innerdone:
+		addi r1, r1, -1
+		bne  r1, r0, outer
+		halt
+	`)
+	// inner exit branch (inst 3): reconverges at innerdone (inst 5).
+	if got := p.ReconvPC[3]; got != 5 {
+		t.Errorf("inner reconv = %d, want 5", got)
+	}
+	// outer back edge (inst 6): reconverges at halt (inst 7).
+	if got := p.ReconvPC[6]; got != 7 {
+		t.Errorf("outer reconv = %d, want 7", got)
+	}
+}
+
+func TestReconvergenceBranchToExit(t *testing.T) {
+	p := mustAsm(t, `
+		li r1, 1
+		beq r1, r0, end
+		addi r2, r0, 5
+	end:
+		halt
+	`)
+	if got := p.ReconvPC[1]; got != 3 {
+		t.Errorf("reconv = %d, want 3 (halt)", got)
+	}
+}
+
+func TestPostDominatorsChain(t *testing.T) {
+	p := mustAsm(t, `
+		addi r1, r0, 1
+		addi r2, r0, 2
+		halt
+	`)
+	g := BuildCFG(p)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("straight-line code should be one block, got %d", len(g.Blocks))
+	}
+	ipdom := PostDominators(g)
+	if ipdom[0] != g.Exit() {
+		t.Errorf("ipdom of only block = %d, want exit %d", ipdom[0], g.Exit())
+	}
+}
+
+func TestCFGNoCondBranches(t *testing.T) {
+	p := mustAsm(t, "addi r1, r0, 1\nhalt")
+	if len(p.ReconvPC) != 0 {
+		t.Errorf("straight-line program has reconv entries: %v", p.ReconvPC)
+	}
+}
+
+func TestLabelOnOwnLineAndShared(t *testing.T) {
+	p := mustAsm(t, `
+a:
+b:	addi r1, r0, 1
+c:	halt
+	`)
+	if p.Labels["a"] != 0 || p.Labels["b"] != 0 || p.Labels["c"] != 1 {
+		t.Errorf("labels = %v", p.Labels)
+	}
+}
+
+func TestAssembleStreamAndBarrierOps(t *testing.T) {
+	p := mustAsm(t, `
+		lds r11
+		bar
+		halt
+	`)
+	if p.Insts[0].Op != isa.LDS || p.Insts[0].Rd != 11 {
+		t.Errorf("lds = %+v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.BAR {
+		t.Errorf("bar = %+v", p.Insts[1])
+	}
+	if _, err := Assemble("t", "lds r11, r12\nhalt"); err == nil {
+		t.Error("lds with two operands accepted")
+	}
+	if _, err := Assemble("t", "bar r1\nhalt"); err == nil {
+		t.Error("bar with operand accepted")
+	}
+}

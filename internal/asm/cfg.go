@@ -1,0 +1,231 @@
+package asm
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Block is a basic block: instructions [Start, End) with CFG successor block
+// indices. A successor equal to len(blocks) denotes the virtual exit node.
+type Block struct {
+	Start, End int
+	Succs      []int
+}
+
+// CFG is the control-flow graph of a program at basic-block granularity.
+type CFG struct {
+	Blocks []Block
+	// blockOf[i] is the block index containing instruction i.
+	blockOf []int
+}
+
+// BlockOf returns the index of the block containing instruction pc.
+func (g *CFG) BlockOf(pc int) int { return g.blockOf[pc] }
+
+// Exit returns the virtual exit node index.
+func (g *CFG) Exit() int { return len(g.Blocks) }
+
+// BuildCFG constructs the basic-block control-flow graph of p. JAL is
+// treated as an unconditional jump (the BMLA kernels are leaf kernels; the
+// SIMT models only need reconvergence points for conditional branches, and
+// none of the kernels place conditional branches across call boundaries).
+// JR and HALT edge to the virtual exit.
+func BuildCFG(p *isa.Program) *CFG {
+	n := len(p.Insts)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for i, in := range p.Insts {
+		switch {
+		case isa.IsCondBranch(in.Op):
+			leader[in.Imm] = true
+			if i+1 <= n {
+				leader[i+1] = true
+			}
+		case in.Op == isa.J || in.Op == isa.JAL:
+			leader[in.Imm] = true
+			if i+1 <= n {
+				leader[i+1] = true
+			}
+		case in.Op == isa.JR || in.Op == isa.HALT:
+			if i+1 <= n {
+				leader[i+1] = true
+			}
+		}
+	}
+	var starts []int
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			starts = append(starts, i)
+		}
+	}
+	g := &CFG{blockOf: make([]int, n)}
+	startToBlock := make(map[int]int, len(starts))
+	for bi, s := range starts {
+		end := n
+		if bi+1 < len(starts) {
+			end = starts[bi+1]
+		}
+		g.Blocks = append(g.Blocks, Block{Start: s, End: end})
+		startToBlock[s] = bi
+		for i := s; i < end; i++ {
+			g.blockOf[i] = bi
+		}
+	}
+	exit := g.Exit()
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		last := p.Insts[b.End-1]
+		addSucc := func(pc int) {
+			if pc >= n {
+				b.Succs = append(b.Succs, exit)
+				return
+			}
+			b.Succs = append(b.Succs, startToBlock[pc])
+		}
+		switch {
+		case isa.IsCondBranch(last.Op):
+			addSucc(b.End)         // not taken
+			addSucc(int(last.Imm)) // taken
+		case last.Op == isa.J, last.Op == isa.JAL:
+			addSucc(int(last.Imm))
+		case last.Op == isa.JR, last.Op == isa.HALT:
+			b.Succs = append(b.Succs, exit)
+		default:
+			addSucc(b.End)
+		}
+		// Deduplicate (branch to fall-through target).
+		sort.Ints(b.Succs)
+		b.Succs = dedupe(b.Succs)
+	}
+	return g
+}
+
+func dedupe(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// PostDominators computes the immediate post-dominator of every block using
+// the Cooper–Harvey–Kennedy iterative algorithm on the reversed CFG, rooted
+// at the virtual exit node. The result maps block index -> immediate
+// post-dominator block index (the exit post-dominates itself). Blocks from
+// which the exit is unreachable (which validate rejects for kernels, but
+// hand-built programs may contain) get -1.
+func PostDominators(g *CFG) []int {
+	nb := len(g.Blocks)
+	exit := g.Exit()
+	total := nb + 1
+
+	// In the reversed graph an edge runs s -> b for every CFG edge b -> s,
+	// so node v's reversed-graph predecessors are exactly its CFG successors.
+	revPreds := make([][]int, total)
+	for bi, b := range g.Blocks {
+		revPreds[bi] = b.Succs
+	}
+
+	// Reverse postorder of the reversed graph from exit. The reversed
+	// graph's successors of node v are the CFG predecessors of v.
+	cfgPreds := make([][]int, total)
+	for bi, b := range g.Blocks {
+		for _, s := range b.Succs {
+			cfgPreds[s] = append(cfgPreds[s], bi)
+		}
+	}
+	var rpo []int
+	visited := make([]bool, total)
+	var dfs func(v int)
+	dfs = func(v int) {
+		visited[v] = true
+		for _, w := range cfgPreds[v] {
+			if !visited[w] {
+				dfs(w)
+			}
+		}
+		rpo = append(rpo, v)
+	}
+	dfs(exit)
+	// rpo currently holds postorder; reverse it.
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	order := make([]int, total) // node -> RPO index
+	for i := range order {
+		order[i] = -1
+	}
+	for i, v := range rpo {
+		order[v] = i
+	}
+
+	ipdom := make([]int, total)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	ipdom[exit] = exit
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = ipdom[a]
+			}
+			for order[b] > order[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, v := range rpo {
+			if v == exit {
+				continue
+			}
+			newIdom := -1
+			for _, p := range revPreds[v] {
+				if ipdom[p] == -1 || order[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && ipdom[v] != newIdom {
+				ipdom[v] = newIdom
+				changed = true
+			}
+		}
+	}
+	return ipdom[:nb+1]
+}
+
+// Reconvergence returns, for every conditional branch instruction in p, the
+// reconvergence PC used by the SIMT divergence stack: the start instruction
+// of the branch block's immediate post-dominator. A value of len(p.Insts)
+// means the paths only reconverge at thread exit.
+func Reconvergence(p *isa.Program) map[int]int {
+	g := BuildCFG(p)
+	ipdom := PostDominators(g)
+	out := make(map[int]int)
+	exit := g.Exit()
+	for i, in := range p.Insts {
+		if !isa.IsCondBranch(in.Op) {
+			continue
+		}
+		b := g.BlockOf(i)
+		d := ipdom[b]
+		if d == -1 || d == exit {
+			out[i] = len(p.Insts)
+			continue
+		}
+		out[i] = g.Blocks[d].Start
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// evalExpr evaluates an assemble-time integer expression. Supported: decimal
+// and 0x hex literals, .equ symbols, unary minus, + - * / % << >>, and
+// parentheses, with conventional precedence. Arithmetic is performed in
+// int64 so that intermediate overflow in address math is caught by the
+// 32-bit range check at the call site.
+func evalExpr(s string, syms map[string]int64) (int64, error) {
+	p := &exprParser{src: s, syms: syms}
+	v, err := p.parseAdd()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("trailing junk in expression %q at %d", s, p.pos)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src  string
+	pos  int
+	syms map[string]int64
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// parseAdd handles + and - (lowest precedence; shifts bind tighter, as in Go).
+func (p *exprParser) parseAdd() (int64, error) {
+	v, err := p.parseShift()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.peek() {
+		case '+':
+			p.pos++
+			r, err := p.parseShift()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			p.pos++
+			r, err := p.parseShift()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseShift() (int64, error) {
+	v, err := p.parseMul()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if strings.HasPrefix(p.src[p.pos:], "<<") {
+			p.pos += 2
+			r, err := p.parseMul()
+			if err != nil {
+				return 0, err
+			}
+			if r < 0 || r > 63 {
+				return 0, fmt.Errorf("shift amount %d out of range", r)
+			}
+			v <<= uint(r)
+		} else if strings.HasPrefix(p.src[p.pos:], ">>") {
+			p.pos += 2
+			r, err := p.parseMul()
+			if err != nil {
+				return 0, err
+			}
+			if r < 0 || r > 63 {
+				return 0, fmt.Errorf("shift amount %d out of range", r)
+			}
+			v >>= uint(r)
+		} else {
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseMul() (int64, error) {
+	v, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case '/':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero in expression")
+			}
+			v /= r
+		case '%':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("modulo by zero in expression")
+			}
+			v %= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseUnary() (int64, error) {
+	if p.peek() == '-' {
+		p.pos++
+		v, err := p.parseUnary()
+		return -v, err
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (int64, error) {
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.parseAdd()
+		if err != nil {
+			return 0, err
+		}
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("missing ) in expression %q", p.src)
+		}
+		p.pos++
+		return v, nil
+	case c >= '0' && c <= '9':
+		start := p.pos
+		if strings.HasPrefix(p.src[p.pos:], "0x") || strings.HasPrefix(p.src[p.pos:], "0X") {
+			p.pos += 2
+			for p.pos < len(p.src) && isHexDigit(p.src[p.pos]) {
+				p.pos++
+			}
+			v, err := strconv.ParseUint(p.src[start+2:p.pos], 16, 64)
+			return int64(v), err
+		}
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		return strconv.ParseInt(p.src[start:p.pos], 10, 64)
+	case isIdentByte(c):
+		start := p.pos
+		for p.pos < len(p.src) && (isIdentByte(p.src[p.pos]) || (p.src[p.pos] >= '0' && p.src[p.pos] <= '9')) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		v, ok := p.syms[name]
+		if !ok {
+			return 0, fmt.Errorf("undefined symbol %q", name)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("unexpected character %q in expression %q", string(c), p.src)
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '.'
+}

@@ -1,0 +1,335 @@
+// Package cache models the set-associative caches used by the non-Millipede
+// architectures: SSMC's 5 KB per-core L1 D-cache, the GPGPU SM's 32 KB L1
+// D-cache, and the conventional multicore's 64 KB L1 / 1 MB L2 hierarchy
+// (Table III). All of them apply sequential next-block prefetch to the input
+// stream, the paper's "cache-block prefetch" baseline.
+//
+// The model is tag-only: hits and misses are tracked per line, fills arrive
+// via the backing store's callback, and the functional data always comes
+// from the DRAM word store (the input dataset is read-only during a kernel).
+// Live state is modeled as cache-resident (the paper stipulates that BMLA
+// live state "completely fits" in the small caches, Section V), so only the
+// streaming input competes for lines here.
+package cache
+
+import (
+	"fmt"
+)
+
+// Backing is where misses are sent: a memory-controller adapter, or a
+// lower-level Cache. Fetch returns false if the request cannot be accepted
+// this cycle (queue full); the cache retries on a later access.
+type Backing interface {
+	Fetch(addr uint32, bytes int, done func()) bool
+}
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+	// PrefetchDepth is how many blocks ahead to prefetch;
+	// 0 disables prefetching.
+	PrefetchDepth int
+	// PrefetchStrideBlocks is the distance between prefetched blocks in
+	// units of blocks (0 or 1 = next-block). SSMC uses the row stride: a
+	// core's slab recurs every DRAM row, so its stream prefetcher strides
+	// by RowBytes/LineBytes blocks.
+	PrefetchStrideBlocks int
+	// HashSets XOR-folds high block bits into the set index, the standard
+	// anti-aliasing hash for strided streams (a row-strided stream would
+	// otherwise land in gcd(stride, sets) sets and thrash).
+	HashSets bool
+}
+
+// Validate checks the configuration and returns the number of sets.
+func (c Config) Validate() (sets int, err error) {
+	if c.LineBytes <= 0 || c.SizeBytes <= 0 || c.Assoc <= 0 {
+		return 0, fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines == 0 || lines%c.Assoc != 0 {
+		return 0, fmt.Errorf("cache: %d lines not divisible by assoc %d", lines, c.Assoc)
+	}
+	if c.PrefetchDepth < 0 {
+		return 0, fmt.Errorf("cache: negative prefetch depth")
+	}
+	if c.PrefetchStrideBlocks < 0 {
+		return 0, fmt.Errorf("cache: negative prefetch stride")
+	}
+	return lines / c.Assoc, nil
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	MSHRMerges    uint64 // demand accesses merged into an in-flight fill
+	PrefetchIssue uint64
+	PrefetchHits  uint64 // demand hits on lines brought in by prefetch
+	Retries       uint64 // accesses bounced because backing was full
+}
+
+// HitRate returns hits/(hits+misses+merges).
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses + s.MSHRMerges
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+type line struct {
+	tag        int64 // block id; -1 invalid
+	lastUse    uint64
+	prefetched bool // filled by prefetch, not yet demand-referenced
+	inFlight   bool // fill requested but not arrived
+}
+
+// Cache is a single level. It is driven entirely by Access calls and fill
+// callbacks; it has no clock of its own.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	nsets   int
+	backing Backing
+	useTick uint64
+	// mshr maps block id -> waiters for an in-flight fill.
+	mshr map[int64][]func()
+	// limit of distinct in-flight fills (simple MSHR count).
+	mshrMax int
+	stats   Stats
+	// nextPrefetch remembers a prefetch that bounced off a full backing
+	// queue, retried on the next access.
+	pendingPrefetch int64 // block id, -1 none
+}
+
+// New builds a cache over the given backing store. mshrMax bounds distinct
+// outstanding fills (demand + prefetch).
+func New(cfg Config, backing Backing, mshrMax int) (*Cache, error) {
+	nsets, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if backing == nil {
+		return nil, fmt.Errorf("cache: nil backing")
+	}
+	if mshrMax <= 0 {
+		return nil, fmt.Errorf("cache: bad mshrMax %d", mshrMax)
+	}
+	c := &Cache{
+		cfg:             cfg,
+		nsets:           nsets,
+		backing:         backing,
+		mshr:            make(map[int64][]func()),
+		mshrMax:         mshrMax,
+		pendingPrefetch: -1,
+	}
+	c.sets = make([][]line, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+		for j := range c.sets[i] {
+			c.sets[i][j].tag = -1
+		}
+	}
+	return c, nil
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) blockOf(addr uint32) int64 { return int64(addr) / int64(c.cfg.LineBytes) }
+
+func (c *Cache) setOf(block int64) int {
+	if c.cfg.HashSets {
+		block ^= block >> 5
+		block ^= block >> 10
+	}
+	return int((block%int64(c.nsets) + int64(c.nsets)) % int64(c.nsets))
+}
+
+func (c *Cache) find(block int64) *line {
+	set := c.sets[c.setOf(block)]
+	for i := range set {
+		if set[i].tag == block {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim returns an invalid line if the set has one, else the LRU line that
+// is not mid-fill; nil if every line is mid-fill (access must retry).
+func (c *Cache) victim(block int64) *line {
+	set := c.sets[c.setOf(block)]
+	var v *line
+	for i := range set {
+		ln := &set[i]
+		if ln.inFlight {
+			continue
+		}
+		if ln.tag == -1 {
+			return ln
+		}
+		if v == nil || ln.lastUse < v.lastUse {
+			v = ln
+		}
+	}
+	return v
+}
+
+// Result of an Access.
+type Result int
+
+const (
+	// Hit: data available now.
+	Hit Result = iota
+	// Miss: fill requested; onFill will be called when it arrives.
+	Miss
+	// Retry: the access could not be handled this cycle (backing queue or
+	// MSHRs full); the caller must re-issue later. onFill is dropped.
+	Retry
+)
+
+// Access performs a demand read of addr. On Miss the caller's onFill runs
+// when the line arrives (in the backing's clock domain).
+func (c *Cache) Access(addr uint32, onFill func()) Result {
+	c.useTick++
+	block := c.blockOf(addr)
+	if ln := c.find(block); ln != nil && !ln.inFlight {
+		ln.lastUse = c.useTick
+		c.stats.Hits++
+		if ln.prefetched {
+			ln.prefetched = false
+			c.stats.PrefetchHits++
+		}
+		c.maybePrefetch(block)
+		return Hit
+	}
+	// In-flight fill for this block: merge.
+	if waiters, ok := c.mshr[block]; ok {
+		c.mshr[block] = append(waiters, onFill)
+		c.stats.MSHRMerges++
+		return Miss
+	}
+	if len(c.mshr) >= c.mshrMax {
+		c.stats.Retries++
+		return Retry
+	}
+	ln := c.victim(block)
+	if ln == nil {
+		c.stats.Retries++
+		return Retry
+	}
+	// Register the line and MSHR entry *before* calling the backing: a
+	// lower-level cache hit completes synchronously, re-entering fill.
+	saved := *ln
+	ln.tag = block
+	ln.inFlight = true
+	ln.prefetched = false
+	ln.lastUse = c.useTick
+	c.mshr[block] = []func(){onFill}
+	fillAddr := uint32(block) * uint32(c.cfg.LineBytes)
+	if !c.backing.Fetch(fillAddr, c.cfg.LineBytes, func() { c.fill(block, false) }) {
+		*ln = saved
+		delete(c.mshr, block)
+		c.stats.Retries++
+		return Retry
+	}
+	c.stats.Misses++
+	c.maybePrefetch(block)
+	return Miss
+}
+
+// fill completes a line fill and releases waiters.
+func (c *Cache) fill(block int64, prefetched bool) {
+	if ln := c.find(block); ln != nil {
+		ln.inFlight = false
+		ln.prefetched = prefetched
+	}
+	waiters := c.mshr[block]
+	delete(c.mshr, block)
+	for _, w := range waiters {
+		if w != nil {
+			w()
+		}
+	}
+}
+
+// maybePrefetch issues sequential next-block prefetches after a demand
+// reference to block.
+func (c *Cache) maybePrefetch(block int64) {
+	if c.cfg.PrefetchDepth == 0 {
+		return
+	}
+	if c.pendingPrefetch >= 0 {
+		p := c.pendingPrefetch
+		c.pendingPrefetch = -1
+		c.issuePrefetch(p)
+	}
+	stride := int64(c.cfg.PrefetchStrideBlocks)
+	if stride == 0 {
+		stride = 1
+	}
+	for d := 1; d <= c.cfg.PrefetchDepth; d++ {
+		c.issuePrefetch(block + int64(d)*stride)
+	}
+}
+
+func (c *Cache) issuePrefetch(block int64) {
+	if c.find(block) != nil {
+		return // present or already in flight
+	}
+	if _, ok := c.mshr[block]; ok {
+		return
+	}
+	if len(c.mshr) >= c.mshrMax {
+		return // drop; demand stream will re-trigger
+	}
+	ln := c.victim(block)
+	if ln == nil {
+		return
+	}
+	// Evict the victim for the incoming prefetch before calling the
+	// backing (see Access for the synchronous-completion ordering).
+	saved := *ln
+	ln.tag = block
+	ln.inFlight = true
+	ln.prefetched = false
+	ln.lastUse = c.useTick
+	c.mshr[block] = []func(){}
+	fillAddr := uint32(block) * uint32(c.cfg.LineBytes)
+	if !c.backing.Fetch(fillAddr, c.cfg.LineBytes, func() { c.fill(block, true) }) {
+		*ln = saved
+		delete(c.mshr, block)
+		c.pendingPrefetch = block
+		return
+	}
+	c.stats.PrefetchIssue++
+}
+
+// Contains reports whether block holding addr is resident and filled
+// (for tests and assertions).
+func (c *Cache) Contains(addr uint32) bool {
+	ln := c.find(c.blockOf(addr))
+	return ln != nil && !ln.inFlight
+}
+
+// Fetch implements Backing, allowing a Cache to back another Cache (the
+// multicore's L1 -> L2). A hit returns data "immediately" (done called
+// synchronously; the L1 model adds the L2 hit latency itself based on
+// HitLatency bookkeeping in the core model).
+func (c *Cache) Fetch(addr uint32, bytes int, done func()) bool {
+	res := c.Access(addr, done)
+	switch res {
+	case Hit:
+		if done != nil {
+			done()
+		}
+		return true
+	case Miss:
+		return true
+	default:
+		return false
+	}
+}

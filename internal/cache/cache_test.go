@@ -1,0 +1,293 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fakeBacking records fetches and completes them on demand.
+type fakeBacking struct {
+	pending []func()
+	addrs   []uint32
+	full    bool
+}
+
+func (b *fakeBacking) Fetch(addr uint32, bytes int, done func()) bool {
+	if b.full {
+		return false
+	}
+	b.addrs = append(b.addrs, addr)
+	b.pending = append(b.pending, done)
+	return true
+}
+
+func (b *fakeBacking) drain() {
+	p := b.pending
+	b.pending = nil
+	for _, f := range p {
+		if f != nil {
+			f()
+		}
+	}
+}
+
+func cfgNoPrefetch() Config {
+	return Config{SizeBytes: 1024, LineBytes: 128, Assoc: 2, PrefetchDepth: 0}
+}
+
+func newCache(t *testing.T, cfg Config, b Backing) *Cache {
+	t.Helper()
+	c, err := New(cfg, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if _, err := (Config{SizeBytes: 1024, LineBytes: 128, Assoc: 2}).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 128, Assoc: 2},
+		{SizeBytes: 1024, LineBytes: 0, Assoc: 2},
+		{SizeBytes: 1024, LineBytes: 128, Assoc: 0},
+		{SizeBytes: 1024, LineBytes: 128, Assoc: 3}, // 8 lines % 3 != 0
+		{SizeBytes: 64, LineBytes: 128, Assoc: 1},   // zero lines
+		{SizeBytes: 1024, LineBytes: 128, Assoc: 2, PrefetchDepth: -1},
+	}
+	for i, c := range bad {
+		if _, err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(cfgNoPrefetch(), nil, 8); err == nil {
+		t.Error("nil backing accepted")
+	}
+	if _, err := New(cfgNoPrefetch(), &fakeBacking{}, 0); err == nil {
+		t.Error("mshrMax 0 accepted")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	b := &fakeBacking{}
+	c := newCache(t, cfgNoPrefetch(), b)
+	filled := false
+	if res := c.Access(0, func() { filled = true }); res != Miss {
+		t.Fatalf("cold access = %v, want Miss", res)
+	}
+	if filled {
+		t.Error("fill callback ran before backing completed")
+	}
+	b.drain()
+	if !filled {
+		t.Error("fill callback did not run")
+	}
+	if res := c.Access(64, nil); res != Hit { // same 128B line
+		t.Errorf("warm access = %v, want Hit", res)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	b := &fakeBacking{}
+	c := newCache(t, cfgNoPrefetch(), b)
+	n := 0
+	c.Access(0, func() { n++ })
+	if res := c.Access(4, func() { n++ }); res != Miss {
+		t.Fatalf("second access to in-flight line = %v, want Miss (merge)", res)
+	}
+	if len(b.addrs) != 1 {
+		t.Errorf("backing saw %d fetches, want 1", len(b.addrs))
+	}
+	b.drain()
+	if n != 2 {
+		t.Errorf("callbacks run = %d, want 2", n)
+	}
+	if c.Stats().MSHRMerges != 1 {
+		t.Errorf("merges = %d", c.Stats().MSHRMerges)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 1 KB, 128 B lines, 2-way => 4 sets. Blocks 0, 4, 8 map to set 0.
+	b := &fakeBacking{}
+	c := newCache(t, cfgNoPrefetch(), b)
+	c.Access(0*128, nil)
+	c.Access(4*128, nil)
+	b.drain()
+	c.Access(0*128, nil) // touch block 0: block 4 is now LRU
+	if res := c.Access(8*128, nil); res != Miss {
+		t.Fatal("expected miss")
+	}
+	b.drain()
+	if !c.Contains(0 * 128) {
+		t.Error("MRU block 0 was evicted")
+	}
+	if c.Contains(4 * 128) {
+		t.Error("LRU block 4 survived eviction")
+	}
+	if !c.Contains(8 * 128) {
+		t.Error("new block 8 not resident")
+	}
+}
+
+func TestRetryWhenBackingFull(t *testing.T) {
+	b := &fakeBacking{full: true}
+	c := newCache(t, cfgNoPrefetch(), b)
+	if res := c.Access(0, nil); res != Retry {
+		t.Errorf("access with full backing = %v, want Retry", res)
+	}
+	if c.Stats().Retries != 1 {
+		t.Errorf("retries = %d", c.Stats().Retries)
+	}
+	b.full = false
+	if res := c.Access(0, nil); res != Miss {
+		t.Errorf("after backing frees = %v, want Miss", res)
+	}
+}
+
+func TestRetryWhenMSHRsFull(t *testing.T) {
+	b := &fakeBacking{}
+	c, err := New(cfgNoPrefetch(), b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, nil)
+	if res := c.Access(1024, nil); res != Retry {
+		t.Errorf("second distinct miss with 1 MSHR = %v, want Retry", res)
+	}
+	b.drain()
+	if res := c.Access(1024, nil); res != Miss {
+		t.Errorf("after drain = %v, want Miss", res)
+	}
+}
+
+func TestSequentialPrefetch(t *testing.T) {
+	b := &fakeBacking{}
+	cfg := cfgNoPrefetch()
+	cfg.PrefetchDepth = 1
+	c := newCache(t, cfg, b)
+	c.Access(0, nil) // miss block 0, prefetch block 1
+	b.drain()
+	if len(b.addrs) != 2 || b.addrs[1] != 128 {
+		t.Fatalf("backing fetches = %v, want [0 128]", b.addrs)
+	}
+	if res := c.Access(128, nil); res != Hit {
+		t.Errorf("prefetched block access = %v, want Hit", res)
+	}
+	s := c.Stats()
+	if s.PrefetchIssue != 2 { // block 1 (from miss) and block 2 (from hit on 128)
+		t.Errorf("prefetch issues = %d, want 2", s.PrefetchIssue)
+	}
+	if s.PrefetchHits != 1 {
+		t.Errorf("prefetch hits = %d", s.PrefetchHits)
+	}
+}
+
+func TestPrefetchBouncedIsRetried(t *testing.T) {
+	b := &fakeBacking{}
+	cfg := cfgNoPrefetch()
+	cfg.PrefetchDepth = 1
+	c := newCache(t, cfg, b)
+	c.Access(0, nil)
+	b.drain() // block 0 filled, block 1 prefetched
+	b.full = true
+	c.Access(128, nil) // hit block 1; prefetch of block 2 bounces
+	b.full = false
+	c.Access(132, nil) // hit block 1; pending prefetch retried
+	found := false
+	for _, a := range b.addrs {
+		if a == 256 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bounced prefetch never retried: %v", b.addrs)
+	}
+}
+
+func TestStreamHitRateWithPrefetch(t *testing.T) {
+	// Stream 64 sequential words per block over 32 blocks; with depth-1
+	// prefetch and immediate fills, everything after block 0 should hit.
+	b := &fakeBacking{}
+	cfg := Config{SizeBytes: 2048, LineBytes: 128, Assoc: 4, PrefetchDepth: 1}
+	c := newCache(t, cfg, b)
+	misses := 0
+	for addr := uint32(0); addr < 32*128; addr += 4 {
+		res := c.Access(addr, nil)
+		b.drain() // backing is instantaneous
+		if res == Miss {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1 (cold block only)", misses)
+	}
+}
+
+func TestCacheAsBackingForCache(t *testing.T) {
+	// L1 over L2 over fake memory: L1 miss that hits in L2 completes
+	// synchronously; both track stats.
+	mem := &fakeBacking{}
+	l2 := newCache(t, Config{SizeBytes: 4096, LineBytes: 128, Assoc: 4}, mem)
+	l1 := newCache(t, Config{SizeBytes: 512, LineBytes: 128, Assoc: 2}, l2)
+	done := 0
+	l1.Access(0, func() { done++ })
+	mem.drain()
+	if done != 1 {
+		t.Fatal("L1 fill via L2 did not complete")
+	}
+	// Evict block 0 from tiny L1 by filling its set (blocks 0,2,4 share set 0 of 2 sets... 512/128=4 lines, 2 sets).
+	l1.Access(2*128, nil)
+	l1.Access(4*128, nil)
+	mem.drain()
+	// Re-access block 0: L1 miss, L2 hit -> synchronous completion.
+	hitDone := false
+	res := l1.Access(0, func() { hitDone = true })
+	if res != Miss || !hitDone {
+		t.Errorf("L1 miss/L2 hit: res=%v done=%v, want Miss/true", res, hitDone)
+	}
+	if l2.Stats().Hits == 0 {
+		t.Error("L2 recorded no hits")
+	}
+}
+
+func TestHitRateStat(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty hit rate")
+	}
+	s.Hits, s.Misses, s.MSHRMerges = 6, 2, 2
+	if s.HitRate() != 0.6 {
+		t.Errorf("hit rate = %v", s.HitRate())
+	}
+}
+
+// Property: a second access to any address immediately after its fill
+// completes is always a hit, for arbitrary access sequences.
+func TestPropertyFillThenHit(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		b := &fakeBacking{}
+		c, _ := New(Config{SizeBytes: 1024, LineBytes: 128, Assoc: 2, PrefetchDepth: 1}, b, 4)
+		for _, a := range addrs {
+			addr := uint32(a) * 4
+			res := c.Access(addr, nil)
+			b.drain()
+			if res == Retry {
+				continue
+			}
+			if c.Access(addr, nil) != Hit {
+				return false
+			}
+			b.drain()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

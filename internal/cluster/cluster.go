@@ -1,0 +1,98 @@
+// Package cluster models the datacenter level of the paper's execution
+// model (Sections III-A and IV-D): input data is sharded across a cluster
+// of PNM nodes; each node's Millipede processors run Map + partial Reduce,
+// the host CPU performs the per-node Reduce over its processors' corelet
+// states, and a cross-cluster tree Reduce combines the node results over
+// the network. The paper's sanity argument — Map of tens of millions of
+// records takes seconds, the per-node Reduce hundreds of microseconds, and
+// the global Reduce across thousands of nodes tens of milliseconds, so
+// communication support inside the PNM processors "may not be worth it" —
+// is reproduced here from measured per-processor simulation rates.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Config describes the cluster.
+type Config struct {
+	Nodes             int     // e.g. 5000
+	ProcessorsPerNode int     // 32
+	HostHz            float64 // per-node host CPU clock for the node Reduce
+	// Network parameters for the cross-cluster tree Reduce.
+	NetLatency      sim.Time // per-hop latency
+	NetBandwidthBps float64  // per-link bandwidth, bits per second
+}
+
+// DefaultConfig returns the paper's Section IV-D example: 5000 nodes of 32
+// processors, a 3.6 GHz host, and a 10 GbE-class network.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:             5000,
+		ProcessorsPerNode: 32,
+		HostHz:            3.6e9,
+		NetLatency:        10 * sim.Microsecond,
+		NetBandwidthBps:   10e9,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0 || c.ProcessorsPerNode <= 0:
+		return fmt.Errorf("cluster: bad geometry")
+	case c.HostHz <= 0 || c.NetBandwidthBps <= 0 || c.NetLatency < 0:
+		return fmt.Errorf("cluster: bad host/network parameters")
+	}
+	return nil
+}
+
+// Phases is the per-phase time breakdown of one cluster MapReduction.
+type Phases struct {
+	// Map is the per-node Map + partial Reduce time (all processors run
+	// in parallel; per-node input divides across them).
+	Map sim.Time
+	// NodeReduce is the host's pass over its processors' partial states.
+	NodeReduce sim.Time
+	// GlobalReduce is the cross-cluster tree reduction of node results.
+	GlobalReduce sim.Time
+}
+
+// Total returns the end-to-end time.
+func (p Phases) Total() sim.Time { return p.Map + p.NodeReduce + p.GlobalReduce }
+
+// Estimate derives the phase times for a MapReduction processing
+// wordsPerNode input words on every node, given a measured per-processor
+// throughput (input words per second, from the cycle-level simulation) and
+// the benchmark's reduced-state footprint.
+//
+// The per-node Reduce streams threadsPerProcessor x processors partial
+// states of stateWords words through the host at one word per cycle; the
+// global Reduce is a binary tree of ceil(log2(nodes)) rounds, each paying
+// one network hop plus the state transfer.
+func Estimate(c Config, wordsPerSecPerProcessor float64, wordsPerNode int64, stateWords, threadsPerProcessor int) (Phases, error) {
+	if err := c.Validate(); err != nil {
+		return Phases{}, err
+	}
+	if wordsPerSecPerProcessor <= 0 || wordsPerNode <= 0 || stateWords <= 0 || threadsPerProcessor <= 0 {
+		return Phases{}, fmt.Errorf("cluster: non-positive workload parameters")
+	}
+	var p Phases
+	perProc := float64(wordsPerNode) / float64(c.ProcessorsPerNode)
+	p.Map = sim.Time(perProc / wordsPerSecPerProcessor * 1e12)
+
+	hostWords := float64(stateWords * threadsPerProcessor * c.ProcessorsPerNode)
+	p.NodeReduce = sim.Time(hostWords / c.HostHz * 1e12)
+
+	rounds := int(math.Ceil(math.Log2(float64(c.Nodes))))
+	if c.Nodes == 1 {
+		rounds = 0
+	}
+	perRound := float64(c.NetLatency) + float64(stateWords*32)/c.NetBandwidthBps*1e12 +
+		float64(stateWords)/c.HostHz*1e12 // merge cost at the receiver
+	p.GlobalReduce = sim.Time(float64(rounds) * perRound)
+	return p, nil
+}

@@ -1,0 +1,384 @@
+// Package core assembles the Millipede processor — the paper's primary
+// contribution (Section IV). A processor is 32 simple MIMD corelets sharing
+// one row-oriented, flow-controlled prefetch buffer in front of a
+// die-stacked DRAM channel, with optional coarse-grain compute-memory
+// rate-matching driving the compute clock.
+//
+// The processor also doubles as the ablation points the paper evaluates:
+// constructing it with FlowControl disabled yields Millipede-no-flow-control
+// and RateMatch toggles the Section IV-F DFS controller. The plain SSMC
+// baseline (cache-block prefetch into per-core L1 D-caches) lives in
+// internal/ssmc.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/corelet"
+	"repro/internal/dfs"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/layout"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Launch describes one kernel execution.
+type Launch struct {
+	Prog *isa.Program
+	// Interleave selects the intra-row layout; Millipede uses slab
+	// interleaving by default (wider columns, Section IV-C).
+	Interleave layout.Interleave
+	// Streams are the per-thread packed record streams (len == threads).
+	Streams [][]uint32
+	// Args is the kernel argument block written to every corelet's local
+	// memory at address 0 (the workload layer appends layout walk
+	// parameters and constants).
+	Args []uint32
+	// Table is an optional second input operand placed after the streamed
+	// region. It models the paper's Section III-D non-compact case (e.g.,
+	// join's second table): accesses to it bypass the row prefetch buffer
+	// and pay demand DRAM fetches, because the corelets can be near only
+	// one large operand.
+	Table []uint32
+}
+
+// Result aggregates one run.
+type Result struct {
+	Time          sim.Time
+	ComputeCycles uint64
+	Cores         corelet.Stats
+	Prefetch      prefetch.Stats
+	DRAM          DRAMStats
+	FinalHz       float64
+	Energy        energy.Breakdown
+}
+
+// DRAMStats is re-exported memory-side stats (avoids leaking the dram
+// package through the public facade).
+type DRAMStats struct {
+	RowHits, RowMisses uint64
+	BytesRead          uint64
+	Requests           uint64
+}
+
+// RowMissRate returns misses / (hits + misses).
+func (d DRAMStats) RowMissRate() float64 {
+	t := d.RowHits + d.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(d.RowMisses) / float64(t)
+}
+
+// Processor is one Millipede processor plus its memory side.
+type Processor struct {
+	P         arch.Params
+	EP        energy.Params
+	node      *arch.Node
+	lay       layout.Layout
+	corelets  []*corelet.Corelet
+	buf       *prefetch.Buffer
+	rate      *dfs.Controller
+	tableBase uint32 // start of the optional non-compact table region
+	ticks     uint64
+	// lastStarved is DFS sampling state.
+	lastStarved uint64
+	// Software-barrier coordination (Section IV-C ablation).
+	barWaiters []func()
+	barTarget  int
+	// dfsTrace records (cycle, Hz) at every controller decision when rate
+	// matching is enabled, for convergence analysis.
+	dfsTrace []DFSSample
+}
+
+// NewProcessor builds and loads a Millipede processor for one launch.
+func NewProcessor(p arch.Params, ep energy.Params, l Launch) (*Processor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ep.Validate(); err != nil {
+		return nil, err
+	}
+	if l.Prog == nil {
+		return nil, fmt.Errorf("core: nil program")
+	}
+	if l.Interleave == layout.Split {
+		return nil, fmt.Errorf("core: Millipede requires a row-shared interleaving (Slab or Word)")
+	}
+	lay := layout.Layout{
+		Base:       0,
+		RowBytes:   p.DRAM.RowBytes,
+		Corelets:   p.Corelets,
+		Contexts:   p.Contexts,
+		Interleave: l.Interleave,
+	}
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	flat, err := lay.Pack(l.Streams)
+	if err != nil {
+		return nil, err
+	}
+	tableBase := len(flat) * 4
+	capacity := tableBase + (len(l.Table)*4/p.DRAM.RowBytes+1)*p.DRAM.RowBytes
+	node, err := arch.NewNode(p, capacity)
+	if err != nil {
+		return nil, err
+	}
+	node.DRAM.LoadWords(0, flat)
+	pr := &Processor{P: p, EP: ep, node: node, lay: lay}
+	if len(l.Table) > 0 {
+		node.DRAM.LoadWords(uint32(tableBase), l.Table)
+		pr.tableBase = uint32(tableBase)
+	}
+
+	bcfg := prefetch.Config{
+		Entries:     p.PrefetchEntries,
+		Corelets:    p.Corelets,
+		RowBytes:    p.DRAM.RowBytes,
+		FlowControl: p.FlowControl,
+	}
+	pr.buf, err = prefetch.New(bcfg, arch.MemBacking{Ctl: node.Ctl}.Fetch)
+	if err != nil {
+		return nil, err
+	}
+
+	read := func(addr uint32) uint32 { return node.DRAM.ReadWord(addr) }
+	pr.corelets = make([]*corelet.Corelet, p.Corelets)
+	for c := 0; c < p.Corelets; c++ {
+		ids := corelet.IDs{Corelet: c, NumCorelets: p.Corelets, NumContexts: p.Contexts}
+		pr.corelets[c], err = corelet.New(ids, l.Prog, p.LocalBytes, p.Latencies, &port{pr: pr, corelet: c}, read)
+		if err != nil {
+			return nil, err
+		}
+		for i, w := range l.Args {
+			pr.corelets[c].WriteLocal(uint32(i*4), w)
+		}
+	}
+
+	pr.barTarget = p.Corelets * p.Contexts
+	for _, c := range pr.corelets {
+		c.SetBarrier(pr.barrierArrive)
+	}
+
+	if p.RateMatch {
+		pr.rate, err = dfs.New(p.ComputeHz, p.DFSStepPct, p.DFSMinHz, p.DFSMaxHz)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := node.AttachCompute(pr); err != nil {
+		return nil, err
+	}
+	if err := pr.buf.Start(0, len(flat)*4); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// port adapts the shared prefetch buffer to one corelet's GlobalPort,
+// translating addresses into (corelet, slab-slot) pairs via the layout and
+// asserting the kernel only touches its own slab.
+type port struct {
+	pr      *Processor
+	corelet int
+	// tableBlock is a one-line stream latch for the table region: demand
+	// fetches are 64 B, and sequential scans reuse the latched block.
+	tableBlock uint32
+	tableValid bool
+}
+
+func (pt *port) Read(ctx int, addr uint32, ready func()) corelet.Status {
+	if pt.pr.tableBase > 0 && addr >= pt.pr.tableBase {
+		// Second-operand access (Section III-D's non-compact case): no row
+		// prefetch, just a one-block stream latch in front of demand 64 B
+		// DRAM fetches. The table is re-streamed on every pass — the
+		// bandwidth cost no PNM architecture can hide.
+		blk := addr &^ 63
+		if pt.tableValid && pt.tableBlock == blk {
+			return corelet.Done
+		}
+		ok := arch.MemBacking{Ctl: pt.pr.node.Ctl}.Fetch(blk, 64, func() {
+			pt.tableBlock = blk
+			pt.tableValid = true
+			ready()
+		})
+		if !ok {
+			return corelet.Retry
+		}
+		return corelet.Pending
+	}
+	c, slot := pt.pr.lay.OwnerOf(addr)
+	if c != pt.corelet {
+		panic(fmt.Sprintf("core: corelet %d touched corelet %d's slab at %#x (kernel addressing bug)", pt.corelet, c, addr))
+	}
+	if pt.pr.buf.Access(c, slot, addr, ready) == prefetch.Ready {
+		return corelet.Done
+	}
+	return corelet.Pending
+}
+
+// Tick advances every live corelet one compute cycle and runs the DFS
+// controller at its sampling interval.
+func (pr *Processor) Tick(now sim.Time) {
+	pr.ticks++
+	for _, c := range pr.corelets {
+		if !c.Halted() {
+			c.Tick()
+		}
+	}
+	pr.buf.Pump()
+	if pr.rate != nil && pr.P.DFSIntervalCycles > 0 && pr.ticks%uint64(pr.P.DFSIntervalCycles) == 0 {
+		// Section IV-F: the controller reacts to the leading corelet
+		// finding the buffers empty (no filled-but-unconsumed rows: the
+		// processor outruns memory, step the clock down) or full (memory
+		// outruns the processor, step up toward nominal).
+		occ := pr.buf.Occupancy()
+		bs := pr.buf.Stats()
+		starvedDelta := bs.Starved - pr.lastStarved
+		pr.lastStarved = bs.Starved
+		var starved, full uint64
+		switch {
+		case occ == 0 && starvedDelta > 0:
+			// Buffers empty while corelets wait on fills: memory-bound.
+			starved = 1
+		case occ >= pr.P.PrefetchEntries-1:
+			full = 1
+		}
+		hz := pr.rate.Update(starved, full)
+		if n := len(pr.dfsTrace); n == 0 || pr.dfsTrace[n-1].Hz != hz {
+			pr.dfsTrace = append(pr.dfsTrace, DFSSample{Cycle: pr.ticks, Hz: hz})
+		}
+		if err := pr.node.Compute.SetPeriod(sim.PeriodFromHz(hz)); err != nil {
+			panic(err) // unreachable: DFS bounds guarantee a valid period
+		}
+	}
+}
+
+// barrierArrive collects BAR arrivals and releases everyone when the last
+// context arrives (kernels only barrier while all threads are live).
+func (pr *Processor) barrierArrive(release func()) {
+	pr.barWaiters = append(pr.barWaiters, release)
+	if len(pr.barWaiters) >= pr.barTarget {
+		ws := pr.barWaiters
+		pr.barWaiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// Halted reports whether every corelet has finished.
+func (pr *Processor) Halted() bool {
+	for _, c := range pr.corelets {
+		if !c.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes to completion and returns aggregated results.
+func (pr *Processor) Run(limit sim.Time) (Result, error) {
+	t, err := pr.node.Run(limit)
+	if err != nil {
+		return Result{}, err
+	}
+	return pr.result(t), nil
+}
+
+func (pr *Processor) result(t sim.Time) Result {
+	r := Result{Time: t, ComputeCycles: pr.ticks, Prefetch: pr.buf.Stats()}
+	for _, c := range pr.corelets {
+		s := c.Stats()
+		r.Cores.Instructions += s.Instructions
+		r.Cores.CondBranches += s.CondBranches
+		r.Cores.TakenCond += s.TakenCond
+		r.Cores.LocalAccess += s.LocalAccess
+		r.Cores.GlobalReads += s.GlobalReads
+		r.Cores.IdleCycles += s.IdleCycles
+		r.Cores.BusyCycles += s.BusyCycles
+		r.Cores.RetryCycles += s.RetryCycles
+	}
+	ds := pr.node.DRAM.Stats()
+	r.DRAM = DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
+	r.FinalHz = pr.P.ComputeHz
+	if pr.rate != nil {
+		r.FinalHz = pr.rate.Hz()
+	}
+	r.Energy = pr.energy(r, t)
+	return r
+}
+
+// energy converts the run's event counts into the Figure 4 breakdown.
+// Millipede core energy: per-instruction execute + per-core instruction
+// fetch (MIMD pays fetch per corelet), local-memory words, prefetch-buffer
+// slice reads, and idle dynamic from imperfect clock gating.
+func (pr *Processor) energy(r Result, t sim.Time) energy.Breakdown {
+	ep := pr.EP
+	var b energy.Breakdown
+	b.CorePJ = float64(r.Cores.Instructions)*(ep.InstPJ+ep.IFetchMIMDPJ) +
+		float64(r.Cores.LocalAccess)*ep.LocalPJ +
+		float64(r.Cores.GlobalReads)*ep.LocalPJ +
+		float64(r.Cores.IdleCycles)*ep.IdlePJ
+	ds := pr.node.DRAM.Stats()
+	b.DRAMPJ = ep.DRAM(ds.RowMisses, ds.BytesRead)
+	b.LeakPJ = ep.Leakage(pr.P.Corelets, float64(t)/1e12)
+	return b
+}
+
+// InjectMemoryJitter enables deterministic DRAM completion jitter (fault
+// injection). Call before Run.
+func (pr *Processor) InjectMemoryJitter(max int64, seed uint64) {
+	pr.node.InjectMemoryJitter(max, seed)
+}
+
+// ReadState reads a word of a corelet's local memory after the run — the
+// host-side access the final Reduce uses (Section IV-D).
+func (pr *Processor) ReadState(coreletID int, addr uint32) uint32 {
+	return pr.corelets[coreletID].ReadLocal(addr)
+}
+
+// CoreletStats exposes one corelet's counters (for tests and diagnostics).
+func (pr *Processor) CoreletStats(coreletID int) corelet.Stats {
+	return pr.corelets[coreletID].Stats()
+}
+
+// Layout returns the layout used for the input region.
+func (pr *Processor) Layout() layout.Layout { return pr.lay }
+
+// TableBase returns the byte address of the optional table region.
+func (pr *Processor) TableBase() uint32 { return pr.tableBase }
+
+// DFSSample is one rate-matching controller decision.
+type DFSSample struct {
+	Cycle uint64
+	Hz    float64
+}
+
+// DFSTrace returns the controller's clock trajectory (only frequency
+// changes are recorded). Empty unless RateMatch was enabled.
+func (pr *Processor) DFSTrace() []DFSSample { return pr.dfsTrace }
+
+// EnableTrace records the instruction stream of one corelet and the shared
+// prefetch buffer's events into l. Call before Run.
+func (pr *Processor) EnableTrace(l *trace.Log, coreletID int) {
+	if coreletID < 0 || coreletID >= len(pr.corelets) {
+		coreletID = 0
+	}
+	pr.corelets[coreletID].SetTracer(func(cycle int64, ctx, pc int, in isa.Inst) {
+		l.Add(trace.Event{Cycle: uint64(cycle), Corelet: coreletID, Context: ctx,
+			Kind: trace.Exec, PC: pc, Detail: in.String()})
+	})
+	kinds := map[string]trace.Kind{
+		"prefetch": trace.Prefetch, "flow-block": trace.FlowBlock,
+		"starve": trace.Starve, "evict": trace.Evict,
+	}
+	pr.buf.SetTracer(func(kind string, row int64) {
+		l.Add(trace.Event{Cycle: pr.ticks, Corelet: -1, Context: -1,
+			Kind: kinds[kind], Detail: fmt.Sprintf("row %d", row)})
+	})
+}

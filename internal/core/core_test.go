@@ -1,0 +1,249 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/energy"
+	"repro/internal/layout"
+	"repro/internal/sim"
+)
+
+// sumKernel walks the thread's stream and accumulates a checksum, storing
+// it to local[64 + ctx*4]. Args: 0=base 1=coreletMult 2=contextMult
+// 3=stride 4=rowStep 5=chunkWords 6=wordsPerThread.
+const sumKernelSrc = `
+	.name sum
+	lw   r1, 0(r0)
+	csrr r2, coreletid
+	lw   r3, 4(r0)
+	mul  r2, r2, r3
+	add  r1, r1, r2
+	csrr r2, contextid
+	lw   r3, 8(r0)
+	mul  r2, r2, r3
+	add  r1, r1, r2      ; r1 = first word address
+	lw   r4, 12(r0)      ; stride
+	lw   r5, 16(r0)      ; row step
+	lw   r6, 20(r0)      ; chunk words
+	lw   r7, 24(r0)      ; words per thread
+	mv   r8, r6
+	li   r9, 0
+loop:
+	ldg  r10, 0(r1)
+	add  r9, r9, r10
+	addi r7, r7, -1
+	beqz r7, done
+	addi r8, r8, -1
+	bnez r8, samerow
+	add  r1, r1, r5
+	mv   r8, r6
+	j    loop
+samerow:
+	add  r1, r1, r4
+	j    loop
+done:
+	csrr r2, contextid
+	slli r2, r2, 2
+	addi r2, r2, 64
+	sw   r9, 0(r2)
+	halt
+`
+
+// testParams shrinks Table III to a fast test size: 8 corelets, 2 contexts.
+func testParams() arch.Params {
+	p := arch.Default()
+	p.Corelets = 8
+	p.Contexts = 2
+	p.PrefetchEntries = 4
+	return p
+}
+
+func sumLaunch(t *testing.T, p arch.Params, il layout.Interleave, wordsPerThread int) (Launch, [][]uint32) {
+	t.Helper()
+	prog, err := asm.Assemble("sum", sumKernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := layout.Layout{RowBytes: p.DRAM.RowBytes, Corelets: p.Corelets, Contexts: p.Contexts, Interleave: il}
+	streams := make([][]uint32, lay.Threads())
+	for th := range streams {
+		streams[th] = make([]uint32, wordsPerThread)
+		for i := range streams[th] {
+			streams[th][i] = uint32(th*100003 + i*7919)
+		}
+	}
+	w := lay.Walk()
+	args := []uint32{
+		0,
+		uint32(w.CoreletMult),
+		uint32(w.ContextMult),
+		uint32(w.Stride),
+		uint32(w.RowStep),
+		uint32(w.ChunkWords),
+		uint32(wordsPerThread),
+	}
+	return Launch{Prog: prog, Interleave: il, Streams: streams, Args: args}, streams
+}
+
+func runSum(t *testing.T, p arch.Params, il layout.Interleave, words int) (*Processor, Result, [][]uint32) {
+	t.Helper()
+	l, streams := sumLaunch(t, p, il, words)
+	pr, err := NewProcessor(p, energy.Default(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pr.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr, res, streams
+}
+
+func checkSums(t *testing.T, pr *Processor, p arch.Params, il layout.Interleave, streams [][]uint32) {
+	t.Helper()
+	lay := layout.Layout{RowBytes: p.DRAM.RowBytes, Corelets: p.Corelets, Contexts: p.Contexts, Interleave: il}
+	for c := 0; c < p.Corelets; c++ {
+		for ctx := 0; ctx < p.Contexts; ctx++ {
+			var want uint32
+			for _, v := range streams[lay.ThreadID(c, ctx)] {
+				want += v
+			}
+			got := pr.ReadState(c, uint32(64+ctx*4))
+			if got != want {
+				t.Errorf("corelet %d ctx %d sum = %d, want %d", c, ctx, got, want)
+			}
+		}
+	}
+}
+
+func TestMillipedeChecksumSlab(t *testing.T) {
+	p := testParams()
+	pr, res, streams := runSum(t, p, layout.Slab, 256)
+	checkSums(t, pr, p, layout.Slab, streams)
+	if res.Time <= 0 || res.ComputeCycles == 0 {
+		t.Error("no simulated time elapsed")
+	}
+	if res.Prefetch.PrematureEvicts != 0 || res.Prefetch.DemandRowFetches != 0 {
+		t.Errorf("flow control violated: %+v", res.Prefetch)
+	}
+	// Every input row must be prefetched exactly once.
+	lay := pr.Layout()
+	rows := uint64(lay.RegionBytes(256) / p.DRAM.RowBytes)
+	if res.Prefetch.Prefetches != rows {
+		t.Errorf("prefetches = %d, want %d", res.Prefetch.Prefetches, rows)
+	}
+	if res.DRAM.BytesRead != rows*uint64(p.DRAM.RowBytes) {
+		t.Errorf("DRAM bytes = %d, want %d", res.DRAM.BytesRead, rows*2048)
+	}
+	if res.Energy.TotalPJ() <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestMillipedeChecksumWordInterleave(t *testing.T) {
+	p := testParams()
+	pr, _, streams := runSum(t, p, layout.Word, 128)
+	checkSums(t, pr, p, layout.Word, streams)
+}
+
+func TestMillipedeNoFlowControlStillCorrect(t *testing.T) {
+	p := testParams()
+	p.FlowControl = false
+	pr, _, streams := runSum(t, p, layout.Slab, 256)
+	checkSums(t, pr, p, layout.Slab, streams)
+}
+
+func TestMillipedeRateMatchingConverges(t *testing.T) {
+	// Throttle the channel so the stream is genuinely bandwidth-bound:
+	// the controller must step the clock down from nominal and stay
+	// within bounds (Section IV-F).
+	p := testParams()
+	p.RateMatch = true
+	p.DFSIntervalCycles = 64
+	p.ChannelHz = 150e6
+	pr, res, streams := runSum(t, p, layout.Slab, 4096)
+	checkSums(t, pr, p, layout.Slab, streams)
+	if res.FinalHz >= p.ComputeHz {
+		t.Errorf("rate matching never lowered the clock on a memory-bound stream (%.0f Hz)", res.FinalHz)
+	}
+	if res.FinalHz < p.DFSMinHz || res.FinalHz > p.DFSMaxHz {
+		t.Errorf("final clock %.0f outside bounds", res.FinalHz)
+	}
+}
+
+func TestMillipedeRateMatchingHoldsNominalWhenComputeBound(t *testing.T) {
+	p := testParams()
+	p.RateMatch = true
+	p.DFSIntervalCycles = 64
+	pr, res, streams := runSum(t, p, layout.Slab, 2048)
+	checkSums(t, pr, p, layout.Slab, streams)
+	if res.FinalHz > p.DFSMaxHz {
+		t.Errorf("clock exceeded nominal: %.0f", res.FinalHz)
+	}
+}
+
+func TestMillipedeMemoryBoundRuntime(t *testing.T) {
+	// The checksum kernel is compute-light: runtime must be within a small
+	// factor of the pure DRAM streaming time.
+	p := testParams()
+	_, res, _ := runSum(t, p, layout.Slab, 1024)
+	rows := res.Prefetch.Prefetches
+	streamCycles := float64(rows) * 128 // 2 KB / 16 B per channel cycle
+	streamTime := streamCycles / p.ChannelHz * 1e12
+	if float64(res.Time) > 8*streamTime {
+		t.Errorf("runtime %d ps far above streaming bound %.0f ps", res.Time, streamTime)
+	}
+}
+
+func TestMillipedeSteadyState(t *testing.T) {
+	// Per-word cost must be stable as input grows (the paper's argument for
+	// the 128 MB truncation).
+	p := testParams()
+	_, r1, _ := runSum(t, p, layout.Slab, 1024)
+	_, r2, _ := runSum(t, p, layout.Slab, 2048)
+	perWord1 := float64(r1.Time) / 1024
+	perWord2 := float64(r2.Time) / 2048
+	ratio := perWord2 / perWord1
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("per-word time not steady: %.3f vs %.3f (ratio %.2f)", perWord1, perWord2, ratio)
+	}
+}
+
+func TestMillipedeTableIIIDefaultGeometry(t *testing.T) {
+	p := arch.Default()
+	l, _ := sumLaunch(t, p, layout.Slab, 64)
+	pr, err := NewProcessor(p, energy.Default(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pr.Run(sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores.Instructions == 0 {
+		t.Error("no instructions executed")
+	}
+}
+
+func TestNewProcessorValidation(t *testing.T) {
+	p := testParams()
+	l, _ := sumLaunch(t, p, layout.Slab, 16)
+	if _, err := NewProcessor(p, energy.Default(), Launch{Prog: nil, Streams: l.Streams}); err == nil {
+		t.Error("nil program accepted")
+	}
+	bad := p
+	bad.Corelets = 0
+	if _, err := NewProcessor(bad, energy.Default(), l); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := NewProcessor(p, energy.Params{}, l); err == nil {
+		t.Error("bad energy params accepted")
+	}
+	short := l
+	short.Streams = l.Streams[:3]
+	if _, err := NewProcessor(p, energy.Default(), short); err == nil {
+		t.Error("wrong stream count accepted")
+	}
+}

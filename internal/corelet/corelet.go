@@ -1,0 +1,354 @@
+// Package corelet models the simple MIMD cores of the paper's SSMC skeleton
+// (Section IV-A): single-issue, in-order pipelines with 4-way hardware
+// multithreading to cover short hazards, a small register file per context,
+// a 4 KB corelet-local memory holding kernel arguments and the partially
+// reduced live state, and an L1 I-cache fed by a one-time code broadcast.
+//
+// The corelet is memory-system agnostic: LDG timing goes through a
+// GlobalPort, which the Millipede processor backs with the shared row
+// prefetch buffer and the SSMC processor backs with a per-core L1 D-cache.
+// Functional data always comes from the Reader (the DRAM word store), so
+// results are identical across architectures by construction.
+package corelet
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Status of a timing access to the global memory system.
+type Status int
+
+const (
+	// Done: data available this cycle (hit).
+	Done Status = iota
+	// Pending: the context must sleep; the ready callback wakes it.
+	Pending
+	// Retry: structural stall (queue full); re-issue next cycle.
+	Retry
+)
+
+// GlobalPort is the timing interface to die-stacked memory.
+type GlobalPort interface {
+	// Read models the timing of a global load by context ctx at addr.
+	// ready is invoked when a Pending access completes.
+	Read(ctx int, addr uint32, ready func()) Status
+}
+
+// Reader supplies functional data for global loads.
+type Reader func(addr uint32) uint32
+
+// Tracer observes every issued instruction when installed (nil = off).
+type Tracer func(cycle int64, ctx int, pc int, in isa.Inst)
+
+// BarrierFunc coordinates a processor-wide software barrier: the corelet
+// calls it when a context executes BAR, passing the callback that releases
+// the context once every participant has arrived. A nil coordinator makes
+// BAR a no-op.
+type BarrierFunc func(release func())
+
+// Latencies in corelet cycles per instruction class; these are the simple
+// energy-efficient pipeline depths the paper assumes, covered by 4-way
+// multithreading.
+type Latencies struct {
+	ALU, Mul, Div, FPU, FDiv, Local, GlobalHit, TakenBranch int
+}
+
+// DefaultLatencies returns the model defaults.
+func DefaultLatencies() Latencies {
+	return Latencies{ALU: 1, Mul: 3, Div: 12, FPU: 4, FDiv: 14, Local: 2, GlobalHit: 2, TakenBranch: 2}
+}
+
+// Stats counts per-corelet execution events (the raw material for Table IV
+// and the energy model).
+type Stats struct {
+	Instructions uint64
+	CondBranches uint64
+	TakenCond    uint64
+	LocalAccess  uint64
+	GlobalReads  uint64
+	IdleCycles   uint64 // ticks with no ready context (memory stall / drained)
+	BusyCycles   uint64 // ticks that issued an instruction
+	RetryCycles  uint64 // structural stalls on the global port
+	ClassCounts  [10]uint64
+}
+
+type ctxState int
+
+const (
+	ctxReady ctxState = iota
+	ctxWaitMem
+	ctxHalted
+)
+
+type context struct {
+	pc      int
+	regs    [isa.NumRegs]uint32
+	state   ctxState
+	readyAt int64 // cycle at which the context may issue again
+}
+
+// IDs carries the CSR-visible identity of a corelet within its processor.
+type IDs struct {
+	Corelet, NumCorelets, NumContexts int
+}
+
+// Corelet is one simple MIMD core.
+type Corelet struct {
+	ids      IDs
+	prog     *isa.Program
+	local    []uint32
+	lat      Latencies
+	port     GlobalPort
+	read     Reader
+	contexts []context
+	barrier  BarrierFunc
+	tracer   Tracer
+	rr       int // round-robin pointer
+	cycle    int64
+	halted   int
+	stats    Stats
+}
+
+// New builds a corelet with the given local memory size in bytes. Kernel
+// arguments should be written into local memory via WriteLocal before Start.
+func New(ids IDs, prog *isa.Program, localBytes int, lat Latencies, port GlobalPort, read Reader) (*Corelet, error) {
+	switch {
+	case prog == nil || len(prog.Insts) == 0:
+		return nil, fmt.Errorf("corelet: empty program")
+	case localBytes <= 0 || localBytes%4 != 0:
+		return nil, fmt.Errorf("corelet: bad local memory size %d", localBytes)
+	case ids.NumContexts <= 0:
+		return nil, fmt.Errorf("corelet: bad context count %d", ids.NumContexts)
+	case port == nil || read == nil:
+		return nil, fmt.Errorf("corelet: nil port or reader")
+	}
+	c := &Corelet{
+		ids:      ids,
+		prog:     prog,
+		local:    make([]uint32, localBytes/4),
+		lat:      lat,
+		port:     port,
+		read:     read,
+		contexts: make([]context, ids.NumContexts),
+	}
+	return c, nil
+}
+
+// Stats returns a copy of the counters.
+func (c *Corelet) Stats() Stats { return c.stats }
+
+// SetBarrier installs the processor-wide barrier coordinator.
+func (c *Corelet) SetBarrier(f BarrierFunc) { c.barrier = f }
+
+// SetTracer installs an instruction-issue observer.
+func (c *Corelet) SetTracer(t Tracer) { c.tracer = t }
+
+// Halted reports whether every context has executed HALT.
+func (c *Corelet) Halted() bool { return c.halted == len(c.contexts) }
+
+// WriteLocal stores a word into corelet-local memory (host-side, at launch).
+func (c *Corelet) WriteLocal(addr uint32, v uint32) {
+	c.local[c.localIndex(addr)] = v
+}
+
+// ReadLocal fetches a word of local memory (host-side, for the final
+// Reduce that drains the partially-reduced live state, Section IV-D).
+func (c *Corelet) ReadLocal(addr uint32) uint32 {
+	return c.local[c.localIndex(addr)]
+}
+
+// LocalWords returns the local memory size in words.
+func (c *Corelet) LocalWords() int { return len(c.local) }
+
+func (c *Corelet) localIndex(addr uint32) int {
+	if addr%4 != 0 {
+		panic(fmt.Sprintf("corelet %d: unaligned local access %#x (pc trace in kernel)", c.ids.Corelet, addr))
+	}
+	i := int(addr / 4)
+	if i >= len(c.local) {
+		panic(fmt.Sprintf("corelet %d: local access %#x beyond %d-word local memory", c.ids.Corelet, addr, len(c.local)))
+	}
+	return i
+}
+
+func (c *Corelet) csr(ctx int, n int32) uint32 {
+	switch n {
+	case isa.CSRCoreletID:
+		return uint32(c.ids.Corelet)
+	case isa.CSRContextID:
+		return uint32(ctx)
+	case isa.CSRNumCorelet:
+		return uint32(c.ids.NumCorelets)
+	case isa.CSRNumContext:
+		return uint32(c.ids.NumContexts)
+	case isa.CSRThreadID:
+		return uint32(c.ids.Corelet*c.ids.NumContexts + ctx)
+	case isa.CSRNumThreads:
+		return uint32(c.ids.NumCorelets * c.ids.NumContexts)
+	}
+	panic(fmt.Sprintf("corelet: unknown CSR %d", n))
+}
+
+func (c *Corelet) setReg(ctx *context, rd uint8, v uint32) {
+	if rd != 0 {
+		ctx.regs[rd] = v
+	}
+}
+
+// Tick advances the corelet one cycle: at most one instruction issues from
+// the next ready context in round-robin order.
+func (c *Corelet) Tick() {
+	c.cycle++
+	n := len(c.contexts)
+	for i := 0; i < n; i++ {
+		id := (c.rr + 1 + i) % n
+		ctx := &c.contexts[id]
+		if ctx.state != ctxReady || ctx.readyAt > c.cycle {
+			continue
+		}
+		c.rr = id
+		c.execute(id, ctx)
+		return
+	}
+	c.stats.IdleCycles++
+}
+
+// advanceStream steps the hardware stream walker (isa.LDS semantics).
+func advanceStream(regs *[isa.NumRegs]uint32) {
+	regs[isa.StreamAddr] += regs[isa.StreamStride]
+	regs[isa.StreamCount]--
+	if regs[isa.StreamCount] == 0 {
+		regs[isa.StreamAddr] += regs[isa.StreamFix]
+		regs[isa.StreamCount] = regs[isa.StreamChunk]
+	}
+}
+
+func (c *Corelet) latencyOf(class isa.Class) int {
+	switch class {
+	case isa.ClassMul:
+		return c.lat.Mul
+	case isa.ClassDiv:
+		return c.lat.Div
+	case isa.ClassFPU:
+		return c.lat.FPU
+	case isa.ClassFDiv:
+		return c.lat.FDiv
+	case isa.ClassLocalMem:
+		return c.lat.Local
+	default:
+		return c.lat.ALU
+	}
+}
+
+func (c *Corelet) execute(id int, ctx *context) {
+	in := c.prog.Insts[ctx.pc]
+	class := isa.Classify(in.Op)
+	if c.tracer != nil {
+		c.tracer(c.cycle, id, ctx.pc, in)
+	}
+
+	// A global load's timing is resolved before the instruction retires:
+	// on Retry the context stays put and re-issues the same instruction
+	// next cycle; on Pending it sleeps until the memory system's callback.
+	if in.Op == isa.LDG || in.Op == isa.LDS {
+		addr := uint32(int32(ctx.regs[in.Rs1]) + in.Imm)
+		if in.Op == isa.LDS {
+			addr = ctx.regs[isa.StreamAddr]
+		}
+		st := c.port.Read(id, addr, func() {
+			ctx.state = ctxReady
+			ctx.readyAt = 0 // wakes in the memory domain; issue at next corelet tick
+		})
+		switch st {
+		case Retry:
+			c.stats.RetryCycles++
+			return // PC unchanged; retry next cycle
+		case Pending:
+			ctx.state = ctxWaitMem
+		}
+		c.setReg(ctx, in.Rd, c.read(addr))
+		if in.Op == isa.LDS {
+			advanceStream(&ctx.regs)
+		}
+		c.stats.GlobalReads++
+		c.stats.Instructions++
+		c.stats.ClassCounts[class]++
+		c.stats.BusyCycles++
+		ctx.pc++
+		if st == Done {
+			ctx.readyAt = c.cycle + int64(c.lat.GlobalHit)
+		}
+		return
+	}
+
+	c.stats.Instructions++
+	c.stats.ClassCounts[class]++
+	c.stats.BusyCycles++
+	lat := c.latencyOf(class)
+
+	switch {
+	case in.Op == isa.HALT:
+		ctx.state = ctxHalted
+		c.halted++
+		return
+	case in.Op == isa.BAR:
+		if c.barrier != nil {
+			ctx.pc++
+			ctx.state = ctxWaitMem
+			c.barrier(func() {
+				ctx.state = ctxReady
+				ctx.readyAt = 0
+			})
+			return
+		}
+		// No coordinator installed: BAR is a no-op.
+	case in.Op == isa.CSRR:
+		c.setReg(ctx, in.Rd, c.csr(id, in.Imm))
+	case in.Op == isa.LW:
+		addr := uint32(int32(ctx.regs[in.Rs1]) + in.Imm)
+		c.setReg(ctx, in.Rd, c.local[c.localIndex(addr)])
+		c.stats.LocalAccess++
+	case in.Op == isa.SW:
+		addr := uint32(int32(ctx.regs[in.Rs1]) + in.Imm)
+		c.local[c.localIndex(addr)] = ctx.regs[in.Rs2]
+		c.stats.LocalAccess++
+	case in.Op == isa.STG:
+		// The PNM execution model keeps live state in local memory
+		// (Section III-B); a global store in a kernel is a porting bug,
+		// surfaced loudly rather than silently mis-timed.
+		panic("corelet: STG not supported by the PNM kernels (live state must stay in local memory)")
+	case isa.IsCondBranch(in.Op):
+		c.stats.CondBranches++
+		taken, _ := isa.EvalBranch(in.Op, ctx.regs[in.Rs1], ctx.regs[in.Rs2])
+		if taken {
+			c.stats.TakenCond++
+			ctx.pc = int(in.Imm)
+			ctx.readyAt = c.cycle + int64(c.lat.TakenBranch)
+			return
+		}
+	case in.Op == isa.J:
+		ctx.pc = int(in.Imm)
+		ctx.readyAt = c.cycle + int64(c.lat.TakenBranch)
+		return
+	case in.Op == isa.JAL:
+		c.setReg(ctx, in.Rd, uint32(ctx.pc+1))
+		ctx.pc = int(in.Imm)
+		ctx.readyAt = c.cycle + int64(c.lat.TakenBranch)
+		return
+	case in.Op == isa.JR:
+		ctx.pc = int(ctx.regs[in.Rs1])
+		ctx.readyAt = c.cycle + int64(c.lat.TakenBranch)
+		return
+	default:
+		b := ctx.regs[in.Rs2]
+		v, ok := isa.EvalALU(in, ctx.regs[in.Rs1], b)
+		if !ok {
+			panic(fmt.Sprintf("corelet: unhandled op %v at pc %d", in.Op, ctx.pc))
+		}
+		c.setReg(ctx, in.Rd, v)
+	}
+	ctx.pc++
+	ctx.readyAt = c.cycle + int64(lat)
+}

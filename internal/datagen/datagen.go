@@ -1,0 +1,188 @@
+// Package datagen produces the deterministic synthetic datasets behind the
+// eight BMLA benchmarks (Table II). The paper's inputs are proprietary-style
+// analytics data (movie ratings, multi-dimensional training points); what
+// the architecture actually observes is their value distributions — bin
+// skew, the ~70/30 data-dependent branch split the paper cites for BMLA
+// branches, cluster geometry — so the generators reproduce exactly those
+// knobs from a seeded xorshift PRNG, making every simulation replayable.
+package datagen
+
+import "repro/internal/isa"
+
+// RNG is a xorshift64* generator: tiny, fast, deterministic across
+// platforms, and good enough for workload synthesis.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds a generator; seed 0 is remapped to a fixed odd constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("datagen: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float32 returns a value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return float64(r.Uint64()>>11)/float64(1<<53) < p
+}
+
+// Ratings generates n single-word rating records with values in [0, max).
+// Real rating streams are bursty: values cluster in a band for long runs
+// (users binge one catalogue, logs arrive partially sorted), so the
+// generator is a two-state Markov chain whose stationary split is ~70%
+// popular band / 30% cold band with mean dwell times of tens of records. The bursts give different Map tasks persistently different
+// data-dependent work — the record-processing variability that makes MIMD
+// cores stray from each other (Section IV-C).
+func Ratings(r *RNG, n, max int) []uint32 {
+	out := make([]uint32, n)
+	cold := r.Bernoulli(0.3)
+	for i := range out {
+		if cold {
+			out[i] = uint32(r.Intn(max / 4))
+			if r.Bernoulli(1.0 / 28) {
+				cold = false
+			}
+		} else {
+			out[i] = uint32(max/2 + r.Intn(max/2))
+			if r.Bernoulli(1.0 / 64) {
+				cold = true
+			}
+		}
+	}
+	return out
+}
+
+// LabeledPoints generates n records of the form [label, x0..x(dims-1)] with
+// integer coordinates in [0, k) and a label in [0, classes) chosen with
+// probability pClass0 for class 0 — the paper's 70-/30+ data-dependent
+// branch split when pClass0 = 0.7.
+func LabeledPoints(r *RNG, n, dims, k, classes int, pClass0 float64) []uint32 {
+	out := make([]uint32, 0, n*(dims+1))
+	for i := 0; i < n; i++ {
+		label := uint32(0)
+		if !r.Bernoulli(pClass0) {
+			label = uint32(1 + r.Intn(classes-1))
+		}
+		out = append(out, label)
+		for d := 0; d < dims; d++ {
+			out = append(out, uint32(r.Intn(k)))
+		}
+	}
+	return out
+}
+
+// FloatPoints generates n records of dims float32 coordinates drawn from
+// one of centers (cluster centroids) plus uniform noise in [-spread,
+// +spread]. It returns the packed words. Cluster membership is skewed
+// toward low-index clusters (Zipf-ish) so nearest-centroid branches are
+// data-dependent rather than uniform.
+func FloatPoints(r *RNG, n, dims int, centers [][]float32, spread float32) []uint32 {
+	out := make([]uint32, 0, n*dims)
+	k := len(centers)
+	for i := 0; i < n; i++ {
+		// Skewed cluster pick: half the mass on cluster 0, half uniform.
+		c := 0
+		if !r.Bernoulli(0.5) {
+			c = r.Intn(k)
+		}
+		for d := 0; d < dims; d++ {
+			v := centers[c][d] + (r.Float32()*2-1)*spread
+			out = append(out, isa.Bits(v))
+		}
+	}
+	return out
+}
+
+// Centers produces k well-separated centroids on a lattice in [0, 10)^dims.
+func Centers(r *RNG, k, dims int) [][]float32 {
+	out := make([][]float32, k)
+	for c := range out {
+		out[c] = make([]float32, dims)
+		for d := range out[c] {
+			out[c][d] = float32((c*7+d*3)%10) + r.Float32()*0.25
+		}
+	}
+	return out
+}
+
+// LabeledFloatPoints generates n records [label, x0..x(dims-1)] where the
+// coordinates are float32 drawn around per-class means (for GDA).
+func LabeledFloatPoints(r *RNG, n, dims, classes int, pClass0 float64, spread float32) []uint32 {
+	means := Centers(r, classes, dims)
+	out := make([]uint32, 0, n*(dims+1))
+	for i := 0; i < n; i++ {
+		label := 0
+		if !r.Bernoulli(pClass0) {
+			label = 1 + r.Intn(classes-1)
+		}
+		out = append(out, uint32(label))
+		for d := 0; d < dims; d++ {
+			v := means[label][d] + (r.Float32()*2-1)*spread
+			out = append(out, isa.Bits(v))
+		}
+	}
+	return out
+}
+
+// BurstyLabeledFloatPoints is LabeledFloatPoints with temporally clustered
+// labels (training sets are commonly grouped by class or collection time):
+// a two-state Markov chain with ~pClass0 stationary mass on class 0 and
+// dwell times of a few hundred records.
+func BurstyLabeledFloatPoints(r *RNG, n, dims, classes int, pClass0 float64, spread float32) []uint32 {
+	means := Centers(r, classes, dims)
+	out := make([]uint32, 0, n*(dims+1))
+	label := 0
+	if !r.Bernoulli(pClass0) {
+		label = 1 + r.Intn(classes-1)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, uint32(label))
+		for d := 0; d < dims; d++ {
+			v := means[label][d] + (r.Float32()*2-1)*spread
+			out = append(out, isa.Bits(v))
+		}
+		if label == 0 {
+			if r.Bernoulli((1 - pClass0) / 256 * 2) {
+				label = 1 + r.Intn(classes-1)
+			}
+		} else if r.Bernoulli(pClass0 / 256 * 2) {
+			label = 0
+		}
+	}
+	return out
+}
+
+// SplitStreams divides a packed record array (recordWords words per record)
+// into threads streams of equal record counts, dropping any remainder
+// records. Each stream is a packed word sequence.
+func SplitStreams(words []uint32, recordWords, threads int) [][]uint32 {
+	records := len(words) / recordWords
+	per := records / threads
+	out := make([][]uint32, threads)
+	for t := 0; t < threads; t++ {
+		start := t * per * recordWords
+		out[t] = words[start : start+per*recordWords]
+	}
+	return out
+}

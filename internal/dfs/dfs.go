@@ -1,0 +1,68 @@
+// Package dfs implements the paper's coarse-grain compute–memory
+// rate-matching controller (Section IV-F): a one-dimensional hill climber
+// that nudges the processor clock in small steps (5%) based on the prefetch
+// buffer's occupancy signals. When the corelets find the buffers empty
+// (demand accesses starve waiting on DRAM), the application is
+// memory-bandwidth-bound and the clock steps down; when flow control keeps
+// blocking triggers because buffered rows are not being consumed fast
+// enough (buffers full), the application is compute-bound and the clock
+// steps up. The paper observes that because BMLA behavior is uniform over
+// billions of records, the controller needs to converge only once, so small
+// steps suffice and oscillation stays within one step band.
+package dfs
+
+import "fmt"
+
+// Controller adjusts one frequency by hill climbing.
+type Controller struct {
+	stepPct    float64
+	minHz      float64
+	maxHz      float64
+	hz         float64
+	ups, downs uint64
+}
+
+// New returns a controller starting at startHz. stepPct is the fractional
+// step (0.05 for the paper's 5%).
+func New(startHz, stepPct, minHz, maxHz float64) (*Controller, error) {
+	switch {
+	case startHz <= 0 || minHz <= 0 || maxHz < minHz:
+		return nil, fmt.Errorf("dfs: bad frequency range [%g, %g] start %g", minHz, maxHz, startHz)
+	case stepPct <= 0 || stepPct >= 1:
+		return nil, fmt.Errorf("dfs: bad step %g", stepPct)
+	case startHz < minHz || startHz > maxHz:
+		return nil, fmt.Errorf("dfs: start %g outside [%g, %g]", startHz, minHz, maxHz)
+	}
+	return &Controller{stepPct: stepPct, minHz: minHz, maxHz: maxHz, hz: startHz}, nil
+}
+
+// Hz returns the current frequency.
+func (c *Controller) Hz() float64 { return c.hz }
+
+// Steps returns how many up and down steps the controller has taken.
+func (c *Controller) Steps() (ups, downs uint64) { return c.ups, c.downs }
+
+// Update consumes the occupancy signal deltas observed since the previous
+// update and returns the (possibly unchanged) frequency. starved counts
+// demand accesses that waited on memory ("buffers empty"); full counts
+// flow-control trigger deferrals ("buffers full"). The dominant signal
+// decides the direction; a quiet interval leaves the clock alone.
+func (c *Controller) Update(starved, full uint64) float64 {
+	switch {
+	case starved == 0 && full == 0:
+		return c.hz
+	case starved > full:
+		c.hz *= 1 - c.stepPct
+		c.downs++
+		if c.hz < c.minHz {
+			c.hz = c.minHz
+		}
+	case full > starved:
+		c.hz *= 1 + c.stepPct
+		c.ups++
+		if c.hz > c.maxHz {
+			c.hz = c.maxHz
+		}
+	}
+	return c.hz
+}

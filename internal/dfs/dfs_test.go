@@ -1,0 +1,84 @@
+package dfs
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct{ start, step, min, max float64 }{
+		{0, 0.05, 100, 1000},
+		{500, 0, 100, 1000},
+		{500, 1, 100, 1000},
+		{500, 0.05, 1000, 100},
+		{50, 0.05, 100, 1000},   // below min
+		{5000, 0.05, 100, 1000}, // above max
+	}
+	for i, c := range cases {
+		if _, err := New(c.start, c.step, c.min, c.max); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := New(700e6, 0.05, 100e6, 1400e6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepsDownWhenStarved(t *testing.T) {
+	c, _ := New(700e6, 0.05, 100e6, 1400e6)
+	hz := c.Update(100, 0)
+	if hz >= 700e6 {
+		t.Errorf("starved update did not lower clock: %g", hz)
+	}
+	if hz != 700e6*0.95 {
+		t.Errorf("step size wrong: %g", hz)
+	}
+	_, downs := c.Steps()
+	if downs != 1 {
+		t.Errorf("downs = %d", downs)
+	}
+}
+
+func TestStepsUpWhenFull(t *testing.T) {
+	c, _ := New(700e6, 0.05, 100e6, 1400e6)
+	if hz := c.Update(0, 50); hz != 700e6*1.05 {
+		t.Errorf("full update: %g", hz)
+	}
+}
+
+func TestQuietIntervalHolds(t *testing.T) {
+	c, _ := New(700e6, 0.05, 100e6, 1400e6)
+	if hz := c.Update(0, 0); hz != 700e6 {
+		t.Errorf("quiet update moved clock: %g", hz)
+	}
+	if hz := c.Update(5, 5); hz != 700e6 {
+		t.Errorf("balanced update moved clock: %g", hz)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	c, _ := New(110e6, 0.5, 100e6, 1400e6)
+	if hz := c.Update(10, 0); hz != 100e6 {
+		t.Errorf("not clamped to min: %g", hz)
+	}
+	c2, _ := New(1300e6, 0.5, 100e6, 1400e6)
+	if hz := c2.Update(0, 10); hz != 1400e6 {
+		t.Errorf("not clamped to max: %g", hz)
+	}
+}
+
+func TestConvergenceToRate(t *testing.T) {
+	// Simulate a memory-bound plant: starvation occurs whenever the clock
+	// is above the balance point; fullness when below. The controller must
+	// converge to within one step band of the balance point.
+	c, _ := New(700e6, 0.05, 100e6, 1400e6)
+	const balance = 560e6
+	for i := 0; i < 200; i++ {
+		if c.Hz() > balance {
+			c.Update(10, 0)
+		} else {
+			c.Update(0, 10)
+		}
+	}
+	hz := c.Hz()
+	if hz < balance*0.94 || hz > balance*1.06 {
+		t.Errorf("converged to %g, want within 6%% of %g", hz, balance)
+	}
+}

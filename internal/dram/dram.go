@@ -1,0 +1,219 @@
+// Package dram models the die-stacked DRAM of the paper's PNM node: a
+// vertically stacked memory with one (of 32) channels simulated, 4 banks per
+// channel, 2 KB rows, and HBM-like timing — 128-bit channel at 1.2 GHz,
+// tCAS-tRP-tRCD-tRAS = 9-9-9-27 channel cycles (Table III).
+//
+// The model is command-level: when the memory controller issues a request,
+// Service computes the precharge/activate/CAS/burst schedule against the
+// per-bank and shared-data-bus availability times, so bank-level parallelism
+// (one bank activating while another bursts) and row-buffer locality emerge
+// from the request stream rather than being assumed. Refresh is not modeled,
+// matching the paper's GPGPUsim-derived methodology.
+//
+// The same type also serves as the functional backing store for the input
+// dataset (words written by the host before launch, Section IV-E).
+package dram
+
+import "fmt"
+
+// Params are the DRAM geometry and timing parameters, all times in channel
+// clock cycles.
+type Params struct {
+	RowBytes     int // bytes per row (per-channel row buffer): 2048
+	Banks        int // banks per channel: 4
+	ChannelBytes int // data bus width in bytes per channel cycle: 16 (128 bits)
+	TCAS         int // column access latency
+	TRP          int // precharge latency
+	TRCD         int // activate-to-column latency
+	TRAS         int // minimum activate-to-precharge interval
+}
+
+// DefaultParams returns Table III's die-stacked DRAM parameters.
+func DefaultParams() Params {
+	return Params{
+		RowBytes:     2048,
+		Banks:        4,
+		ChannelBytes: 16,
+		TCAS:         9,
+		TRP:          9,
+		TRCD:         9,
+		TRAS:         27,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.RowBytes <= 0 || p.RowBytes%4 != 0:
+		return fmt.Errorf("dram: bad RowBytes %d", p.RowBytes)
+	case p.Banks <= 0:
+		return fmt.Errorf("dram: bad Banks %d", p.Banks)
+	case p.ChannelBytes <= 0:
+		return fmt.Errorf("dram: bad ChannelBytes %d", p.ChannelBytes)
+	case p.TCAS < 0 || p.TRP < 0 || p.TRCD < 0 || p.TRAS < 0:
+		return fmt.Errorf("dram: negative timing parameter")
+	}
+	return nil
+}
+
+// RowWords returns words per row.
+func (p Params) RowWords() int { return p.RowBytes / 4 }
+
+// Stats counts row-buffer and bandwidth events. Row hit/miss rate over the
+// controller's request stream is the quantity Table IV reports for SSMC.
+type Stats struct {
+	Requests   uint64
+	RowHits    uint64
+	RowMisses  uint64 // == activates
+	Precharges uint64
+	BytesRead  uint64
+	// BusyCycles is data-bus occupancy, for bandwidth-utilization reporting.
+	BusyCycles uint64
+}
+
+// RowMissRate returns misses/(hits+misses), or 0 before any traffic.
+func (s Stats) RowMissRate() float64 {
+	t := s.RowHits + s.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowMisses) / float64(t)
+}
+
+type bank struct {
+	openRow   int64 // -1 when closed
+	busyUntil int64 // earliest cycle the bank accepts a new column/row command
+	actAt     int64 // cycle of the last activate, for tRAS
+}
+
+// DRAM is one simulated channel of die-stacked memory plus the functional
+// word store behind it.
+type DRAM struct {
+	P     Params
+	banks []bank
+	// busFree is the earliest cycle the shared data bus is free.
+	busFree int64
+	stats   Stats
+	words   []uint32 // functional contents, index = word address
+}
+
+// New returns a channel with the given parameters backing capacityBytes of
+// addressable data (rounded up to whole rows).
+func New(p Params, capacityBytes int) (*DRAM, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if capacityBytes < 0 {
+		return nil, fmt.Errorf("dram: negative capacity")
+	}
+	rows := (capacityBytes + p.RowBytes - 1) / p.RowBytes
+	d := &DRAM{P: p, banks: make([]bank, p.Banks), words: make([]uint32, rows*p.RowWords())}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	return d, nil
+}
+
+// CapacityBytes returns the addressable backing-store size.
+func (d *DRAM) CapacityBytes() int { return len(d.words) * 4 }
+
+// Stats returns a copy of the event counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// RowOf returns the row index of a byte address.
+func (d *DRAM) RowOf(addr uint32) int64 { return int64(addr) / int64(d.P.RowBytes) }
+
+// BankOf returns the bank an address maps to. Consecutive rows interleave
+// across banks so that streaming reads overlap activates with bursts.
+func (d *DRAM) BankOf(addr uint32) int { return int(d.RowOf(addr)) % d.P.Banks }
+
+// BankReady reports whether the bank holding addr can accept a command at
+// cycle now. The FR-FCFS controller uses it to filter schedulable requests.
+func (d *DRAM) BankReady(addr uint32, now int64) bool {
+	return d.banks[d.BankOf(addr)].busyUntil <= now
+}
+
+// IsRowHit reports whether addr currently hits the open row of its bank.
+func (d *DRAM) IsRowHit(addr uint32) bool {
+	b := d.banks[d.BankOf(addr)]
+	return b.openRow == d.RowOf(addr)
+}
+
+// Service schedules a read of size bytes at addr issued at channel cycle
+// now, updating bank and bus state. It returns the cycle at which the last
+// data beat arrives and whether the access hit the open row. The caller (the
+// memory controller) must have checked BankReady.
+func (d *DRAM) Service(now int64, addr uint32, bytes int) (done int64, hit bool) {
+	row := d.RowOf(addr)
+	bk := &d.banks[d.BankOf(addr)]
+	start := now
+	if bk.busyUntil > start {
+		start = bk.busyUntil
+	}
+	hit = bk.openRow == row
+	if !hit {
+		if bk.openRow >= 0 {
+			// Precharge, no earlier than tRAS after the activate.
+			preAt := start
+			if m := bk.actAt + int64(d.P.TRAS); m > preAt {
+				preAt = m
+			}
+			start = preAt + int64(d.P.TRP)
+			d.stats.Precharges++
+		}
+		bk.actAt = start
+		start += int64(d.P.TRCD)
+		bk.openRow = row
+		d.stats.RowMisses++
+	} else {
+		d.stats.RowHits++
+	}
+	burst := int64((bytes + d.P.ChannelBytes - 1) / d.P.ChannelBytes)
+	dataStart := start + int64(d.P.TCAS)
+	if d.busFree > dataStart {
+		dataStart = d.busFree
+	}
+	done = dataStart + burst
+	d.busFree = done
+	bk.busyUntil = done
+	d.stats.Requests++
+	d.stats.BytesRead += uint64(bytes)
+	d.stats.BusyCycles += uint64(burst)
+	return done, hit
+}
+
+// --- Functional backing store -------------------------------------------
+
+// ReadWord returns the word at byte address addr (must be in range and
+// word-aligned; the simulator treats out-of-range input addresses as kernel
+// bugs and panics to surface them in tests).
+func (d *DRAM) ReadWord(addr uint32) uint32 {
+	if addr%4 != 0 {
+		panic(fmt.Sprintf("dram: unaligned read at %#x", addr))
+	}
+	return d.words[addr/4]
+}
+
+// WriteWord stores a word at byte address addr.
+func (d *DRAM) WriteWord(addr uint32, v uint32) {
+	if addr%4 != 0 {
+		panic(fmt.Sprintf("dram: unaligned write at %#x", addr))
+	}
+	d.words[addr/4] = v
+}
+
+// LoadWords bulk-copies the input dataset into memory starting at byte
+// address base, modeling the host's one-time copy-in (Section IV-E).
+func (d *DRAM) LoadWords(base uint32, ws []uint32) {
+	if base%4 != 0 {
+		panic(fmt.Sprintf("dram: unaligned base %#x", base))
+	}
+	copy(d.words[base/4:], ws)
+}
+
+// ReadRow copies the full row containing addr into dst (len >= RowWords).
+func (d *DRAM) ReadRow(addr uint32, dst []uint32) {
+	row := d.RowOf(addr)
+	start := row * int64(d.P.RowWords())
+	copy(dst[:d.P.RowWords()], d.words[start:start+int64(d.P.RowWords())])
+}

@@ -1,0 +1,365 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Row is one benchmark's values across a figure's series.
+type Row struct {
+	Bench  string
+	Values map[string]float64
+}
+
+// Figure is a reproduced table or figure: named series over the benchmark
+// rows, plus a geomean row where meaningful.
+type Figure struct {
+	Name    string
+	Series  []string // presentation order
+	Rows    []Row
+	Geomean map[string]float64
+}
+
+// Render prints the figure as an aligned text table.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Name)
+	fmt.Fprintf(&b, "%-10s", "benchmark")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", s)
+	}
+	b.WriteString("\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-10s", r.Bench)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, " %14.3f", r.Values[s])
+		}
+		b.WriteString("\n")
+	}
+	if len(f.Geomean) > 0 {
+		fmt.Fprintf(&b, "%-10s", "geomean")
+		for _, s := range f.Series {
+			if v, ok := f.Geomean[s]; ok {
+				fmt.Fprintf(&b, " %14.3f", v)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (f *Figure) geomeans() {
+	f.Geomean = map[string]float64{}
+	for _, s := range f.Series {
+		var vs []float64
+		ok := true
+		for _, r := range f.Rows {
+			v, has := r.Values[s]
+			if !has || v <= 0 {
+				ok = false
+				break
+			}
+			vs = append(vs, v)
+		}
+		if ok && len(vs) > 0 {
+			f.Geomean[s] = stats.Geomean(vs)
+		}
+	}
+}
+
+// runAll executes the given architectures over all benchmarks at the given
+// record scale, returning results[arch][bench]. Runs are independent,
+// deterministic simulations, so they execute concurrently on host
+// goroutines.
+func runAll(p arch.Params, archs []string, scale float64) (map[string]map[string]RunResult, error) {
+	type key struct{ a, b string }
+	type item struct {
+		k   key
+		r   RunResult
+		err error
+	}
+	var wg sync.WaitGroup
+	results := make(chan item, len(archs)*len(workloads.All()))
+	for _, a := range archs {
+		for _, b := range workloads.All() {
+			wg.Add(1)
+			go func(a string, b *workloads.Benchmark) {
+				defer wg.Done()
+				r, err := Run(a, b, p, recordsFor(b, scale))
+				results <- item{key{a, b.Name()}, r, err}
+			}(a, b)
+		}
+	}
+	wg.Wait()
+	close(results)
+	out := map[string]map[string]RunResult{}
+	for _, a := range archs {
+		out[a] = map[string]RunResult{}
+	}
+	for it := range results {
+		if it.err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", it.k.a, it.k.b, it.err)
+		}
+		out[it.k.a][it.k.b] = it.r
+	}
+	return out, nil
+}
+
+// Fig3 reproduces Figure 3: performance of each PNM architecture normalized
+// to GPGPU-with-prefetch, benchmarks in the paper's order.
+func Fig3(p arch.Params, scale float64) (*Figure, error) {
+	archs := []string{ArchGPGPU, ArchVWS, ArchSSMC, ArchMillipedeNoFC, ArchVWSRow, ArchMillipede}
+	res, err := runAll(p, archs, scale)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{Name: "Figure 3: performance normalized to GPGPU (higher is better)", Series: archs}
+	for _, b := range workloads.All() {
+		base := float64(res[ArchGPGPU][b.Name()].Time)
+		row := Row{Bench: b.Name(), Values: map[string]float64{}}
+		for _, a := range archs {
+			row.Values[a] = base / float64(res[a][b.Name()].Time)
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	f.geomeans()
+	return f, nil
+}
+
+// Fig4 reproduces Figure 4: total energy normalized to GPGPU (lower is
+// better), including the rate-matched Millipede variant. Component
+// breakdowns are exposed via Fig4Breakdown.
+func Fig4(p arch.Params, scale float64) (*Figure, *Figure, error) {
+	archs := []string{ArchGPGPU, ArchVWS, ArchSSMC, ArchVWSRow, ArchMillipede, ArchMillipedeRM}
+	res, err := runAll(p, archs, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := &Figure{Name: "Figure 4: energy normalized to GPGPU (lower is better)", Series: archs}
+	parts := &Figure{
+		Name:   "Figure 4 (breakdown): core / dram / leak shares of each architecture's energy",
+		Series: []string{},
+	}
+	for _, a := range archs {
+		parts.Series = append(parts.Series, a+":core", a+":dram", a+":leak")
+	}
+	for _, b := range workloads.All() {
+		base := res[ArchGPGPU][b.Name()].Energy.TotalPJ()
+		row := Row{Bench: b.Name(), Values: map[string]float64{}}
+		prow := Row{Bench: b.Name(), Values: map[string]float64{}}
+		for _, a := range archs {
+			e := res[a][b.Name()].Energy
+			row.Values[a] = e.TotalPJ() / base
+			prow.Values[a+":core"] = e.CorePJ / base
+			prow.Values[a+":dram"] = e.DRAMPJ / base
+			prow.Values[a+":leak"] = e.LeakPJ / base
+		}
+		f.Rows = append(f.Rows, row)
+		parts.Rows = append(parts.Rows, prow)
+	}
+	f.geomeans()
+	return f, parts, nil
+}
+
+// NodeProcessors is the node size of Section VI-C's comparison: the paper's
+// Figure 5 pits a 32-processor Millipede node against one 8-core multicore.
+const NodeProcessors = 32
+
+// Fig5 reproduces Figure 5: full-node Millipede speedup and energy
+// improvement over the conventional multicore.
+func Fig5(p arch.Params, scale float64) (*Figure, error) {
+	f := &Figure{Name: "Figure 5: 32-processor Millipede node vs conventional 8-core multicore",
+		Series: []string{"speedup", "energy-improvement"}}
+	for _, b := range workloads.All() {
+		records := recordsFor(b, scale)
+		mp, err := Run(ArchMillipede, b, p, records)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := Run(ArchMulticore, b, p, records)
+		if err != nil {
+			return nil, err
+		}
+		// Equal-total-input comparison: the multicore processed the same
+		// records as ONE Millipede processor; the full node runs 32
+		// processors in parallel while the multicore must serialize 32x
+		// the work.
+		speedup := float64(NodeProcessors) * float64(mc.Time) / float64(mp.Time)
+		// Node energy = 32 x per-processor energy; multicore at 32x input
+		// = 32 x measured energy, so the per-slice ratio stands.
+		eImp := mc.Energy.TotalPJ() / mp.Energy.TotalPJ()
+		f.Rows = append(f.Rows, Row{Bench: b.Name(), Values: map[string]float64{
+			"speedup": speedup, "energy-improvement": eImp,
+		}})
+	}
+	f.geomeans()
+	return f, nil
+}
+
+// Fig6 reproduces Figure 6: performance versus system size (32 vs 64
+// corelets/lanes/cores with doubled memory bandwidth), normalized to the
+// 32-lane GPGPU.
+func Fig6(p arch.Params, scale float64) (*Figure, error) {
+	sizes := []int{32, 64}
+	archs := []string{ArchGPGPU, ArchSSMC, ArchMillipede}
+	f := &Figure{Name: "Figure 6: speedup vs system size (normalized to 32-lane GPGPU)"}
+	for _, n := range sizes {
+		for _, a := range archs {
+			f.Series = append(f.Series, fmt.Sprintf("%s-%d", a, n))
+		}
+	}
+	base := map[string]float64{}
+	rows := map[string]Row{}
+	var order []string
+	for _, n := range sizes {
+		q := p.WithSize(n)
+		for _, b := range workloads.All() {
+			// Equal total input across sizes: more lanes means fewer
+			// records per thread.
+			records := recordsFor(b, scale) * 32 / n
+			if _, ok := rows[b.Name()]; !ok {
+				rows[b.Name()] = Row{Bench: b.Name(), Values: map[string]float64{}}
+				order = append(order, b.Name())
+			}
+			for _, a := range archs {
+				r, err := Run(a, b, q, records)
+				if err != nil {
+					return nil, err
+				}
+				if n == 32 && a == ArchGPGPU {
+					base[b.Name()] = float64(r.Time)
+				}
+				rows[b.Name()].Values[fmt.Sprintf("%s-%d", a, n)] = float64(r.Time)
+			}
+		}
+	}
+	for _, name := range order {
+		row := rows[name]
+		for k, v := range row.Values {
+			row.Values[k] = base[name] / v
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	f.geomeans()
+	return f, nil
+}
+
+// Fig7 reproduces Figure 7: Millipede speedup versus prefetch-buffer entry
+// count (2, 4, 8, 16, 32), normalized to 2 entries.
+func Fig7(p arch.Params, scale float64) (*Figure, error) {
+	counts := []int{2, 4, 8, 16, 32}
+	f := &Figure{Name: "Figure 7: Millipede speedup vs prefetch buffer count (normalized to 2 buffers)"}
+	for _, n := range counts {
+		f.Series = append(f.Series, fmt.Sprintf("%d-buffers", n))
+	}
+	for _, b := range workloads.All() {
+		records := recordsFor(b, scale)
+		row := Row{Bench: b.Name(), Values: map[string]float64{}}
+		var base float64
+		for _, n := range counts {
+			q := p
+			q.PrefetchEntries = n
+			r, err := Run(ArchMillipede, b, q, records)
+			if err != nil {
+				return nil, err
+			}
+			if n == counts[0] {
+				base = float64(r.Time)
+			}
+			row.Values[fmt.Sprintf("%d-buffers", n)] = base / float64(r.Time)
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	f.geomeans()
+	return f, nil
+}
+
+// TableIV reproduces Table IV: per-benchmark instructions per input word,
+// branches per instruction, SSMC's DRAM row miss rate, and Millipede's
+// rate-matched clock.
+func TableIV(p arch.Params, scale float64) (*Figure, error) {
+	f := &Figure{Name: "Table IV: benchmark parameters and characteristics",
+		Series: []string{"insts/word", "branches/inst", "ssmc-row-miss", "rate-clock-MHz"}}
+	for _, b := range workloads.All() {
+		records := recordsFor(b, scale)
+		mp, err := Run(ArchMillipedeRM, b, p, records)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := Run(ArchSSMC, b, p, records)
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, Row{Bench: b.Name(), Values: map[string]float64{
+			"insts/word":     mp.InstsPerWord,
+			"branches/inst":  mp.BranchesPerInst,
+			"ssmc-row-miss":  sc.RowMissRate,
+			"rate-clock-MHz": mp.FinalHz / 1e6,
+		}})
+	}
+	return f, nil
+}
+
+// TableIII renders the hardware configuration.
+func TableIII(p arch.Params) string {
+	var b strings.Builder
+	w := func(k string, v interface{}) { fmt.Fprintf(&b, "%-46s %v\n", k, v) }
+	b.WriteString("Table III: hardware parameters\n")
+	w("corelets/lanes/cores per processor/SM", p.Corelets)
+	w("multithreading contexts", p.Contexts)
+	w("compute clock (MHz)", p.ComputeHz/1e6)
+	w("registers per corelet/lane/core", 32)
+	w("local memory per corelet (B)", p.LocalBytes)
+	w("prefetch buffer per corelet", fmt.Sprintf("%d x 64B", p.PrefetchEntries))
+	w("SSMC L1D per core (B)", p.SSMCL1Bytes)
+	w("GPGPU L1D per SM (B)", p.GPGPUL1Bytes)
+	w("GPGPU shared memory per SM (B)", p.SharedMemBytes)
+	w("channel clock (MHz)", p.ChannelHz/1e6)
+	w("channel width (bits)", p.DRAM.ChannelBytes*8)
+	w("DRAM tCAS-tRP-tRCD-tRAS", fmt.Sprintf("%d-%d-%d-%d", p.DRAM.TCAS, p.DRAM.TRP, p.DRAM.TRCD, p.DRAM.TRAS))
+	w("DRAM row size (B), banks/channel", fmt.Sprintf("%d, %d", p.DRAM.RowBytes, p.DRAM.Banks))
+	w("memory controller", fmt.Sprintf("FR-FCFS (%d deep)", p.MemQueueDepth))
+	return b.String()
+}
+
+// TableII renders the application-behavior summary.
+func TableII() string {
+	var b strings.Builder
+	b.WriteString("Table II: summary of application behavior\n")
+	fmt.Fprintf(&b, "%-10s %-14s %-12s %s\n", "benchmark", "record", "state words", "live state")
+	rows := []struct{ name, rec, state string }{
+		{"count", "rating (1w)", "dual-band bin counts"},
+		{"sample", "rating (1w)", "per-bin count + ring + rejected"},
+		{"variance", "rating (1w)", "per-bin count/sum/sumsq"},
+		{"nbayes", "year+8 dims", "cond. probabilities + class counts"},
+		{"classify", "8-dim point", "per-centroid counts"},
+		{"kmeans", "8-dim point", "per-centroid counts + coord sums"},
+		{"pca", "12-dim point", "mean + second-moment matrix"},
+		{"gda", "label+14 dims", "class counts/means + pooled cov"},
+	}
+	for _, r := range rows {
+		for _, w := range workloads.All() {
+			if w.Name() == r.name {
+				fmt.Fprintf(&b, "%-10s %-14s %-12d %s\n", r.name, r.rec, w.K.StateWords, r.state)
+			}
+		}
+	}
+	return b.String()
+}
+
+// SortRowsPaperOrder orders rows in the paper's Table IV order.
+func SortRowsPaperOrder(rows []Row) {
+	order := map[string]int{}
+	for i, b := range workloads.All() {
+		order[b.Name()] = i
+	}
+	sort.Slice(rows, func(i, j int) bool { return order[rows[i].Bench] < order[rows[j].Bench] })
+}

@@ -1,0 +1,338 @@
+// Package harness runs the paper's evaluation (Section VI): one function
+// per table and figure, each returning structured rows that cmd/milliexp
+// renders and bench_test.go regenerates under `go test -bench`.
+//
+// Every run is verified against the golden MapReduce reference before its
+// timing or energy numbers are accepted, so a performance result can never
+// come from a functionally wrong execution.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/layout"
+	"repro/internal/multicore"
+	"repro/internal/sim"
+	"repro/internal/simt"
+	"repro/internal/ssmc"
+	"repro/internal/workloads"
+)
+
+// Architecture identifiers used across figures.
+const (
+	ArchMillipede     = "millipede"
+	ArchMillipedeNoFC = "millipede-no-flow-control"
+	ArchMillipedeRM   = "millipede-rate-match"
+	ArchSSMC          = "ssmc"
+	ArchGPGPU         = "gpgpu"
+	ArchVWS           = "vws"
+	ArchVWSRow        = "vws-row"
+	ArchMulticore     = "multicore"
+)
+
+// Architectures lists the PNM architectures in Figure 3/4 presentation
+// order.
+func Architectures() []string {
+	return []string{ArchGPGPU, ArchVWS, ArchSSMC, ArchMillipedeNoFC, ArchVWSRow, ArchMillipede, ArchMillipedeRM}
+}
+
+// RunResult is one {architecture x benchmark} measurement.
+type RunResult struct {
+	Arch, Bench     string
+	Time            sim.Time
+	Energy          energy.Breakdown
+	Insts           uint64
+	Words           uint64
+	InstsPerWord    float64
+	BranchesPerInst float64
+	RowMissRate     float64
+	DRAMBytes       uint64
+	FinalHz         float64
+}
+
+// Seed is the dataset seed used by all experiments.
+const Seed = 20180521 // IPDPS 2018
+
+// Run executes benchmark b on the named architecture with per-thread record
+// count records, verifies the live state against the golden reference, and
+// returns the measurement.
+func Run(archName string, b *workloads.Benchmark, p arch.Params, records int) (RunResult, error) {
+	res, _, err := RunReduced(archName, b, p, records)
+	return res, err
+}
+
+// RunReduced is Run plus the host-side final Reduce over the verified
+// per-thread live states (Section IV-D) — the benchmark's actual output.
+func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records int) (RunResult, []uint32, error) {
+	ep := energy.Default()
+	res := RunResult{Arch: archName, Bench: b.Name()}
+	res.Words = uint64(p.Threads()) * uint64(b.StreamWords(records))
+	var states [][]uint32
+
+	verify := func(sl kernels.StateLayout, lay layout.Layout, read workloads.StateReader, streams [][]uint32) error {
+		got := workloads.ExtractStates(b, sl, lay, read)
+		states = got
+		want := b.GoldenStates(streams, records)
+		for th := range want {
+			for i := range want[th] {
+				if got[th][i] != want[th][i] {
+					return fmt.Errorf("harness: %s/%s functional mismatch at thread %d word %d",
+						archName, b.Name(), th, i)
+				}
+			}
+		}
+		return nil
+	}
+
+	fail := func(err error) (RunResult, []uint32, error) { return res, nil, err }
+	switch archName {
+	case ArchMillipede, ArchMillipedeNoFC, ArchMillipedeRM:
+		q := p
+		q.FlowControl = archName != ArchMillipedeNoFC
+		q.RateMatch = archName == ArchMillipedeRM
+		l, lay, sl, streams, err := buildLaunch(b, q, layout.Slab, records, false)
+		if err != nil {
+			return fail(err)
+		}
+		pr, err := core.NewProcessor(q, ep, l)
+		if err != nil {
+			return fail(err)
+		}
+		r, err := pr.Run(0)
+		if err != nil {
+			return fail(err)
+		}
+		if err := verify(sl, lay, pr.ReadState, streams); err != nil {
+			return fail(err)
+		}
+		res.Time, res.Energy, res.FinalHz = r.Time, r.Energy, r.FinalHz
+		res.Insts = r.Cores.Instructions
+		res.BranchesPerInst = ratio(r.Cores.CondBranches, r.Cores.Instructions)
+		res.RowMissRate = r.DRAM.RowMissRate()
+		res.DRAMBytes = r.DRAM.BytesRead
+
+	case ArchSSMC:
+		l, lay, sl, streams, err := buildLaunch(b, p, layout.Slab, records, false)
+		if err != nil {
+			return fail(err)
+		}
+		pr, err := ssmc.NewProcessor(p, ep, l)
+		if err != nil {
+			return fail(err)
+		}
+		r, err := pr.Run(0)
+		if err != nil {
+			return fail(err)
+		}
+		if err := verify(sl, lay, pr.ReadState, streams); err != nil {
+			return fail(err)
+		}
+		res.Time, res.Energy, res.FinalHz = r.Time, r.Energy, p.ComputeHz
+		res.Insts = r.Cores.Instructions
+		res.BranchesPerInst = ratio(r.Cores.CondBranches, r.Cores.Instructions)
+		res.RowMissRate = r.DRAM.RowMissRate()
+		res.DRAMBytes = r.DRAM.BytesRead
+
+	case ArchGPGPU, ArchVWS, ArchVWSRow:
+		v := simt.GPGPU
+		if archName == ArchVWS {
+			v = simt.VWS
+		} else if archName == ArchVWSRow {
+			v = simt.VWSRow
+		}
+		l, lay, sl, streams, err := buildLaunch(b, p, layout.Word, records, true)
+		if err != nil {
+			return fail(err)
+		}
+		m, err := simt.NewSM(p, ep, v, l)
+		if err != nil {
+			return fail(err)
+		}
+		r, err := m.Run(0)
+		if err != nil {
+			return fail(err)
+		}
+		if err := verify(sl, lay, m.ReadShared, streams); err != nil {
+			return fail(err)
+		}
+		res.Time, res.Energy, res.FinalHz = r.Time, r.Energy, p.ComputeHz
+		res.Insts = r.SM.ThreadInsts
+		res.BranchesPerInst = ratio(r.SM.CondBranches, r.SM.ThreadInsts)
+		res.RowMissRate = r.DRAM.RowMissRate()
+		res.DRAMBytes = r.DRAM.BytesRead
+
+	case ArchMulticore:
+		c := multicore.DefaultConfig()
+		// Same total input as a p-geometry PNM run: the node comparison
+		// (Figure 5) scales per-processor results by the processor count.
+		mcRecords := records * p.Threads() / c.Threads()
+		streams := b.Streams(c.Threads(), mcRecords, Seed)
+		lay := layout.Layout{
+			RowBytes: c.DRAM.RowBytes, Corelets: c.Cores, Contexts: c.SMT,
+			Interleave: layout.Split, StreamWords: b.StreamWords(mcRecords),
+		}
+		if err := lay.Validate(); err != nil {
+			return fail(err)
+		}
+		sl, err := kernels.LocalState(b.K, c.LocalBytes, c.SMT)
+		if err != nil {
+			return fail(err)
+		}
+		args := kernels.ArgsAndConsts(b.K, lay.Walk(), sl, mcRecords)
+		l := core.Launch{Prog: b.K.Prog, Interleave: layout.Split, Streams: streams, Args: args}
+		s, err := multicore.New(c, ep, l)
+		if err != nil {
+			return fail(err)
+		}
+		r, err := s.Run(0)
+		if err != nil {
+			return fail(err)
+		}
+		got := workloads.ExtractStates(b, sl, lay, s.ReadState)
+		want := b.GoldenStates(streams, mcRecords)
+		for th := range want {
+			for i := range want[th] {
+				if got[th][i] != want[th][i] {
+					return fail(fmt.Errorf("harness: multicore/%s functional mismatch", b.Name()))
+				}
+			}
+		}
+		states = got
+		res.Time, res.Energy, res.FinalHz = r.Time, r.Energy, c.ClockHz
+		res.Insts = r.Cores.Instructions
+		res.BranchesPerInst = ratio(r.Cores.CondBranches, r.Cores.Instructions)
+		res.RowMissRate = r.DRAM.RowMissRate()
+		res.DRAMBytes = r.DRAM.BytesRead
+		res.Words = uint64(c.Threads()) * uint64(b.StreamWords(mcRecords))
+
+	default:
+		return fail(fmt.Errorf("harness: unknown architecture %q", archName))
+	}
+
+	res.InstsPerWord = float64(res.Insts) / float64(res.Words)
+	return res, b.Reduce(states), nil
+}
+
+func buildLaunch(b *workloads.Benchmark, p arch.Params, il layout.Interleave, records int, shared bool) (core.Launch, layout.Layout, kernels.StateLayout, [][]uint32, error) {
+	streams := b.Streams(p.Threads(), records, Seed)
+	lay := layout.Layout{
+		RowBytes: p.DRAM.RowBytes, Corelets: p.Corelets, Contexts: p.Contexts,
+		Interleave: il, StreamWords: b.StreamWords(records),
+	}
+	if err := lay.Validate(); err != nil {
+		return core.Launch{}, lay, kernels.StateLayout{}, nil, err
+	}
+	var sl kernels.StateLayout
+	var err error
+	if shared {
+		sl, err = kernels.SharedState(b.K, p.SharedMemBytes, p.Corelets, p.Contexts)
+	} else {
+		sl, err = kernels.LocalState(b.K, p.LocalBytes, p.Contexts)
+	}
+	if err != nil {
+		return core.Launch{}, lay, sl, nil, err
+	}
+	args := kernels.ArgsAndConsts(b.K, lay.Walk(), sl, records)
+	return core.Launch{Prog: b.K.Prog, Interleave: il, Streams: streams, Args: args}, lay, sl, streams, nil
+}
+
+func defaultEnergyParams() energy.Params { return energy.Default() }
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Scale multiplies every benchmark's DefaultRecords; tests use small scales
+// and cmd/milliexp uses >= 1.
+func recordsFor(b *workloads.Benchmark, scale float64) int {
+	r := int(float64(b.DefaultRecords) * scale)
+	if r < 4 {
+		r = 4
+	}
+	return r
+}
+
+// RateTrace runs a benchmark on rate-matched Millipede and returns the DFS
+// controller's clock trajectory alongside the measurement.
+func RateTrace(b *workloads.Benchmark, p arch.Params, records int) ([]core.DFSSample, RunResult, error) {
+	q := p
+	q.RateMatch = true
+	l, lay, sl, streams, err := buildLaunch(b, q, layout.Slab, records, false)
+	if err != nil {
+		return nil, RunResult{}, err
+	}
+	pr, err := core.NewProcessor(q, energy.Default(), l)
+	if err != nil {
+		return nil, RunResult{}, err
+	}
+	r, err := pr.Run(0)
+	if err != nil {
+		return nil, RunResult{}, err
+	}
+	got := workloads.ExtractStates(b, sl, lay, pr.ReadState)
+	want := b.GoldenStates(streams, records)
+	for th := range want {
+		for i := range want[th] {
+			if got[th][i] != want[th][i] {
+				return nil, RunResult{}, fmt.Errorf("harness: rate-trace functional mismatch")
+			}
+		}
+	}
+	res := RunResult{
+		Arch: ArchMillipedeRM, Bench: b.Name(), Time: r.Time, Energy: r.Energy,
+		Insts: r.Cores.Instructions, Words: uint64(q.Threads()) * uint64(b.StreamWords(records)),
+		FinalHz: r.FinalHz,
+	}
+	return pr.DFSTrace(), res, nil
+}
+
+// KMeansIteration runs one k-means MapReduction on Millipede with the given
+// centroids and returns the next centroids (coordinate sums divided by
+// counts; empty clusters keep their centroid) plus the verified run result.
+// Chaining calls implements full iterative k-means over the resident
+// dataset — the paper's "full application" framing.
+func KMeansIteration(p arch.Params, cents [][]float32, records int) ([][]float32, RunResult, error) {
+	b := workloads.KMeansBenchWith(cents)
+	res, out, err := RunReduced(ArchMillipede, b, p, records)
+	if err != nil {
+		return nil, res, err
+	}
+	k, dims := len(cents), len(cents[0])
+	next := make([][]float32, k)
+	for c := 0; c < k; c++ {
+		next[c] = make([]float32, dims)
+		n := out[c]
+		for d := 0; d < dims; d++ {
+			if n == 0 {
+				next[c][d] = cents[c][d]
+				continue
+			}
+			next[c][d] = isa.F32(out[k+c*dims+d]) / float32(n)
+		}
+	}
+	return next, res, nil
+}
+
+// CentroidShift returns the mean Euclidean distance between two centroid
+// sets (the k-means convergence measure).
+func CentroidShift(a, b [][]float32) float64 {
+	var sum float64
+	for c := range a {
+		var d2 float64
+		for d := range a[c] {
+			diff := float64(a[c][d] - b[c][d])
+			d2 += diff * diff
+		}
+		sum += math.Sqrt(d2)
+	}
+	return sum / float64(len(a))
+}

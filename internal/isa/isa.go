@@ -1,0 +1,474 @@
+// Package isa defines the instruction set executed by every simulated
+// processing-near-memory core in this repository: Millipede corelets, SSMC
+// cores, GPGPU/VWS lanes, and the conventional-multicore model all interpret
+// the same small RISC-style ISA, so differences between architectures come
+// only from their pipeline, memory-system, and scheduling models — exactly
+// the controlled comparison the paper performs (Section V).
+//
+// The ISA is word-oriented: registers are 32 bits wide, holding either a
+// two's-complement integer or the bit pattern of a float32. Each hardware
+// thread context has 32 general-purpose registers; r0 is hardwired to zero.
+// Memory is split into two address spaces selected by the opcode, mirroring
+// the paper's corelet organization: LW/SW access the corelet-local SRAM that
+// holds kernel arguments and the partially-reduced live state, while LDG/STG
+// access the die-stacked DRAM that holds the input dataset.
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// NumRegs is the architectural register count per hardware thread context
+// (Table III: 32 registers per corelet/lane/core).
+const NumRegs = 32
+
+// WordBytes is the architectural word size in bytes.
+const WordBytes = 4
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+const (
+	NOP Op = iota
+	HALT
+
+	// Integer register-register.
+	ADD
+	SUB
+	MUL
+	DIV
+	REM
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+	MIN
+	MAX
+
+	// Integer register-immediate.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LUI
+
+	// Float32 (operands and results are float32 bit patterns in registers).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FSQRT
+	FMIN
+	FMAX
+	FLT
+	FLE
+	FEQ
+	CVTIF // int32 -> float32
+	CVTFI // float32 -> int32 (truncating)
+
+	// Memory. Effective address is rs1 + imm (bytes, word-aligned).
+	LW  // rd <- local[rs1+imm]
+	SW  // local[rs1+imm] <- rs2
+	LDG // rd <- global[rs1+imm]
+	LDS // rd <- global[r1] via the hardware stream walker (see below)
+	STG // global[rs1+imm] <- rs2
+
+	// Control. Branch/jump targets are absolute instruction indices,
+	// resolved by the assembler.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	J
+	JAL
+	JR
+
+	// CSRR reads a special register (corelet ID, thread ID, ...).
+	CSRR
+
+	// BAR is a processor-wide software barrier: the context blocks until
+	// every context of every corelet has reached a BAR (used by the
+	// paper's software-barrier ablation, Section IV-C).
+	BAR
+
+	numOps // sentinel
+)
+
+// Stream-walker register convention for LDS. Every pipeline implements the
+// "load stream" instruction: rd <- global[rAddr]; then the walker advances:
+// rAddr += rStride; if --rCount == 0 { rAddr += rFix; rCount = rChunk }.
+// The walker registers are ordinary GPRs initialized by the kernel prologue
+// from the layout walk arguments, so one kernel binary streams any layout.
+const (
+	StreamAddr   = 1 // current word address
+	StreamStride = 4
+	StreamFix    = 5 // extra step at chunk boundaries (RowStep - Stride)
+	StreamChunk  = 6 // chunk length in words
+	StreamCount  = 7 // words left in the current chunk
+)
+
+// CSR numbers readable via CSRR. These are the launch-time identifiers a
+// kernel needs to find its slice of the interleaved input layout.
+const (
+	CSRCoreletID  = 0 // corelet/lane/core index within the processor
+	CSRContextID  = 1 // hardware thread context within the corelet
+	CSRNumCorelet = 2 // corelets per processor
+	CSRNumContext = 3 // contexts per corelet
+	CSRThreadID   = 4 // global thread index: coreletID*numContexts + contextID
+	CSRNumThreads = 5 // total threads: numCorelets * numContexts
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", HALT: "halt",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",
+	AND: "and", OR: "or", XOR: "xor", SLL: "sll", SRL: "srl", SRA: "sra",
+	SLT: "slt", SLTU: "sltu", MIN: "min", MAX: "max",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", SLTI: "slti", LUI: "lui",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FSQRT: "fsqrt",
+	FMIN: "fmin", FMAX: "fmax", FLT: "flt", FLE: "fle", FEQ: "feq",
+	CVTIF: "cvtif", CVTFI: "cvtfi",
+	LW: "lw", SW: "sw", LDG: "ldg", LDS: "lds", STG: "stg",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	J: "j", JAL: "jal", JR: "jr",
+	CSRR: "csrr", BAR: "bar",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps && (o == NOP || opNames[o] != "") }
+
+// Inst is one decoded instruction. Programs are slices of Inst; the PC is an
+// index into that slice. (Binary encoding is unnecessary for simulation; the
+// I-cache models charge size NumBytes per instruction.)
+type Inst struct {
+	Op       Op
+	Rd       uint8 // destination register
+	Rs1, Rs2 uint8 // source registers
+	Imm      int32 // immediate / offset / branch target (instruction index)
+	Sym      string
+}
+
+// InstBytes is the modeled encoded size of one instruction, used by I-cache
+// and code-footprint accounting.
+const InstBytes = 4
+
+// Class partitions opcodes by the pipeline resources they use; the timing
+// models key execution latency and energy off the class.
+type Class uint8
+
+const (
+	ClassNop       Class = iota
+	ClassALU             // 1-cycle integer
+	ClassMul             // integer multiply
+	ClassDiv             // integer divide / remainder
+	ClassFPU             // float add/sub/mul/compare/convert
+	ClassFDiv            // float divide / sqrt
+	ClassLocalMem        // LW/SW
+	ClassGlobalMem       // LDG/STG
+	ClassBranch          // conditional branches and jumps
+	ClassHalt
+)
+
+// Classify returns the instruction class of op.
+func Classify(op Op) Class {
+	switch op {
+	case NOP, CSRR, BAR:
+		return ClassNop
+	case HALT:
+		return ClassHalt
+	case MUL:
+		return ClassMul
+	case DIV, REM:
+		return ClassDiv
+	case FADD, FSUB, FMUL, FMIN, FMAX, FLT, FLE, FEQ, CVTIF, CVTFI:
+		return ClassFPU
+	case FDIV, FSQRT:
+		return ClassFDiv
+	case LW, SW:
+		return ClassLocalMem
+	case LDG, LDS, STG:
+		return ClassGlobalMem
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU, J, JAL, JR:
+		return ClassBranch
+	default:
+		return ClassALU
+	}
+}
+
+// IsCondBranch reports whether op is a conditional branch (the only source
+// of SIMT divergence and the quantity reported as "branches per instruction"
+// in Table IV of the paper).
+func IsCondBranch(op Op) bool {
+	switch op {
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether op may redirect the PC.
+func IsBranch(op Op) bool { return Classify(op) == ClassBranch }
+
+// IsMem reports whether op accesses any memory.
+func IsMem(op Op) bool {
+	c := Classify(op)
+	return c == ClassLocalMem || c == ClassGlobalMem
+}
+
+// IsGlobal reports whether op accesses the die-stacked global memory.
+func IsGlobal(op Op) bool { return op == LDG || op == LDS || op == STG }
+
+// IsStore reports whether op writes memory.
+func IsStore(op Op) bool { return op == SW || op == STG }
+
+// WritesRd reports whether the instruction produces a register result.
+func WritesRd(op Op) bool {
+	switch Classify(op) {
+	case ClassHalt, ClassBranch:
+		return op == JAL
+	case ClassLocalMem, ClassGlobalMem:
+		return op == LW || op == LDG || op == LDS
+	case ClassNop:
+		return op == CSRR
+	}
+	return true
+}
+
+// F32 converts a register bit pattern to float32.
+func F32(bits uint32) float32 { return math.Float32frombits(bits) }
+
+// Bits converts a float32 to its register bit pattern.
+func Bits(f float32) uint32 { return math.Float32bits(f) }
+
+// EvalALU computes the result of a non-memory, non-branch instruction given
+// its source operand values (a = rs1, b = rs2 or immediate as appropriate).
+// It is the single source of truth for datapath semantics shared by every
+// pipeline model. The boolean result is false for opcodes EvalALU does not
+// handle (memory, branches, HALT, CSRR).
+func EvalALU(in Inst, a, b uint32) (uint32, bool) {
+	ia, ib := int32(a), int32(b)
+	switch in.Op {
+	case NOP:
+		return 0, true
+	case ADD:
+		return uint32(ia + ib), true
+	case ADDI:
+		return uint32(ia + in.Imm), true
+	case SUB:
+		return uint32(ia - ib), true
+	case MUL:
+		return uint32(ia * ib), true
+	case DIV:
+		if ib == 0 {
+			return ^uint32(0), true // RISC-V semantics: -1 on divide by zero
+		}
+		if ia == math.MinInt32 && ib == -1 {
+			return uint32(ia), true // overflow: result = dividend
+		}
+		return uint32(ia / ib), true
+	case REM:
+		if ib == 0 {
+			return a, true
+		}
+		if ia == math.MinInt32 && ib == -1 {
+			return 0, true
+		}
+		return uint32(ia % ib), true
+	case AND:
+		return a & b, true
+	case ANDI:
+		return a & uint32(in.Imm), true
+	case OR:
+		return a | b, true
+	case ORI:
+		return a | uint32(in.Imm), true
+	case XOR:
+		return a ^ b, true
+	case XORI:
+		return a ^ uint32(in.Imm), true
+	case SLL:
+		return a << (b & 31), true
+	case SLLI:
+		return a << (uint32(in.Imm) & 31), true
+	case SRL:
+		return a >> (b & 31), true
+	case SRLI:
+		return a >> (uint32(in.Imm) & 31), true
+	case SRA:
+		return uint32(ia >> (b & 31)), true
+	case SRAI:
+		return uint32(ia >> (uint32(in.Imm) & 31)), true
+	case SLT:
+		if ia < ib {
+			return 1, true
+		}
+		return 0, true
+	case SLTI:
+		if ia < in.Imm {
+			return 1, true
+		}
+		return 0, true
+	case SLTU:
+		if a < b {
+			return 1, true
+		}
+		return 0, true
+	case MIN:
+		if ia < ib {
+			return a, true
+		}
+		return b, true
+	case MAX:
+		if ia > ib {
+			return a, true
+		}
+		return b, true
+	case LUI:
+		return uint32(in.Imm) << 12, true
+	case FADD:
+		return Bits(F32(a) + F32(b)), true
+	case FSUB:
+		return Bits(F32(a) - F32(b)), true
+	case FMUL:
+		return Bits(F32(a) * F32(b)), true
+	case FDIV:
+		return Bits(F32(a) / F32(b)), true
+	case FSQRT:
+		return Bits(float32(math.Sqrt(float64(F32(a))))), true
+	case FMIN:
+		return Bits(float32(math.Min(float64(F32(a)), float64(F32(b))))), true
+	case FMAX:
+		return Bits(float32(math.Max(float64(F32(a)), float64(F32(b))))), true
+	case FLT:
+		if F32(a) < F32(b) {
+			return 1, true
+		}
+		return 0, true
+	case FLE:
+		if F32(a) <= F32(b) {
+			return 1, true
+		}
+		return 0, true
+	case FEQ:
+		if F32(a) == F32(b) {
+			return 1, true
+		}
+		return 0, true
+	case CVTIF:
+		return Bits(float32(ia)), true
+	case CVTFI:
+		return uint32(int32(F32(a))), true
+	}
+	return 0, false
+}
+
+// EvalBranch evaluates a conditional branch's condition given its source
+// operands. It returns false for non-conditional-branch opcodes' taken flag
+// and ok=false.
+func EvalBranch(op Op, a, b uint32) (taken, ok bool) {
+	ia, ib := int32(a), int32(b)
+	switch op {
+	case BEQ:
+		return a == b, true
+	case BNE:
+		return a != b, true
+	case BLT:
+		return ia < ib, true
+	case BGE:
+		return ia >= ib, true
+	case BLTU:
+		return a < b, true
+	case BGEU:
+		return a >= b, true
+	}
+	return false, false
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	target := func() string {
+		if in.Sym != "" {
+			return in.Sym
+		}
+		return fmt.Sprintf("%d", in.Imm)
+	}
+	switch in.Op {
+	case NOP, HALT, BAR:
+		return in.Op.String()
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case LUI:
+		return fmt.Sprintf("lui r%d, %d", in.Rd, in.Imm)
+	case LW, LDG:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case LDS:
+		return fmt.Sprintf("lds r%d", in.Rd)
+	case SW, STG:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return fmt.Sprintf("%s r%d, r%d, %s", in.Op, in.Rs1, in.Rs2, target())
+	case J:
+		return fmt.Sprintf("j %s", target())
+	case JAL:
+		return fmt.Sprintf("jal r%d, %s", in.Rd, target())
+	case JR:
+		return fmt.Sprintf("jr r%d", in.Rs1)
+	case CSRR:
+		return fmt.Sprintf("csrr r%d, %d", in.Rd, in.Imm)
+	case FSQRT, CVTIF, CVTFI:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rd, in.Rs1)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+// Program is a fully assembled kernel.
+type Program struct {
+	Name   string
+	Insts  []Inst
+	Labels map[string]int // label -> instruction index
+	// ReconvPC[i] is the reconvergence point (immediate post-dominator
+	// instruction index) for the conditional branch at index i, used by the
+	// SIMT models. len(Insts) acts as the virtual exit node.
+	ReconvPC map[int]int
+}
+
+// CodeBytes returns the modeled code footprint. The paper notes BMLA kernels
+// are under 4 KB and are broadcast to the corelets once at launch.
+func (p *Program) CodeBytes() int { return len(p.Insts) * InstBytes }
+
+// Disassemble renders the whole program with labels, for debugging and the
+// nbayes walk-through example.
+func (p *Program) Disassemble() string {
+	byIdx := make(map[int][]string)
+	for name, idx := range p.Labels {
+		byIdx[idx] = append(byIdx[idx], name)
+	}
+	s := ""
+	for i, in := range p.Insts {
+		for _, l := range byIdx[i] {
+			s += l + ":\n"
+		}
+		s += fmt.Sprintf("%4d:  %s\n", i, in.String())
+	}
+	return s
+}

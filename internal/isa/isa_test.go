@@ -1,0 +1,271 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalALUInteger(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		a, b uint32
+		want uint32
+	}{
+		{Inst{Op: ADD}, 3, 4, 7},
+		{Inst{Op: ADD}, 0xFFFFFFFF, 1, 0}, // wraparound
+		{Inst{Op: ADDI, Imm: -1}, 5, 0, 4},
+		{Inst{Op: SUB}, 3, 4, 0xFFFFFFFF},
+		{Inst{Op: MUL}, 6, 7, 42},
+		{Inst{Op: DIV}, 42, 6, 7},
+		{Inst{Op: DIV}, 7, 0, 0xFFFFFFFF},                   // div by zero -> -1
+		{Inst{Op: DIV}, 0x80000000, 0xFFFFFFFF, 0x80000000}, // overflow
+		{Inst{Op: REM}, 43, 6, 1},
+		{Inst{Op: REM}, 43, 0, 43},
+		{Inst{Op: REM}, 0x80000000, 0xFFFFFFFF, 0},
+		{Inst{Op: AND}, 0b1100, 0b1010, 0b1000},
+		{Inst{Op: ANDI, Imm: 0b1010}, 0b1100, 0, 0b1000},
+		{Inst{Op: OR}, 0b1100, 0b1010, 0b1110},
+		{Inst{Op: ORI, Imm: 1}, 4, 0, 5},
+		{Inst{Op: XOR}, 0b1100, 0b1010, 0b0110},
+		{Inst{Op: XORI, Imm: -1}, 0, 0, 0xFFFFFFFF},
+		{Inst{Op: SLL}, 1, 4, 16},
+		{Inst{Op: SLL}, 1, 33, 2}, // shift amount mod 32
+		{Inst{Op: SLLI, Imm: 3}, 2, 0, 16},
+		{Inst{Op: SRL}, 0x80000000, 31, 1},
+		{Inst{Op: SRLI, Imm: 1}, 0x80000000, 0, 0x40000000},
+		{Inst{Op: SRA}, 0x80000000, 31, 0xFFFFFFFF},
+		{Inst{Op: SRAI, Imm: 4}, 0xFFFFFF00, 0, 0xFFFFFFF0},
+		{Inst{Op: SLT}, 0xFFFFFFFF, 0, 1}, // -1 < 0 signed
+		{Inst{Op: SLTU}, 0xFFFFFFFF, 0, 0},
+		{Inst{Op: SLTI, Imm: 5}, 3, 0, 1},
+		{Inst{Op: MIN}, 0xFFFFFFFF, 1, 0xFFFFFFFF}, // signed min(-1,1) = -1
+		{Inst{Op: MAX}, 0xFFFFFFFF, 1, 1},
+		{Inst{Op: LUI, Imm: 5}, 0, 0, 5 << 12},
+		{Inst{Op: NOP}, 9, 9, 0},
+	}
+	for _, c := range cases {
+		got, ok := EvalALU(c.in, c.a, c.b)
+		if !ok {
+			t.Errorf("%v: EvalALU not ok", c.in.Op)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%v(%#x,%#x,imm=%d) = %#x, want %#x", c.in.Op, c.a, c.b, c.in.Imm, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUFloat(t *testing.T) {
+	f := func(x, y float32) (float32, float32) { return x, y }
+	a, b := f(3.5, -1.25)
+	cases := []struct {
+		op   Op
+		want float32
+	}{
+		{FADD, a + b},
+		{FSUB, a - b},
+		{FMUL, a * b},
+		{FDIV, a / b},
+		{FMIN, b},
+		{FMAX, a},
+	}
+	for _, c := range cases {
+		got, ok := EvalALU(Inst{Op: c.op}, Bits(a), Bits(b))
+		if !ok || F32(got) != c.want {
+			t.Errorf("%v = %v, want %v", c.op, F32(got), c.want)
+		}
+	}
+	got, _ := EvalALU(Inst{Op: FSQRT}, Bits(16), 0)
+	if F32(got) != 4 {
+		t.Errorf("fsqrt(16) = %v", F32(got))
+	}
+	got, _ = EvalALU(Inst{Op: FLT}, Bits(1), Bits(2))
+	if got != 1 {
+		t.Error("flt(1,2) should be 1")
+	}
+	got, _ = EvalALU(Inst{Op: FLE}, Bits(2), Bits(2))
+	if got != 1 {
+		t.Error("fle(2,2) should be 1")
+	}
+	got, _ = EvalALU(Inst{Op: FEQ}, Bits(2), Bits(3))
+	if got != 0 {
+		t.Error("feq(2,3) should be 0")
+	}
+	got, _ = EvalALU(Inst{Op: CVTIF}, uint32(0xFFFFFFFF), 0)
+	if F32(got) != -1 {
+		t.Errorf("cvtif(-1) = %v", F32(got))
+	}
+	got, _ = EvalALU(Inst{Op: CVTFI}, Bits(-2.9), 0)
+	if int32(got) != -2 {
+		t.Errorf("cvtfi(-2.9) = %d, want -2 (truncation)", int32(got))
+	}
+}
+
+func TestEvalALURejectsNonALU(t *testing.T) {
+	for _, op := range []Op{LW, SW, LDG, STG, BEQ, J, JAL, JR, HALT, CSRR} {
+		if _, ok := EvalALU(Inst{Op: op}, 0, 0); ok {
+			t.Errorf("EvalALU accepted %v", op)
+		}
+	}
+}
+
+func TestEvalBranch(t *testing.T) {
+	cases := []struct {
+		op    Op
+		a, b  uint32
+		taken bool
+	}{
+		{BEQ, 5, 5, true},
+		{BEQ, 5, 6, false},
+		{BNE, 5, 6, true},
+		{BLT, 0xFFFFFFFF, 0, true}, // -1 < 0 signed
+		{BLTU, 0xFFFFFFFF, 0, false},
+		{BGE, 0, 0, true},
+		{BGEU, 0, 1, false},
+	}
+	for _, c := range cases {
+		taken, ok := EvalBranch(c.op, c.a, c.b)
+		if !ok || taken != c.taken {
+			t.Errorf("EvalBranch(%v, %#x, %#x) = (%v,%v), want (%v,true)", c.op, c.a, c.b, taken, ok, c.taken)
+		}
+	}
+	if _, ok := EvalBranch(ADD, 0, 0); ok {
+		t.Error("EvalBranch accepted ADD")
+	}
+	if _, ok := EvalBranch(J, 0, 0); ok {
+		t.Error("EvalBranch accepted unconditional J")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[Op]Class{
+		NOP: ClassNop, CSRR: ClassNop, HALT: ClassHalt,
+		ADD: ClassALU, ADDI: ClassALU, LUI: ClassALU, SLT: ClassALU,
+		MUL: ClassMul, DIV: ClassDiv, REM: ClassDiv,
+		FADD: ClassFPU, FLT: ClassFPU, CVTIF: ClassFPU,
+		FDIV: ClassFDiv, FSQRT: ClassFDiv,
+		LW: ClassLocalMem, SW: ClassLocalMem,
+		LDG: ClassGlobalMem, STG: ClassGlobalMem,
+		BEQ: ClassBranch, J: ClassBranch, JAL: ClassBranch, JR: ClassBranch,
+	}
+	for op, want := range cases {
+		if got := Classify(op); got != want {
+			t.Errorf("Classify(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IsCondBranch(BNE) || IsCondBranch(J) || IsCondBranch(ADD) {
+		t.Error("IsCondBranch wrong")
+	}
+	if !IsBranch(J) || !IsBranch(JR) || IsBranch(ADD) {
+		t.Error("IsBranch wrong")
+	}
+	if !IsMem(LW) || !IsMem(STG) || IsMem(ADD) {
+		t.Error("IsMem wrong")
+	}
+	if !IsGlobal(LDG) || IsGlobal(LW) {
+		t.Error("IsGlobal wrong")
+	}
+	if !IsStore(SW) || !IsStore(STG) || IsStore(LW) || IsStore(LDG) {
+		t.Error("IsStore wrong")
+	}
+	if !WritesRd(ADD) || !WritesRd(LW) || !WritesRd(LDG) || !WritesRd(JAL) || !WritesRd(CSRR) {
+		t.Error("WritesRd false negatives")
+	}
+	if WritesRd(SW) || WritesRd(BEQ) || WritesRd(J) || WritesRd(HALT) {
+		t.Error("WritesRd false positives")
+	}
+}
+
+func TestFloatBitsRoundTrip(t *testing.T) {
+	f := func(x float32) bool {
+		if math.IsNaN(float64(x)) {
+			return true
+		}
+		return F32(Bits(x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: integer ADD/SUB invert each other mod 2^32.
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b uint32) bool {
+		sum, _ := EvalALU(Inst{Op: ADD}, a, b)
+		back, _ := EvalALU(Inst{Op: SUB}, sum, b)
+		return back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DIV/REM satisfy a = q*b + r when defined.
+func TestDivRemIdentity(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 || (a == math.MinInt32 && b == -1) {
+			return true
+		}
+		q, _ := EvalALU(Inst{Op: DIV}, uint32(a), uint32(b))
+		r, _ := EvalALU(Inst{Op: REM}, uint32(a), uint32(b))
+		return int32(q)*b+int32(r) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: ADDI, Rd: 1, Rs1: 2, Imm: -4}, "addi r1, r2, -4"},
+		{Inst{Op: LW, Rd: 5, Rs1: 2, Imm: 8}, "lw r5, 8(r2)"},
+		{Inst{Op: SW, Rs2: 5, Rs1: 2, Imm: 8}, "sw r5, 8(r2)"},
+		{Inst{Op: LDG, Rd: 7, Rs1: 3, Imm: 0}, "ldg r7, 0(r3)"},
+		{Inst{Op: BNE, Rs1: 1, Rs2: 0, Imm: 12, Sym: "loop"}, "bne r1, r0, loop"},
+		{Inst{Op: J, Imm: 3}, "j 3"},
+		{Inst{Op: JR, Rs1: 31}, "jr r31"},
+		{Inst{Op: CSRR, Rd: 4, Imm: CSRThreadID}, "csrr r4, 4"},
+		{Inst{Op: HALT}, "halt"},
+		{Inst{Op: FSQRT, Rd: 2, Rs1: 3}, "fsqrt r2, r3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpStringAndValid(t *testing.T) {
+	if ADD.String() != "add" || HALT.String() != "halt" {
+		t.Error("Op.String wrong")
+	}
+	if !ADD.Valid() || !NOP.Valid() {
+		t.Error("Valid false negative")
+	}
+	if Op(200).Valid() {
+		t.Error("Valid false positive")
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p := &Program{
+		Name:   "t",
+		Insts:  []Inst{{Op: ADDI, Rd: 1, Imm: 1}, {Op: HALT}},
+		Labels: map[string]int{"start": 0},
+	}
+	if p.CodeBytes() != 8 {
+		t.Errorf("CodeBytes = %d", p.CodeBytes())
+	}
+	d := p.Disassemble()
+	if d == "" || d[:6] != "start:" {
+		t.Errorf("Disassemble = %q", d)
+	}
+}

@@ -1,0 +1,256 @@
+// Package layout implements the paper's interleaved "array of structs of
+// arrays" data layout (Section III-B): records are striped across DRAM rows
+// so that parallel threads make row-dense, conflict-free accesses.
+//
+// The model: a processor runs T = corelets × contexts hardware threads. Each
+// 2 KB row (512 words) is divided evenly, giving every thread W = 512/T
+// words per row (W = 4 for the paper's 32×4 configuration). Thread t's
+// *stream* is the concatenation of its per-row word groups across rows; the
+// input dataset is 128 such streams, each a packed sequence of records. Two
+// intra-row placements are supported:
+//
+//   - Slab interleaving: thread t's W words are contiguous
+//     (wordIdx = t*W + k). A corelet's four contexts occupy one contiguous
+//     64 B slab — Millipede's prefetch-buffer slicing, and the "n contiguous
+//     words of a record" option of Section IV-C.
+//
+//   - Word interleaving: the k-th words of all threads are contiguous
+//     (wordIdx = k*T + t). A GPGPU warp's 32 lanes at equal stream position
+//     touch 32 consecutive words — one coalesced 128 B transaction — which
+//     is why the paper says GPGPUs "must use word-size columns".
+//
+// Either placement gives each thread strictly row-ordered consumption, which
+// is what makes Millipede's sequential row prefetch and flow control sound.
+package layout
+
+import "fmt"
+
+// Interleave selects the intra-row placement.
+type Interleave int
+
+const (
+	// Slab interleaving: n contiguous words of a record per thread.
+	Slab Interleave = iota
+	// Word interleaving: word-size columns (GPGPU-coalesceable).
+	Word
+	// Split assigns each thread a contiguous, row-aligned partition of the
+	// region — the layout a MapReduce runtime hands to cache-based
+	// multicores (SSMC, the conventional multicore): each core streams
+	// sequentially through its own split, so next-block prefetch is exact,
+	// and row-buffer conflicts arise from many concurrent streams sharing
+	// few banks. Split layouts must set StreamWords.
+	Split
+)
+
+func (i Interleave) String() string {
+	switch i {
+	case Word:
+		return "word"
+	case Split:
+		return "split"
+	}
+	return "slab"
+}
+
+// Layout describes one input region's interleaved placement.
+type Layout struct {
+	Base       uint32 // byte address of the region's first row (row-aligned)
+	RowBytes   int    // 2048
+	Corelets   int    // 32
+	Contexts   int    // 4
+	Interleave Interleave
+	// StreamWords is the per-thread stream length; required for Split
+	// (it determines each thread's partition size), ignored otherwise.
+	StreamWords int
+}
+
+// Validate checks geometric consistency.
+func (l Layout) Validate() error {
+	switch {
+	case l.RowBytes <= 0 || l.RowBytes%4 != 0:
+		return fmt.Errorf("layout: bad RowBytes %d", l.RowBytes)
+	case l.Corelets <= 0 || l.Contexts <= 0:
+		return fmt.Errorf("layout: bad thread geometry %dx%d", l.Corelets, l.Contexts)
+	case l.RowWords()%l.Threads() != 0:
+		return fmt.Errorf("layout: %d row words not divisible by %d threads", l.RowWords(), l.Threads())
+	case int(l.Base)%l.RowBytes != 0:
+		return fmt.Errorf("layout: base %#x not row-aligned", l.Base)
+	case l.Interleave == Split && l.StreamWords <= 0:
+		return fmt.Errorf("layout: Split requires StreamWords")
+	}
+	return nil
+}
+
+// partRows returns the row-aligned partition size per thread (Split only).
+func (l Layout) partRows() int {
+	return (l.StreamWords + l.RowWords() - 1) / l.RowWords()
+}
+
+// Threads returns the hardware thread count T.
+func (l Layout) Threads() int { return l.Corelets * l.Contexts }
+
+// RowWords returns words per row.
+func (l Layout) RowWords() int { return l.RowBytes / 4 }
+
+// ChunkWords returns W, the words each thread owns per row.
+func (l Layout) ChunkWords() int { return l.RowWords() / l.Threads() }
+
+// ThreadID maps (corelet, context) to the stream index t. Slab interleaving
+// groups a corelet's contexts together; word interleaving groups same-
+// context threads (a GPGPU warp) together so lanes coalesce.
+func (l Layout) ThreadID(corelet, context int) int {
+	if l.Interleave == Word {
+		return context*l.Corelets + corelet
+	}
+	return corelet*l.Contexts + context
+}
+
+// wordIdx returns the word offset within a row of thread t's k-th word.
+func (l Layout) wordIdx(t, k int) int {
+	if l.Interleave == Word {
+		return k*l.Threads() + t
+	}
+	return t*l.ChunkWords() + k
+}
+
+// Addr returns the byte address of stream position p of thread t.
+func (l Layout) Addr(t, p int) uint32 {
+	if l.Interleave == Split {
+		return l.Base + uint32((t*l.partRows()*l.RowWords()+p)*4)
+	}
+	w := l.ChunkWords()
+	row := p / w
+	k := p % w
+	return l.Base + uint32(row*l.RowBytes+l.wordIdx(t, k)*4)
+}
+
+// Kernel-visible addressing parameters. A kernel walks its stream with:
+//
+//	addr = Base + corelet*CoreletMult + context*ContextMult
+//	per word: addr += Stride; every ChunkWords words: addr += RowStep instead
+//
+// which the assembly prologue implements in a handful of instructions.
+type Walk struct {
+	CoreletMult int32 // byte offset contribution of the corelet index
+	ContextMult int32 // byte offset contribution of the context index
+	Stride      int32 // byte step between consecutive stream words in a row
+	RowStep     int32 // byte step from a chunk's last word to the next row's first
+	ChunkWords  int32 // W
+}
+
+// Walk derives the kernel addressing parameters.
+func (l Layout) Walk() Walk {
+	if l.Interleave == Split {
+		part := l.partRows() * l.RowBytes
+		return Walk{
+			CoreletMult: int32(l.Contexts * part),
+			ContextMult: int32(part),
+			Stride:      4,
+			RowStep:     4, // contiguous stream: row crossings are free
+			ChunkWords:  int32(l.RowWords()),
+		}
+	}
+	w := l.ChunkWords()
+	var stride, cm, xm int
+	if l.Interleave == Word {
+		stride = l.Threads() * 4
+		cm = 4
+		xm = l.Corelets * 4
+	} else {
+		stride = 4
+		cm = l.Contexts * w * 4
+		xm = w * 4
+	}
+	return Walk{
+		CoreletMult: int32(cm),
+		ContextMult: int32(xm),
+		Stride:      int32(stride),
+		RowStep:     int32(l.RowBytes - (w-1)*stride),
+		ChunkWords:  int32(w),
+	}
+}
+
+// OwnerOf maps a byte address within the region to the corelet that owns it
+// and the word's slot within that corelet's prefetch-buffer slab
+// (context*ChunkWords + k, 0..SlabWords-1). The corelet pipeline uses it for
+// DF-counter consumption tracking and to assert that kernels only touch
+// their own slabs.
+func (l Layout) OwnerOf(addr uint32) (corelet, slot int) {
+	if l.Interleave == Split {
+		panic("layout: OwnerOf is only defined for row-shared interleavings (Slab/Word)")
+	}
+	off := int(addr-l.Base) % l.RowBytes / 4
+	var t, k int
+	if l.Interleave == Word {
+		k = off / l.Threads()
+		t = off % l.Threads()
+		context := t / l.Corelets
+		corelet = t % l.Corelets
+		return corelet, context*l.ChunkWords() + k
+	}
+	w := l.ChunkWords()
+	t = off / w
+	k = off % w
+	corelet = t / l.Contexts
+	context := t % l.Contexts
+	return corelet, context*w + k
+}
+
+// Pack places per-thread streams into a flat word array covering whole rows
+// (zero-padded), ready to load into the DRAM backing store at Base. All
+// streams must have equal length.
+func (l Layout) Pack(streams [][]uint32) ([]uint32, error) {
+	if len(streams) != l.Threads() {
+		return nil, fmt.Errorf("layout: %d streams for %d threads", len(streams), l.Threads())
+	}
+	n := len(streams[0])
+	for t, s := range streams {
+		if len(s) != n {
+			return nil, fmt.Errorf("layout: stream %d has %d words, stream 0 has %d", t, len(s), n)
+		}
+	}
+	if l.Interleave == Split {
+		if n != l.StreamWords {
+			return nil, fmt.Errorf("layout: Split streams of %d words, StreamWords %d", n, l.StreamWords)
+		}
+		part := l.partRows() * l.RowWords()
+		out := make([]uint32, len(streams)*part)
+		for t, s := range streams {
+			copy(out[t*part:], s)
+		}
+		return out, nil
+	}
+	w := l.ChunkWords()
+	rows := (n + w - 1) / w
+	out := make([]uint32, rows*l.RowWords())
+	for t, s := range streams {
+		for p, v := range s {
+			row := p / w
+			out[row*l.RowWords()+l.wordIdx(t, p%w)] = v
+		}
+	}
+	return out, nil
+}
+
+// Unpack inverts Pack: it extracts per-thread streams of the given length
+// from the flat word array.
+func (l Layout) Unpack(flat []uint32, streamLen int) [][]uint32 {
+	out := make([][]uint32, l.Threads())
+	for t := range out {
+		out[t] = make([]uint32, streamLen)
+		for p := 0; p < streamLen; p++ {
+			out[t][p] = flat[(l.Addr(t, p)-l.Base)/4]
+		}
+	}
+	return out
+}
+
+// RegionBytes returns the padded region size for streams of streamLen words.
+func (l Layout) RegionBytes(streamLen int) int {
+	if l.Interleave == Split {
+		return l.Threads() * l.partRows() * l.RowBytes
+	}
+	w := l.ChunkWords()
+	rows := (streamLen + w - 1) / w
+	return rows * l.RowBytes
+}

@@ -1,0 +1,301 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func std(i Interleave) Layout {
+	return Layout{Base: 0, RowBytes: 2048, Corelets: 32, Contexts: 4, Interleave: i}
+}
+
+func TestValidate(t *testing.T) {
+	for _, i := range []Interleave{Slab, Word} {
+		if err := std(i).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := []Layout{
+		{RowBytes: 0, Corelets: 32, Contexts: 4},
+		{RowBytes: 2046, Corelets: 32, Contexts: 4},
+		{RowBytes: 2048, Corelets: 0, Contexts: 4},
+		{RowBytes: 2048, Corelets: 32, Contexts: 0},
+		{RowBytes: 2048, Corelets: 33, Contexts: 4}, // 512 % 132 != 0
+		{Base: 4, RowBytes: 2048, Corelets: 32, Contexts: 4},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, l)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	l := std(Slab)
+	if l.Threads() != 128 || l.RowWords() != 512 || l.ChunkWords() != 4 {
+		t.Errorf("geometry: threads=%d rowWords=%d chunk=%d", l.Threads(), l.RowWords(), l.ChunkWords())
+	}
+}
+
+func TestPaperWalkthroughNumbers(t *testing.T) {
+	// Section IV-C: 2 KB rows, 32 corelets, 4-way multithreading, 4-byte
+	// words => 512 records per row and 4 records per thread per row for
+	// single-word records.
+	l := std(Word)
+	if got := l.RowWords(); got != 512 {
+		t.Errorf("records per row = %d, want 512", got)
+	}
+	if got := l.ChunkWords(); got != 4 {
+		t.Errorf("records per thread per row = %d, want 4", got)
+	}
+}
+
+func TestSlabAddressing(t *testing.T) {
+	l := std(Slab)
+	// Thread 0 (corelet 0, ctx 0): words 0..3 of row 0, then row 1.
+	if l.Addr(0, 0) != 0 || l.Addr(0, 3) != 12 || l.Addr(0, 4) != 2048 {
+		t.Errorf("thread 0 addrs: %d %d %d", l.Addr(0, 0), l.Addr(0, 3), l.Addr(0, 4))
+	}
+	// Thread 5 (corelet 1, ctx 1): base word 5*4 = 20 -> byte 80.
+	if l.Addr(5, 0) != 80 {
+		t.Errorf("thread 5 base = %d, want 80", l.Addr(5, 0))
+	}
+	// A corelet's 16 words (4 ctx x 4 words) are contiguous: corelet 1
+	// owns bytes [64, 128) of each row.
+	for ctx := 0; ctx < 4; ctx++ {
+		tid := l.ThreadID(1, ctx)
+		for k := 0; k < 4; k++ {
+			a := l.Addr(tid, k)
+			if a < 64 || a >= 128 {
+				t.Errorf("corelet 1 ctx %d word %d at %d, outside slab", ctx, k, a)
+			}
+		}
+	}
+}
+
+func TestWordAddressingCoalesces(t *testing.T) {
+	l := std(Word)
+	// Same-context (warp) lanes at equal position touch 32 consecutive
+	// words = one 128 B block.
+	for ctx := 0; ctx < 4; ctx++ {
+		base := l.Addr(l.ThreadID(0, ctx), 0)
+		for lane := 0; lane < 32; lane++ {
+			a := l.Addr(l.ThreadID(lane, ctx), 0)
+			if a != base+uint32(lane*4) {
+				t.Fatalf("ctx %d lane %d addr %d, want %d", ctx, lane, a, base+uint32(lane*4))
+			}
+		}
+		if base/128 != (base+31*4)/128 {
+			t.Errorf("ctx %d warp access spans blocks", ctx)
+		}
+	}
+}
+
+func TestWalkMatchesAddr(t *testing.T) {
+	for _, il := range []Interleave{Slab, Word, Split} {
+		l := std(il)
+		l.Base = 4096
+		if il == Split {
+			l.StreamWords = 40
+		}
+		w := l.Walk()
+		for corelet := 0; corelet < l.Corelets; corelet += 7 {
+			for ctx := 0; ctx < l.Contexts; ctx++ {
+				tid := l.ThreadID(corelet, ctx)
+				addr := int64(l.Base) + int64(corelet)*int64(w.CoreletMult) + int64(ctx)*int64(w.ContextMult)
+				for p := 0; p < 40; p++ {
+					want := l.Addr(tid, p)
+					if uint32(addr) != want {
+						t.Fatalf("%v corelet %d ctx %d p %d: walk %d, want %d", il, corelet, ctx, p, addr, want)
+					}
+					if (p+1)%int(w.ChunkWords) == 0 {
+						addr += int64(w.RowStep)
+					} else {
+						addr += int64(w.Stride)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOwnerOfInverse(t *testing.T) {
+	for _, il := range []Interleave{Slab, Word} {
+		l := std(il)
+		l.Base = 2048 * 3
+		for corelet := 0; corelet < l.Corelets; corelet++ {
+			for ctx := 0; ctx < l.Contexts; ctx++ {
+				tid := l.ThreadID(corelet, ctx)
+				for p := 0; p < 12; p++ {
+					a := l.Addr(tid, p)
+					c, slot := l.OwnerOf(a)
+					if c != corelet {
+						t.Fatalf("%v: OwnerOf(%d) corelet = %d, want %d", il, a, c, corelet)
+					}
+					wantSlot := ctx*l.ChunkWords() + p%l.ChunkWords()
+					if slot != wantSlot {
+						t.Fatalf("%v: OwnerOf(%d) slot = %d, want %d", il, a, slot, wantSlot)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOwnerSlotsCoverSlabExactly(t *testing.T) {
+	// Across one row, each corelet must see each slot exactly once.
+	for _, il := range []Interleave{Slab, Word} {
+		l := std(il)
+		seen := make(map[[2]int]int)
+		for w := 0; w < l.RowWords(); w++ {
+			c, s := l.OwnerOf(uint32(w * 4))
+			seen[[2]int{c, s}]++
+		}
+		if len(seen) != l.Corelets*16 {
+			t.Fatalf("%v: %d distinct (corelet,slot), want %d", il, len(seen), l.Corelets*16)
+		}
+		for k, n := range seen {
+			if n != 1 {
+				t.Fatalf("%v: slot %v seen %d times", il, k, n)
+			}
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, il := range []Interleave{Slab, Word} {
+		l := std(il)
+		streams := make([][]uint32, l.Threads())
+		for t2 := range streams {
+			streams[t2] = make([]uint32, 10) // not a multiple of chunk: padding
+			for p := range streams[t2] {
+				streams[t2][p] = uint32(t2*1000 + p)
+			}
+		}
+		flat, err := l.Pack(streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(flat) != 3*l.RowWords() { // ceil(10/4) = 3 rows
+			t.Fatalf("%v: flat len %d", il, len(flat))
+		}
+		back := l.Unpack(flat, 10)
+		for t2 := range streams {
+			for p := range streams[t2] {
+				if back[t2][p] != streams[t2][p] {
+					t.Fatalf("%v: roundtrip mismatch at (%d,%d)", il, t2, p)
+				}
+			}
+		}
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	l := std(Slab)
+	if _, err := l.Pack(make([][]uint32, 3)); err == nil {
+		t.Error("wrong stream count accepted")
+	}
+	streams := make([][]uint32, l.Threads())
+	for i := range streams {
+		streams[i] = make([]uint32, 4)
+	}
+	streams[5] = make([]uint32, 5)
+	if _, err := l.Pack(streams); err == nil {
+		t.Error("ragged streams accepted")
+	}
+}
+
+func TestRegionBytes(t *testing.T) {
+	l := std(Slab)
+	if l.RegionBytes(4) != 2048 || l.RegionBytes(5) != 4096 || l.RegionBytes(8) != 4096 {
+		t.Errorf("RegionBytes: %d %d %d", l.RegionBytes(4), l.RegionBytes(5), l.RegionBytes(8))
+	}
+}
+
+// Property: Pack places every stream word at the address Addr computes.
+func TestPropertyPackMatchesAddr(t *testing.T) {
+	f := func(seed uint8, wordSel bool) bool {
+		il := Slab
+		if wordSel {
+			il = Word
+		}
+		l := std(il)
+		n := int(seed%13) + 1
+		streams := make([][]uint32, l.Threads())
+		for t2 := range streams {
+			streams[t2] = make([]uint32, n)
+			for p := range streams[t2] {
+				streams[t2][p] = uint32(t2)<<8 | uint32(p)
+			}
+		}
+		flat, err := l.Pack(streams)
+		if err != nil {
+			return false
+		}
+		for t2 := range streams {
+			for p := 0; p < n; p++ {
+				if flat[l.Addr(t2, p)/4] != streams[t2][p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaveString(t *testing.T) {
+	if Slab.String() != "slab" || Word.String() != "word" || Split.String() != "split" {
+		t.Error("Interleave.String wrong")
+	}
+}
+
+func TestSplitLayout(t *testing.T) {
+	l := std(Split)
+	if err := l.Validate(); err == nil {
+		t.Error("Split without StreamWords accepted")
+	}
+	l.StreamWords = 10
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Partitions are row-aligned and contiguous: thread t starts a whole
+	// number of rows after thread t-1.
+	part := l.Addr(1, 0) - l.Addr(0, 0)
+	if part%uint32(l.RowBytes) != 0 {
+		t.Errorf("partition stride %d not row-aligned", part)
+	}
+	if l.Addr(0, 1) != l.Addr(0, 0)+4 {
+		t.Error("Split stream not contiguous")
+	}
+	streams := make([][]uint32, l.Threads())
+	for t2 := range streams {
+		streams[t2] = make([]uint32, 10)
+		for p := range streams[t2] {
+			streams[t2][p] = uint32(t2*100 + p)
+		}
+	}
+	flat, err := l.Pack(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := l.Unpack(flat, 10)
+	for t2 := range streams {
+		for p := range streams[t2] {
+			if back[t2][p] != streams[t2][p] {
+				t.Fatal("Split pack/unpack mismatch")
+			}
+		}
+	}
+	if l.RegionBytes(10) != l.Threads()*l.RowBytes {
+		t.Errorf("RegionBytes = %d", l.RegionBytes(10))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("OwnerOf on Split did not panic")
+		}
+	}()
+	l.OwnerOf(0)
+}

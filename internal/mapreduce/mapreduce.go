@@ -1,0 +1,86 @@
+// Package mapreduce is the host-side MapReduce substrate the paper's
+// programming model assumes (Section III-A): BMLAs are written as
+// MapReductions whose Map tasks sequentially process records and partially
+// reduce them into small per-task live state; the host then performs the
+// per-node Reduce over the corelets' partial states (Section IV-D).
+//
+// In this repository the framework serves three roles: it is the reference
+// ("golden") execution used to verify every simulated architecture's kernel
+// results bit-for-bit, it implements the final host Reduce over simulated
+// corelet state, and it is a plain, usable library for the examples.
+package mapreduce
+
+import "fmt"
+
+// Job describes one MapReduction over records of type R with per-task
+// partial state S.
+type Job[R, S any] struct {
+	// NewState allocates an empty partial-reduction state.
+	NewState func() S
+	// Map folds one record into the task's state (Map + combine).
+	Map func(state S, rec R)
+	// Merge folds src into dst — the Reduce step. It must be associative
+	// over task order for the result to be well-defined.
+	Merge func(dst, src S)
+}
+
+// Validate reports a configuration error, if any.
+func (j Job[R, S]) Validate() error {
+	if j.NewState == nil || j.Map == nil || j.Merge == nil {
+		return fmt.Errorf("mapreduce: job needs NewState, Map, and Merge")
+	}
+	return nil
+}
+
+// MapShard runs the Map phase over one shard and returns its partial state.
+func (j Job[R, S]) MapShard(shard []R) S {
+	s := j.NewState()
+	for _, r := range shard {
+		j.Map(s, r)
+	}
+	return s
+}
+
+// Run executes the full MapReduction: one Map task per shard, then a
+// left-to-right Reduce over the partial states (matching the deterministic
+// order the simulation harness uses for the host Reduce). It returns the
+// final state.
+func Run[R, S any](j Job[R, S], shards [][]R) (S, error) {
+	var zero S
+	if err := j.Validate(); err != nil {
+		return zero, err
+	}
+	final := j.NewState()
+	for _, shard := range shards {
+		j.Merge(final, j.MapShard(shard))
+	}
+	return final, nil
+}
+
+// ReduceStates merges pre-computed partial states left to right — the host
+// Reduce applied to state drained from simulated corelet local memories.
+func ReduceStates[R, S any](j Job[R, S], states []S) (S, error) {
+	var zero S
+	if err := j.Validate(); err != nil {
+		return zero, err
+	}
+	final := j.NewState()
+	for _, s := range states {
+		j.Merge(final, s)
+	}
+	return final, nil
+}
+
+// Records splits a packed word stream into records of recordWords words,
+// dropping any trailing partial record.
+func Records(stream []uint32, recordWords int) [][]uint32 {
+	if recordWords <= 0 {
+		panic("mapreduce: non-positive record size")
+	}
+	n := len(stream) / recordWords
+	out := make([][]uint32, n)
+	for i := range out {
+		out[i] = stream[i*recordWords : (i+1)*recordWords]
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package mapreduce
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type hist = map[uint32]int
+
+func histJob() Job[uint32, hist] {
+	return Job[uint32, hist]{
+		NewState: func() hist { return hist{} },
+		Map:      func(s hist, r uint32) { s[r>>4]++ },
+		Merge: func(dst, src hist) {
+			for k, v := range src {
+				dst[k] += v
+			}
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := histJob().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := histJob()
+	bad.Map = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil Map accepted")
+	}
+	if _, err := Run(bad, nil); err == nil {
+		t.Error("Run accepted invalid job")
+	}
+	if _, err := ReduceStates(bad, nil); err == nil {
+		t.Error("ReduceStates accepted invalid job")
+	}
+}
+
+func TestRunEqualsSequential(t *testing.T) {
+	j := histJob()
+	var all []uint32
+	shards := make([][]uint32, 4)
+	for s := range shards {
+		for i := 0; i < 25; i++ {
+			v := uint32(s*37 + i*13)
+			shards[s] = append(shards[s], v)
+			all = append(all, v)
+		}
+	}
+	got, err := Run(j, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := j.MapShard(all)
+	if len(got) != len(want) {
+		t.Fatalf("bins: %d vs %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("bin %d = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestReduceStates(t *testing.T) {
+	j := histJob()
+	s1, s2 := hist{1: 2}, hist{1: 3, 2: 1}
+	got, err := ReduceStates(j, []hist{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 5 || got[2] != 1 {
+		t.Errorf("reduce = %v", got)
+	}
+}
+
+func TestRecords(t *testing.T) {
+	recs := Records([]uint32{1, 2, 3, 4, 5, 6, 7}, 3)
+	if len(recs) != 2 || recs[1][2] != 6 {
+		t.Errorf("records = %v", recs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad record size")
+		}
+	}()
+	Records(nil, 0)
+}
+
+// Property: sharding never changes the result, for any partition.
+func TestPropertyShardingInvariance(t *testing.T) {
+	f := func(data []uint32, cut uint8) bool {
+		j := histJob()
+		if len(data) == 0 {
+			return true
+		}
+		c := int(cut) % len(data)
+		split, _ := Run(j, [][]uint32{data[:c], data[c:]})
+		whole := j.MapShard(data)
+		if len(split) != len(whole) {
+			return false
+		}
+		for k, v := range whole {
+			if split[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

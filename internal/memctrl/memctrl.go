@@ -1,0 +1,171 @@
+// Package memctrl implements the per-channel memory controller: a 16-deep
+// FR-FCFS (first-ready, first-come-first-served) scheduler in front of the
+// die-stacked DRAM channel (Table III). FR-FCFS prefers requests that hit
+// the currently open row of a ready bank — the mechanism by which GPGPU's
+// lockstep warps keep row locality while SSMC's strayed MIMD cores, whose
+// 16-deep window rarely contains same-row requests, do not (Section II).
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// Request is one read request from a processor-side client. The controller
+// calls Done exactly once, on the channel-clock tick at which the last data
+// beat has arrived.
+type Request struct {
+	Addr  uint32
+	Bytes int
+	// Done receives the completion cycle and whether the access hit an
+	// open DRAM row. It runs in the memory clock domain.
+	Done func(cycle int64, rowHit bool)
+}
+
+type queued struct {
+	req Request
+	seq uint64 // arrival order for FCFS aging
+}
+
+type inflight struct {
+	doneAt int64
+	hit    bool
+	done   func(int64, bool)
+}
+
+// Stats aggregates controller-level counters.
+type Stats struct {
+	Enqueued     uint64
+	Issued       uint64
+	Rejected     uint64 // enqueue attempts that found the queue full
+	MaxOccupancy int
+	// StallCycles counts ticks on which requests were waiting but none
+	// could issue (banks busy), a contention indicator.
+	StallCycles uint64
+}
+
+// Controller schedules requests onto one DRAM channel. It is driven by
+// Tick once per channel clock cycle.
+type Controller struct {
+	D     *dram.DRAM
+	depth int
+	queue []queued
+	fly   []inflight
+	seq   uint64
+	cycle int64
+	stats Stats
+	// Fault injection: completion jitter (see SetJitter).
+	jitterMax int64
+	jitterRNG uint64
+}
+
+// New returns a controller of the given queue depth over d.
+func New(d *dram.DRAM, depth int) (*Controller, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("memctrl: bad depth %d", depth)
+	}
+	return &Controller{D: d, depth: depth}, nil
+}
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// SetJitter enables deterministic fault injection: every completed request
+// is delayed by an extra 0..max channel cycles drawn from a seeded xorshift
+// stream. It models transient service-time variation (refresh collisions,
+// thermal throttling) and is used by robustness tests to check that the
+// processor models' correctness and flow-control invariants are
+// latency-independent.
+func (c *Controller) SetJitter(max int64, seed uint64) {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	c.jitterMax = max
+	c.jitterRNG = seed
+}
+
+func (c *Controller) jitter() int64 {
+	if c.jitterMax <= 0 {
+		return 0
+	}
+	c.jitterRNG ^= c.jitterRNG >> 12
+	c.jitterRNG ^= c.jitterRNG << 25
+	c.jitterRNG ^= c.jitterRNG >> 27
+	return int64((c.jitterRNG * 0x2545F4914F6CDD1D) % uint64(c.jitterMax+1))
+}
+
+// Cycle returns the current channel cycle (number of Ticks so far).
+func (c *Controller) Cycle() int64 { return c.cycle }
+
+// Pending returns the number of queued (not yet issued) requests.
+func (c *Controller) Pending() int { return len(c.queue) }
+
+// Idle reports whether no requests are queued or in flight.
+func (c *Controller) Idle() bool { return len(c.queue) == 0 && len(c.fly) == 0 }
+
+// Enqueue adds a request; it returns false (and drops the request) when the
+// queue is full, in which case the client must retry — processor models
+// translate that into a stall.
+func (c *Controller) Enqueue(r Request) bool {
+	if len(c.queue) >= c.depth {
+		c.stats.Rejected++
+		return false
+	}
+	c.queue = append(c.queue, queued{req: r, seq: c.seq})
+	c.seq++
+	c.stats.Enqueued++
+	if len(c.queue) > c.stats.MaxOccupancy {
+		c.stats.MaxOccupancy = len(c.queue)
+	}
+	return true
+}
+
+// Tick advances the controller one channel cycle: it completes any requests
+// whose data has fully arrived, then issues at most one request chosen by
+// FR-FCFS (first ready row hit, else oldest ready).
+func (c *Controller) Tick() {
+	c.cycle++
+	// Deliver completions.
+	for i := 0; i < len(c.fly); {
+		if c.fly[i].doneAt <= c.cycle {
+			f := c.fly[i]
+			c.fly[i] = c.fly[len(c.fly)-1]
+			c.fly = c.fly[:len(c.fly)-1]
+			if f.done != nil {
+				f.done(c.cycle, f.hit)
+			}
+			continue
+		}
+		i++
+	}
+	if len(c.queue) == 0 {
+		return
+	}
+	// FR-FCFS pick.
+	pick := -1
+	for i, q := range c.queue {
+		if c.D.BankReady(q.req.Addr, c.cycle) && c.D.IsRowHit(q.req.Addr) {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		oldest := uint64(1<<63 - 1)
+		for i, q := range c.queue {
+			if c.D.BankReady(q.req.Addr, c.cycle) && q.seq < oldest {
+				oldest = q.seq
+				pick = i
+			}
+		}
+	}
+	if pick < 0 {
+		c.stats.StallCycles++
+		return
+	}
+	q := c.queue[pick]
+	c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
+	done, hit := c.D.Service(c.cycle, q.req.Addr, q.req.Bytes)
+	c.fly = append(c.fly, inflight{doneAt: done + c.jitter(), hit: hit, done: q.req.Done})
+	c.stats.Issued++
+}

@@ -1,0 +1,327 @@
+// Package multicore models the conventional Xeon-like system of the paper's
+// Section VI-C comparison (Figure 5): 8 cores at 3.6 GHz with 4-way SMT and
+// a 4-wide issue width, 64 KB L1 and 1 MB-per-core L2 caches, and off-chip
+// DRAM at one quarter of the die-stacked bandwidth, charged at 70 pJ/bit.
+//
+// The core is an in-order-SMT approximation of the paper's out-of-order
+// pipeline: each core cycle offers four issue slots filled from the four
+// SMT contexts in round-robin order, and the non-blocking cache hierarchy
+// supplies the memory-level parallelism an OoO window would. The paper
+// itself flags this comparison as coarse — its point is the thread-count
+// and off-chip-energy gap, which this model reproduces — while the
+// controlled comparisons are the PNM ones.
+package multicore
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/corelet"
+	"repro/internal/dram"
+	"repro/internal/energy"
+	"repro/internal/layout"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+)
+
+// Config is the conventional-multicore configuration.
+type Config struct {
+	Cores      int     // 8
+	SMT        int     // 4
+	IssueWidth int     // 4
+	ClockHz    float64 // 3.6 GHz
+	L1Bytes    int     // 64 KB
+	L2Bytes    int     // 1 MB per core
+	LineBytes  int     // 128
+	L2Latency  int     // core cycles added to an L1 miss that hits in L2
+	LocalBytes int     // live-state scratch (cache-resident state assumption)
+	// Off-chip DRAM: one quarter of the die-stacked channel bandwidth.
+	DRAM          dram.Params
+	MemClockHz    float64
+	MemQueueDepth int
+	Latencies     corelet.Latencies
+}
+
+// DefaultConfig returns the Section VI-C parameters.
+func DefaultConfig() Config {
+	d := dram.DefaultParams()
+	d.ChannelBytes = 4 // quarter bandwidth at the same 1.2 GHz channel clock
+	lat := corelet.DefaultLatencies()
+	lat.GlobalHit = 3
+	return Config{
+		Cores:         8,
+		SMT:           4,
+		IssueWidth:    4,
+		ClockHz:       3.6e9,
+		L1Bytes:       65536,
+		L2Bytes:       1 << 20,
+		LineBytes:     128,
+		L2Latency:     12,
+		LocalBytes:    4096,
+		DRAM:          d,
+		MemClockHz:    1.2e9,
+		MemQueueDepth: 32,
+		Latencies:     lat,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0 || c.SMT <= 0 || c.IssueWidth <= 0:
+		return fmt.Errorf("multicore: bad geometry")
+	case c.ClockHz <= 0 || c.MemClockHz <= 0:
+		return fmt.Errorf("multicore: bad clocks")
+	case c.L1Bytes <= 0 || c.L2Bytes <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("multicore: bad cache sizes")
+	case c.MemQueueDepth <= 0:
+		return fmt.Errorf("multicore: bad queue depth")
+	}
+	return c.DRAM.Validate()
+}
+
+// Threads returns the hardware thread count.
+func (c Config) Threads() int { return c.Cores * c.SMT }
+
+type delayed struct {
+	due uint64
+	fn  func()
+}
+
+// delayLine defers callbacks by core cycles, modeling L2 hit latency on top
+// of the synchronous cache stack.
+type delayLine struct {
+	now uint64
+	q   []delayed
+}
+
+func (d *delayLine) after(cycles int, fn func()) {
+	d.q = append(d.q, delayed{due: d.now + uint64(cycles), fn: fn})
+}
+
+func (d *delayLine) tick() {
+	d.now++
+	rest := d.q[:0]
+	for _, e := range d.q {
+		if e.due <= d.now {
+			e.fn()
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	d.q = rest
+}
+
+// delayedBacking adds a fixed completion delay to an inner backing.
+type delayedBacking struct {
+	inner cache.Backing
+	d     *delayLine
+	delay int
+}
+
+func (b delayedBacking) Fetch(addr uint32, bytes int, done func()) bool {
+	return b.inner.Fetch(addr, bytes, func() { b.d.after(b.delay, done) })
+}
+
+// Result aggregates one run.
+type Result struct {
+	Time          sim.Time
+	ComputeCycles uint64
+	Cores         corelet.Stats
+	L1, L2        cache.Stats
+	DRAM          core.DRAMStats
+	Energy        energy.Breakdown
+}
+
+// System is the 8-core conventional machine.
+type System struct {
+	C     Config
+	EP    energy.Params
+	eng   *sim.Engine
+	d     *dram.DRAM
+	ctl   *memctrl.Controller
+	cores []*corelet.Corelet
+	l1s   []*cache.Cache
+	l2s   []*cache.Cache
+	delay *delayLine
+	lay   layout.Layout
+	ticks uint64
+}
+
+type port struct{ c *cache.Cache }
+
+func (p port) Read(ctx int, addr uint32, ready func()) corelet.Status {
+	switch p.c.Access(addr, ready) {
+	case cache.Hit:
+		return corelet.Done
+	case cache.Miss:
+		return corelet.Pending
+	default:
+		return corelet.Retry
+	}
+}
+
+// New builds the system for one launch. The launch must use the Split
+// layout (contiguous per-thread partitions — the natural MapReduce sharding
+// for a cache hierarchy).
+func New(c Config, ep energy.Params, l core.Launch) (*System, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ep.Validate(); err != nil {
+		return nil, err
+	}
+	if l.Prog == nil {
+		return nil, fmt.Errorf("multicore: nil program")
+	}
+	if l.Interleave != layout.Split {
+		return nil, fmt.Errorf("multicore: requires the Split layout")
+	}
+	if len(l.Streams) == 0 || len(l.Streams[0]) == 0 {
+		return nil, fmt.Errorf("multicore: empty streams")
+	}
+	lay := layout.Layout{
+		RowBytes: c.DRAM.RowBytes, Corelets: c.Cores, Contexts: c.SMT,
+		Interleave: layout.Split, StreamWords: len(l.Streams[0]),
+	}
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	flat, err := lay.Pack(l.Streams)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dram.New(c.DRAM, len(flat)*4)
+	if err != nil {
+		return nil, err
+	}
+	d.LoadWords(0, flat)
+	ctl, err := memctrl.New(d, c.MemQueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{C: c, EP: ep, eng: sim.NewEngine(), d: d, ctl: ctl, delay: &delayLine{}, lay: lay}
+
+	mem := arch.MemBacking{Ctl: ctl}
+	read := func(addr uint32) uint32 { return d.ReadWord(addr) }
+	for i := 0; i < c.Cores; i++ {
+		l2, err := cache.New(cache.Config{
+			SizeBytes: c.L2Bytes, LineBytes: c.LineBytes, Assoc: 8, PrefetchDepth: 2,
+		}, mem, 16)
+		if err != nil {
+			return nil, err
+		}
+		l1, err := cache.New(cache.Config{
+			SizeBytes: c.L1Bytes, LineBytes: c.LineBytes, Assoc: 4, PrefetchDepth: 2,
+		}, delayedBacking{inner: l2, d: s.delay, delay: c.L2Latency}, 8)
+		if err != nil {
+			return nil, err
+		}
+		ids := corelet.IDs{Corelet: i, NumCorelets: c.Cores, NumContexts: c.SMT}
+		co, err := corelet.New(ids, l.Prog, c.LocalBytes, c.Latencies, port{c: l1}, read)
+		if err != nil {
+			return nil, err
+		}
+		for j, w := range l.Args {
+			co.WriteLocal(uint32(j*4), w)
+		}
+		s.cores = append(s.cores, co)
+		s.l1s = append(s.l1s, l1)
+		s.l2s = append(s.l2s, l2)
+	}
+	if _, err := s.eng.AddDomain("mem", sim.PeriodFromHz(c.MemClockHz),
+		sim.TickFunc(func(sim.Time) { ctl.Tick() })); err != nil {
+		return nil, err
+	}
+	if _, err := s.eng.AddDomain("cores", sim.PeriodFromHz(c.ClockHz), sim.TickFunc(s.tick)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// tick gives each core IssueWidth issue slots per cycle.
+func (s *System) tick(sim.Time) {
+	s.ticks++
+	s.delay.tick()
+	for _, co := range s.cores {
+		if co.Halted() {
+			continue
+		}
+		for k := 0; k < s.C.IssueWidth; k++ {
+			co.Tick()
+		}
+	}
+}
+
+// Halted reports whether all cores finished.
+func (s *System) Halted() bool {
+	for _, co := range s.cores {
+		if !co.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes to completion.
+func (s *System) Run(limit sim.Time) (Result, error) {
+	if limit == 0 {
+		limit = 10 * sim.Second
+	}
+	t, err := s.eng.Run(limit, s.Halted)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{Time: t, ComputeCycles: s.ticks}
+	for _, co := range s.cores {
+		cs := co.Stats()
+		r.Cores.Instructions += cs.Instructions
+		r.Cores.CondBranches += cs.CondBranches
+		r.Cores.LocalAccess += cs.LocalAccess
+		r.Cores.GlobalReads += cs.GlobalReads
+		r.Cores.IdleCycles += cs.IdleCycles
+		r.Cores.BusyCycles += cs.BusyCycles
+	}
+	for i := range s.l1s {
+		a, b := s.l1s[i].Stats(), s.l2s[i].Stats()
+		r.L1.Hits += a.Hits
+		r.L1.Misses += a.Misses
+		r.L2.Hits += b.Hits
+		r.L2.Misses += b.Misses
+	}
+	ds := s.d.Stats()
+	r.DRAM = core.DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
+	r.Energy = s.energyOf(r, t)
+	return r, nil
+}
+
+// ooIInstFactor is the per-instruction energy premium of a 4-wide
+// out-of-order core (rename, wakeup/select, ROB, load-store queue) over the
+// simple in-order corelet datapath — the "power-hungry superscalar cores"
+// the paper contrasts against (Section V).
+const oooInstFactor = 6.0
+
+// leakMWPerOoOCore is leakage per big core in milliwatts.
+const leakMWPerOoOCore = 25.0
+
+func (s *System) energyOf(r Result, t sim.Time) energy.Breakdown {
+	ep := s.EP
+	var b energy.Breakdown
+	b.CorePJ = float64(r.Cores.Instructions)*(ep.InstPJ+ep.IFetchMIMDPJ)*oooInstFactor +
+		float64(r.Cores.LocalAccess+r.Cores.GlobalReads)*ep.L1LargePJ +
+		float64(r.L2.Hits+r.L2.Misses)*ep.L2PJ +
+		float64(r.Cores.IdleCycles)*ep.IdlePJ*oooInstFactor
+	b.DRAMPJ = ep.OffChip(s.d.Stats().BytesRead)
+	b.LeakPJ = leakMWPerOoOCore * float64(s.C.Cores) * 1e-3 * (float64(t) / 1e12) * 1e12
+	return b
+}
+
+// ReadState reads a word of a core's local state after the run.
+func (s *System) ReadState(coreID int, addr uint32) uint32 {
+	return s.cores[coreID].ReadLocal(addr)
+}
+
+// Layout returns the input layout.
+func (s *System) Layout() layout.Layout { return s.lay }

@@ -1,0 +1,91 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/energy"
+	"repro/internal/workloads"
+)
+
+func testParams() arch.Params {
+	p := arch.Default()
+	p.Corelets = 8
+	p.Contexts = 2
+	p.PrefetchEntries = 8
+	return p
+}
+
+func TestNodeRunsAndReduces(t *testing.T) {
+	p := testParams()
+	b := workloads.CountBench()
+	const procs, records = 4, 64
+	r, err := Run(p, energy.Default(), b, procs, records, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ProcessorTimes) != procs {
+		t.Fatalf("processor times = %d", len(r.ProcessorTimes))
+	}
+	for _, pt := range r.ProcessorTimes {
+		if pt <= 0 || pt > r.Time {
+			t.Errorf("processor time %d outside makespan %d", pt, r.Time)
+		}
+	}
+	// All records must be accounted for in the node-level histogram.
+	var total uint64
+	for _, v := range r.Output[:32] {
+		total += uint64(v)
+	}
+	want := uint64(procs * p.Threads() * records)
+	if total != want {
+		t.Errorf("node histogram total %d, want %d", total, want)
+	}
+	if r.Energy.TotalPJ() <= 0 || r.Insts == 0 {
+		t.Error("empty node accounting")
+	}
+}
+
+func TestNodeImbalanceMeasured(t *testing.T) {
+	p := testParams()
+	b := workloads.SampleBench() // bursty, data-dependent work
+	r, err := Run(p, energy.Default(), b, 4, 256, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imb := r.Imbalance()
+	if imb < 0 || imb >= 1 {
+		t.Errorf("imbalance = %v", imb)
+	}
+	// Different shards must not be perfectly identical in runtime.
+	if imb == 0 {
+		t.Error("no cross-processor load imbalance on a bursty workload")
+	}
+}
+
+func TestNodeDeterministic(t *testing.T) {
+	p := testParams()
+	b := workloads.VarianceBench()
+	r1, err := Run(p, energy.Default(), b, 2, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(p, energy.Default(), b, 2, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Time != r2.Time {
+		t.Errorf("node runtime not deterministic: %d vs %d", r1.Time, r2.Time)
+	}
+	for i := range r1.Output {
+		if r1.Output[i] != r2.Output[i] {
+			t.Fatal("node output not deterministic")
+		}
+	}
+}
+
+func TestNodeRejectsBadConfig(t *testing.T) {
+	if _, err := Run(testParams(), energy.Default(), workloads.CountBench(), 0, 8, 1); err == nil {
+		t.Error("zero processors accepted")
+	}
+}

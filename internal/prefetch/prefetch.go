@@ -1,0 +1,513 @@
+// Package prefetch implements Millipede's row-oriented, flow-controlled,
+// cross-corelet prefetch buffer — the paper's second and third contributions
+// (Sections IV-B and IV-C).
+//
+// The buffer is a circular queue of row-sized entries shared by all corelets
+// of one Millipede processor. Entire DRAM rows are prefetched sequentially;
+// each entry is sliced into per-corelet slabs (e.g., 2 KB row / 32 corelets
+// = 64 B = 16 words per slab), so a corelet only ever touches its own slice.
+// Row r always occupies queue slot r mod Entries. Two pieces of per-entry
+// state implement the paper's mechanisms:
+//
+//   - PFT (prefetch-trigger) bit: a full-empty bit set when an entry is
+//     allocated. The first demand access to the tail entry that finds it set
+//     triggers the prefetch of the next sequential row and clears it, so
+//     redundant triggers are suppressed (like an MSHR).
+//
+//   - DF (demand-fetch) counter: counts corelets that have fully consumed
+//     their slab of the entry. With flow control enabled, the head entry
+//     that the next prefetch would re-allocate must have a saturated DF
+//     counter (== corelet count); otherwise the trigger is deferred — the
+//     PFT bit stays set and a later access retries (Figure 2's timeline).
+//     When the head's DF saturates, the deferred trigger fires.
+//
+// With flow control disabled (the paper's Millipede-no-flow-control
+// ablation), re-allocation proceeds unconditionally; a lagging corelet then
+// misses on the prematurely evicted row and is exposed to die-stacked
+// memory latency (Section IV-C): its slab is demand re-fetched at 64 B
+// granularity, forwarded, and latched in a per-corelet snoop buffer rather
+// than re-buffered in the queue. Data of an outstanding prefetch whose
+// entry was re-allocated is likewise forwarded to its waiters.
+//
+// The buffer also exports the two occupancy signals the coarse-grain
+// rate-matching controller (Section IV-F) feeds on: Starved events (a
+// demand access had to wait on DRAM — memory-bound) and FlowBlocks events
+// (flow control deferred a trigger — compute-bound).
+package prefetch
+
+import "fmt"
+
+// FetchFunc issues a read to the memory system; done is called when the
+// last beat arrives. It returns false if the memory controller queue is
+// full, in which case the buffer retries on a later Pump.
+type FetchFunc func(addr uint32, bytes int, done func()) bool
+
+// Config sizes a Buffer.
+type Config struct {
+	Entries     int  // circular-queue depth (16 in Table III)
+	Corelets    int  // slabs per entry (32)
+	RowBytes    int  // 2048
+	FlowControl bool // the paper's DF-counter flow control
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Entries < 2:
+		return fmt.Errorf("prefetch: need >= 2 entries, got %d", c.Entries)
+	case c.Corelets <= 0:
+		return fmt.Errorf("prefetch: bad corelet count %d", c.Corelets)
+	case c.RowBytes <= 0 || c.RowBytes%4 != 0:
+		return fmt.Errorf("prefetch: bad row size %d", c.RowBytes)
+	case (c.RowBytes/4)%c.Corelets != 0:
+		return fmt.Errorf("prefetch: row of %d words not divisible into %d slabs", c.RowBytes/4, c.Corelets)
+	case c.RowBytes/4/c.Corelets > 64:
+		return fmt.Errorf("prefetch: slab of %d words exceeds 64-word consumption bitmap", c.RowBytes/4/c.Corelets)
+	}
+	return nil
+}
+
+// SlabWords returns words per corelet slab.
+func (c Config) SlabWords() int { return c.RowBytes / 4 / c.Corelets }
+
+// Result of an Access.
+type Result int
+
+const (
+	// Ready: the word is in the buffer; the corelet proceeds this cycle.
+	Ready Result = iota
+	// Waiting: the word's row is in flight or not yet allocated; the
+	// callback fires when the data is available.
+	Waiting
+)
+
+// Stats counts buffer events.
+type Stats struct {
+	Prefetches       uint64 // sequential row prefetches issued
+	DemandRowFetches uint64 // no-flow-control demand fetches after premature eviction
+	PrematureEvicts  uint64 // re-allocations with unsaturated DF counters
+	FlowBlocks       uint64 // triggers deferred by flow control
+	Starved          uint64 // demand accesses that had to wait ("buffers empty")
+	ReadyHits        uint64
+	StashHits        uint64 // no-flow-control snoop-latch hits
+	TriggerClears    uint64 // PFT bits cleared by successful triggers
+	FetchRejects     uint64 // fetches bounced off a full controller queue
+}
+
+type waiter struct {
+	corelet int
+	slot    int
+	cb      func()
+}
+
+type entry struct {
+	row      int64 // -1 unallocated
+	filled   bool
+	pft      bool
+	df       int
+	consumed []uint64 // per-corelet bitmap of consumed slab words
+	waiters  []waiter
+}
+
+func (e *entry) reset(row int64) {
+	e.row = row
+	e.filled = false
+	e.pft = true
+	e.df = 0
+	for i := range e.consumed {
+		e.consumed[i] = 0
+	}
+	e.waiters = e.waiters[:0]
+}
+
+// Buffer is the shared prefetch buffer of one Millipede processor.
+type Buffer struct {
+	cfg     Config
+	fetch   FetchFunc
+	entries []entry
+	// Input region, in rows.
+	baseRow, rowCount int64
+	rowBytes          int64
+	// nextRow is the next row index (relative to baseRow) to prefetch; the
+	// tail entry holds nextRow-1 and the head (eviction candidate) slot is
+	// nextRow mod Entries.
+	nextRow int64
+	// future holds corelets waiting on rows not currently resident: rows
+	// beyond the window (flow-control back-pressure on leaders) or rows
+	// evicted from under a pending fetch (no-flow-control mode).
+	future map[int64][]waiter
+	// inFlight marks outstanding fetches: key = row*256 + corelet for slab
+	// demand fetches, row*256 + 255 for full-row prefetches.
+	inFlight map[int64]bool
+	// pending are fetches bounced off a full controller queue, retried by
+	// Pump (same key encoding as inFlight).
+	pending []int64
+	// stash is the per-corelet snoop latch: without flow control, a
+	// prematurely evicted row is demand re-fetched and forwarded rather
+	// than re-buffered; each requesting corelet latches its slab of the
+	// passing fill (64 B), so its subsequent words of that row hit the
+	// latch instead of re-fetching (Section IV-C: lagging corelets are
+	// "exposed to die-stacked memory latency").
+	stash []int64
+	stats Stats
+	// trace observes buffer events when installed (nil = off): kind is
+	// "prefetch", "flow-block", "starve", or "evict".
+	trace func(kind string, row int64)
+}
+
+// New creates a buffer; Start must be called before use.
+func New(cfg Config, fetch FetchFunc) (*Buffer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if fetch == nil {
+		return nil, fmt.Errorf("prefetch: nil fetch")
+	}
+	b := &Buffer{
+		cfg:      cfg,
+		fetch:    fetch,
+		future:   make(map[int64][]waiter),
+		inFlight: make(map[int64]bool),
+	}
+	b.entries = make([]entry, cfg.Entries)
+	for i := range b.entries {
+		b.entries[i].row = -1
+		b.entries[i].consumed = make([]uint64, cfg.Corelets)
+	}
+	b.stash = make([]int64, cfg.Corelets)
+	for i := range b.stash {
+		b.stash[i] = -1
+	}
+	return b, nil
+}
+
+// Stats returns a copy of the event counters.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+// Config returns the buffer configuration.
+func (b *Buffer) Config() Config { return b.cfg }
+
+// SetTracer installs a buffer-event observer.
+func (b *Buffer) SetTracer(t func(kind string, row int64)) { b.trace = t }
+
+func (b *Buffer) emit(kind string, row int64) {
+	if b.trace != nil {
+		b.trace(kind, row)
+	}
+}
+
+// Start begins streaming the input region [base, base+bytes) and issues the
+// initial prefetches that fill the queue.
+func (b *Buffer) Start(base uint32, bytes int) error {
+	if int64(base)%int64(b.cfg.RowBytes) != 0 {
+		return fmt.Errorf("prefetch: base %#x not row-aligned", base)
+	}
+	b.rowBytes = int64(b.cfg.RowBytes)
+	b.baseRow = int64(base) / b.rowBytes
+	b.rowCount = (int64(bytes) + b.rowBytes - 1) / b.rowBytes
+	b.nextRow = 0
+	n := int64(b.cfg.Entries)
+	if n > b.rowCount {
+		n = b.rowCount
+	}
+	for i := int64(0); i < n; i++ {
+		b.allocate()
+	}
+	return nil
+}
+
+// slotOf returns the circular-queue slot for relative row r.
+func (b *Buffer) slotOf(r int64) int { return int(r % int64(b.cfg.Entries)) }
+
+// evictWaiters parks an entry's outstanding waiters in future; the data they
+// asked for is forwarded when the row's in-flight (or Pump-pending) fetch
+// arrives. Waiters exist only on unfilled entries, which by construction
+// always have an in-flight or pending fetch.
+func (b *Buffer) evictWaiters(e *entry) {
+	if len(e.waiters) == 0 {
+		return
+	}
+	b.future[e.row] = append(b.future[e.row], e.waiters...)
+	e.waiters = e.waiters[:0]
+}
+
+// allocate assigns nextRow to its slot and issues the fetch. The caller has
+// already checked flow-control eligibility.
+func (b *Buffer) allocate() {
+	r := b.nextRow
+	b.nextRow++
+	e := &b.entries[b.slotOf(r)]
+	if e.row >= 0 && e.df < b.cfg.Corelets {
+		b.stats.PrematureEvicts++
+		b.emit("evict", e.row)
+		b.evictWaiters(e)
+	}
+	e.reset(r)
+	b.adoptFuture(e)
+	b.issueRow(r)
+	b.stats.Prefetches++
+	b.emit("prefetch", r)
+}
+
+const fullRowKey = 255
+
+// issueRow sends the full-row prefetch for row, unless one is already
+// outstanding; a rejection by the controller queues it for Pump.
+func (b *Buffer) issueRow(row int64) { b.issue(row, fullRowKey) }
+
+// issueSlab sends a 64 B demand fetch of corelet c's slab of row
+// (no-flow-control laggard path).
+func (b *Buffer) issueSlab(row int64, c int) { b.issue(row, c) }
+
+func (b *Buffer) issue(row int64, who int) {
+	key := row*256 + int64(who)
+	if b.inFlight[key] {
+		return
+	}
+	addr := uint32((b.baseRow + row) * b.rowBytes)
+	bytes := b.cfg.RowBytes
+	if who != fullRowKey {
+		bytes = b.cfg.SlabWords() * 4
+		addr += uint32(who * bytes)
+	}
+	if !b.fetch(addr, bytes, func() { b.arrive(row, who) }) {
+		b.stats.FetchRejects++
+		b.pending = append(b.pending, key)
+		return
+	}
+	b.inFlight[key] = true
+}
+
+// Pump retries fetches that bounced off a full controller queue. The owning
+// processor calls it once per cycle.
+func (b *Buffer) Pump() {
+	if len(b.pending) == 0 {
+		return
+	}
+	keys := b.pending
+	b.pending = b.pending[:0]
+	for _, k := range keys {
+		b.issue(k/256, int(k%256))
+	}
+}
+
+// arrive completes a fetch. A full-row arrival fills the entry if the row
+// still owns its slot and forwards to everyone parked on the row; a slab
+// arrival latches into the requesting corelet's stash and wakes only its
+// own waiters.
+func (b *Buffer) arrive(row int64, who int) {
+	delete(b.inFlight, row*256+int64(who))
+	if who == fullRowKey {
+		e := &b.entries[b.slotOf(row)]
+		if e.row == row && !e.filled {
+			e.filled = true
+			ws := e.waiters
+			e.waiters = e.waiters[:0]
+			for _, w := range ws {
+				b.consume(e, w.corelet, w.slot)
+				if w.cb != nil {
+					w.cb()
+				}
+			}
+		}
+		if ws, ok := b.future[row]; ok {
+			delete(b.future, row)
+			for _, w := range ws {
+				b.stash[w.corelet] = row
+				if w.cb != nil {
+					w.cb()
+				}
+			}
+		}
+		return
+	}
+	// Slab arrival: serve this corelet's waiters for the row.
+	ws := b.future[row]
+	rest := ws[:0]
+	for _, w := range ws {
+		if w.corelet == who {
+			b.stash[who] = row
+			if w.cb != nil {
+				w.cb()
+			}
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	if len(rest) == 0 {
+		delete(b.future, row)
+	} else {
+		b.future[row] = rest
+	}
+}
+
+// consume marks one slab word consumed and maintains the DF counter; a head
+// entry whose counter saturates fires any flow-control-deferred trigger.
+func (b *Buffer) consume(e *entry, corelet, slot int) {
+	bit := uint64(1) << uint(slot)
+	if e.consumed[corelet]&bit != 0 {
+		return
+	}
+	e.consumed[corelet] |= bit
+	full := uint64(1)<<uint(b.cfg.SlabWords()) - 1
+	if e.consumed[corelet] == full {
+		e.df++
+		if b.cfg.FlowControl && e.df >= b.cfg.Corelets && b.slotOf(b.nextRow) == b.slotOf(e.row) {
+			b.tryDeferredTrigger()
+		}
+	}
+}
+
+// headConsumed reports whether the entry the next prefetch would replace is
+// fully consumed (DF saturated) or free.
+func (b *Buffer) headConsumed() bool {
+	e := &b.entries[b.slotOf(b.nextRow)]
+	return e.row < 0 || e.df >= b.cfg.Corelets
+}
+
+// advance allocates the next prefetch if the stream is not exhausted and
+// flow control permits.
+func (b *Buffer) advance() (allocated, exhausted bool) {
+	if b.nextRow >= b.rowCount {
+		return false, true
+	}
+	if b.cfg.FlowControl && !b.headConsumed() {
+		b.stats.FlowBlocks++
+		b.emit("flow-block", b.nextRow)
+		return false, false
+	}
+	b.allocate()
+	return true, false
+}
+
+// tryDeferredTrigger fires a trigger that flow control deferred: while the
+// stream is live the tail entry keeps its PFT bit set until its trigger
+// succeeds, so once the head is consumed the window can advance. This is the
+// paper's "later demand access to the tail issues the next prefetch", made
+// robust for the case where the saturating consumption happened on a fill
+// callback and no later tail access exists.
+func (b *Buffer) tryDeferredTrigger() bool {
+	if b.nextRow >= b.rowCount || b.nextRow == 0 {
+		return false
+	}
+	tail := &b.entries[b.slotOf(b.nextRow-1)]
+	if tail.row != b.nextRow-1 || !tail.pft {
+		return false
+	}
+	if b.cfg.FlowControl && !b.headConsumed() {
+		return false
+	}
+	b.allocate()
+	tail.pft = false
+	b.stats.TriggerClears++
+	return true
+}
+
+// Access requests the word at byte address addr on behalf of corelet c; slot
+// is the word's index within the corelet's slab (0..SlabWords-1), which the
+// corelet model derives from its context and stream position. On Waiting,
+// cb fires when the word becomes available (in the memory clock domain).
+func (b *Buffer) Access(c int, slot int, addr uint32, cb func()) Result {
+	row := int64(addr)/b.rowBytes - b.baseRow
+	if row < 0 || row >= b.rowCount {
+		panic(fmt.Sprintf("prefetch: access %#x outside streamed region", addr))
+	}
+	e := &b.entries[b.slotOf(row)]
+	if e.row == row {
+		// First demand access to the tail entry triggers the next row's
+		// prefetch (Section IV-C); flow control may defer it, leaving the
+		// PFT bit set for a later retry. The allocation targets a
+		// different slot (Entries >= 2), so e remains this row's entry.
+		if e.pft && row == b.nextRow-1 {
+			if allocated, exhausted := b.advance(); allocated || exhausted {
+				e.pft = false
+				b.stats.TriggerClears++
+			}
+		}
+		if e.filled {
+			b.consume(e, c, slot)
+			b.stats.ReadyHits++
+			return Ready
+		}
+		e.waiters = append(e.waiters, waiter{c, slot, cb})
+		b.stats.Starved++
+		return Waiting
+	}
+	if row >= b.nextRow {
+		// A leading corelet ran past the prefetched window. Without flow
+		// control the window simply chases the demand; with flow control
+		// it advances only as far as consumed heads allow, and the corelet
+		// parks until the row's future allocation.
+		if b.cfg.FlowControl {
+			for row >= b.nextRow && b.tryDeferredTrigger() {
+			}
+		} else {
+			for row >= b.nextRow {
+				b.allocate()
+			}
+		}
+		if e := &b.entries[b.slotOf(row)]; e.row == row {
+			if e.filled {
+				b.consume(e, c, slot)
+				b.stats.ReadyHits++
+				return Ready
+			}
+			e.waiters = append(e.waiters, waiter{c, slot, cb})
+			b.stats.Starved++
+			return Waiting
+		}
+		b.future[row] = append(b.future[row], waiter{c, slot, cb})
+		b.stats.Starved++
+		return Waiting
+	}
+	// Lagging corelet: the row was prematurely evicted (only possible
+	// without flow control). A demand re-fetch forwards the data without
+	// re-buffering it — the corelet latches its slab from the passing
+	// fill — so the laggard pays the DRAM latency the paper describes
+	// without evicting rows other corelets are still consuming.
+	if b.stash[c] == row {
+		b.stats.StashHits++
+		return Ready
+	}
+	b.stats.DemandRowFetches++
+	b.future[row] = append(b.future[row], waiter{c, slot, cb})
+	b.issueSlab(row, c)
+	b.stats.Starved++
+	return Waiting
+}
+
+// adoptFuture moves waiters of the row just tagged into the entry's wait
+// list; they are served when the fill arrives.
+func (b *Buffer) adoptFuture(e *entry) {
+	if ws, ok := b.future[e.row]; ok {
+		e.waiters = append(e.waiters, ws...)
+		delete(b.future, e.row)
+	}
+}
+
+// Occupancy returns the number of allocated entries whose data is filled
+// but not yet fully consumed — the "fullness" signal for rate matching.
+func (b *Buffer) Occupancy() int {
+	n := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.row >= 0 && e.filled && e.df < b.cfg.Corelets {
+			n++
+		}
+	}
+	return n
+}
+
+// Done reports whether the whole stream has been prefetched and no corelet
+// is waiting on any row.
+func (b *Buffer) Done() bool {
+	if b.nextRow < b.rowCount {
+		return false
+	}
+	for i := range b.entries {
+		if len(b.entries[i].waiters) > 0 {
+			return false
+		}
+	}
+	return len(b.future) == 0
+}

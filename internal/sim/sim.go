@@ -1,0 +1,186 @@
+// Package sim provides the discrete, multi-clock-domain simulation engine
+// underlying every architecture model in this repository.
+//
+// The engine is deliberately small: simulated time is an int64 count of
+// picoseconds, and each clocked component (a processor, a memory system)
+// registers a Domain whose Tick method is invoked at every rising edge of
+// its clock. Domains may have different periods — the paper's compute clock
+// runs at 700 MHz while the die-stacked DRAM channel runs at 1.2 GHz — and a
+// domain's period may change while the simulation runs, which is how the
+// dynamic-frequency-scaling rate-matching controller (Section IV-F of the
+// paper) is modeled.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Time is a simulated timestamp or duration in picoseconds.
+type Time int64
+
+// Common clock periods used throughout the models.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// PeriodFromHz returns the clock period, in picoseconds, of a clock running
+// at the given frequency in hertz. The result is rounded to the nearest
+// picosecond; frequencies above 1 THz or below 1 Hz are rejected by Engine
+// when the domain is registered.
+func PeriodFromHz(hz float64) Time {
+	if hz <= 0 {
+		return 0
+	}
+	return Time(float64(Second)/hz + 0.5)
+}
+
+// HzFromPeriod is the inverse of PeriodFromHz.
+func HzFromPeriod(p Time) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return float64(Second) / float64(p)
+}
+
+// Ticker is a clocked component. Tick is called once per rising edge of the
+// component's clock with the current simulated time.
+type Ticker interface {
+	Tick(now Time)
+}
+
+// TickFunc adapts a plain function to the Ticker interface.
+type TickFunc func(now Time)
+
+// Tick implements Ticker.
+func (f TickFunc) Tick(now Time) { f(now) }
+
+// Domain is one clock domain registered with an Engine.
+type Domain struct {
+	name   string
+	period Time
+	next   Time
+	ticker Ticker
+	ticks  uint64
+}
+
+// Name returns the domain's registration name.
+func (d *Domain) Name() string { return d.name }
+
+// Period returns the domain's current clock period in picoseconds.
+func (d *Domain) Period() Time { return d.period }
+
+// Frequency returns the domain's current clock frequency in hertz.
+func (d *Domain) Frequency() float64 { return HzFromPeriod(d.period) }
+
+// Ticks returns the number of rising edges the domain has seen so far.
+func (d *Domain) Ticks() uint64 { return d.ticks }
+
+// SetPeriod changes the domain's clock period. The change takes effect for
+// the edge after the next one already scheduled, mimicking a PLL that
+// relocks between cycles. Periods must be positive.
+func (d *Domain) SetPeriod(p Time) error {
+	if p <= 0 {
+		return fmt.Errorf("sim: domain %q: non-positive period %d", d.name, p)
+	}
+	d.period = p
+	return nil
+}
+
+// Engine drives a set of clock domains in global-time order. It is not safe
+// for concurrent use; architecture models are single-goroutine by design so
+// that simulations are deterministic and replayable.
+type Engine struct {
+	domains []*Domain
+	now     Time
+	stopped bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Stop requests that Run return after the tick currently being dispatched.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// ErrBadDomain is returned when a domain registration is invalid.
+var ErrBadDomain = errors.New("sim: invalid domain")
+
+// AddDomain registers a new clock domain with the given name, period (ps),
+// and component. The first edge fires at t = period (not at t = 0), so all
+// components observe a defined reset state before their first tick.
+func (e *Engine) AddDomain(name string, period Time, t Ticker) (*Domain, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("%w: %q has non-positive period %d", ErrBadDomain, name, period)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("%w: %q has nil ticker", ErrBadDomain, name)
+	}
+	for _, d := range e.domains {
+		if d.name == name {
+			return nil, fmt.Errorf("%w: duplicate name %q", ErrBadDomain, name)
+		}
+	}
+	d := &Domain{name: name, period: period, next: e.now + period, ticker: t}
+	e.domains = append(e.domains, d)
+	return d, nil
+}
+
+// step dispatches the earliest pending edge. With the handful of domains the
+// models use, a linear scan beats a heap. Ties are broken by registration
+// order, which keeps runs deterministic.
+func (e *Engine) step() bool {
+	if len(e.domains) == 0 || e.stopped {
+		return false
+	}
+	min := e.domains[0]
+	for _, d := range e.domains[1:] {
+		if d.next < min.next {
+			min = d
+		}
+	}
+	e.now = min.next
+	min.ticks++
+	min.ticker.Tick(e.now)
+	// Schedule the following edge using the (possibly just-changed) period.
+	min.next = e.now + min.period
+	return true
+}
+
+// Run advances the simulation until done returns true (checked after every
+// dispatched edge), Stop is called, or the time limit is exceeded. It
+// returns the final simulated time and an error if the limit was hit.
+func (e *Engine) Run(limit Time, done func() bool) (Time, error) {
+	if done == nil {
+		done = func() bool { return false }
+	}
+	for !done() && !e.stopped {
+		if limit > 0 && e.now >= limit {
+			return e.now, fmt.Errorf("sim: time limit %d ps exceeded at t=%d", limit, e.now)
+		}
+		if !e.step() {
+			break
+		}
+	}
+	return e.now, nil
+}
+
+// RunTicks advances the simulation by exactly n dispatched edges (across all
+// domains), mainly for tests.
+func (e *Engine) RunTicks(n int) Time {
+	for i := 0; i < n; i++ {
+		if !e.step() {
+			break
+		}
+	}
+	return e.now
+}

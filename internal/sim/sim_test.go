@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPeriodFromHz(t *testing.T) {
+	cases := []struct {
+		hz   float64
+		want Time
+	}{
+		{1e9, 1000},        // 1 GHz -> 1000 ps
+		{700e6, 1429},      // 700 MHz -> 1428.57 ps rounded
+		{1.2e9, 833},       // 1.2 GHz -> 833.33 ps rounded
+		{3.6e9, 278},       // 3.6 GHz
+		{0, 0},             // invalid
+		{-5, 0},            // invalid
+		{2e9, 500},         // 2 GHz
+		{1, Time(Second)},  // 1 Hz
+		{1e12, Picosecond}, // 1 THz
+	}
+	for _, c := range cases {
+		if got := PeriodFromHz(c.hz); got != c.want {
+			t.Errorf("PeriodFromHz(%v) = %d, want %d", c.hz, got, c.want)
+		}
+	}
+}
+
+func TestHzFromPeriodRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := Time(raw%10000) + 1 // 1..10000 ps
+		hz := HzFromPeriod(p)
+		return PeriodFromHz(hz) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHzFromPeriodInvalid(t *testing.T) {
+	if HzFromPeriod(0) != 0 || HzFromPeriod(-3) != 0 {
+		t.Error("HzFromPeriod should return 0 for non-positive periods")
+	}
+}
+
+func TestAddDomainValidation(t *testing.T) {
+	e := NewEngine()
+	tick := TickFunc(func(Time) {})
+	if _, err := e.AddDomain("a", 0, tick); err == nil {
+		t.Error("expected error for zero period")
+	}
+	if _, err := e.AddDomain("a", 100, nil); err == nil {
+		t.Error("expected error for nil ticker")
+	}
+	if _, err := e.AddDomain("a", 100, tick); err != nil {
+		t.Fatalf("valid AddDomain failed: %v", err)
+	}
+	if _, err := e.AddDomain("a", 200, tick); err == nil {
+		t.Error("expected error for duplicate name")
+	}
+}
+
+func TestSingleDomainTickTimes(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	d, err := e.AddDomain("cpu", 1000, TickFunc(func(now Time) {
+		times = append(times, now)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunTicks(4)
+	want := []Time{1000, 2000, 3000, 4000}
+	if len(times) != len(want) {
+		t.Fatalf("got %d ticks, want %d", len(times), len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("tick %d at %d, want %d", i, times[i], want[i])
+		}
+	}
+	if d.Ticks() != 4 {
+		t.Errorf("Ticks() = %d, want 4", d.Ticks())
+	}
+}
+
+func TestTwoDomainInterleaving(t *testing.T) {
+	// A 1000 ps domain and a 400 ps domain must interleave in global time
+	// order with ties broken by registration order.
+	e := NewEngine()
+	var order []string
+	_, _ = e.AddDomain("slow", 1000, TickFunc(func(now Time) { order = append(order, "s") }))
+	_, _ = e.AddDomain("fast", 400, TickFunc(func(now Time) { order = append(order, "f") }))
+	e.RunTicks(7)
+	// Edges: f@400, f@800, s@1000, f@1200, f@1600, s@2000, f@2000 -> s wins tie (registered first).
+	want := "ffsffsf"
+	got := ""
+	for _, s := range order {
+		got += s
+	}
+	if got != want {
+		t.Errorf("interleaving = %q, want %q", got, want)
+	}
+}
+
+func TestSetPeriodTakesEffect(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	var d *Domain
+	var err error
+	d, err = e.AddDomain("cpu", 1000, TickFunc(func(now Time) {
+		times = append(times, now)
+		if len(times) == 2 {
+			if err := d.SetPeriod(500); err != nil {
+				t.Fatalf("SetPeriod: %v", err)
+			}
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunTicks(4)
+	want := []Time{1000, 2000, 2500, 3000}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("tick %d at %d, want %d (times=%v)", i, times[i], want[i], times)
+		}
+	}
+}
+
+func TestSetPeriodRejectsNonPositive(t *testing.T) {
+	e := NewEngine()
+	d, _ := e.AddDomain("cpu", 1000, TickFunc(func(Time) {}))
+	if err := d.SetPeriod(0); err == nil {
+		t.Error("expected error for zero period")
+	}
+	if err := d.SetPeriod(-1); err == nil {
+		t.Error("expected error for negative period")
+	}
+	if d.Period() != 1000 {
+		t.Errorf("period changed by invalid SetPeriod: %d", d.Period())
+	}
+}
+
+func TestRunDoneAndStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	_, _ = e.AddDomain("cpu", 10, TickFunc(func(Time) { n++ }))
+	if _, err := e.Run(0, func() bool { return n >= 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("ran %d ticks, want 5", n)
+	}
+
+	e2 := NewEngine()
+	m := 0
+	_, _ = e2.AddDomain("cpu", 10, TickFunc(func(Time) {
+		m++
+		if m == 3 {
+			e2.Stop()
+		}
+	}))
+	if _, err := e2.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m != 3 {
+		t.Errorf("Stop did not halt run: %d ticks", m)
+	}
+	if !e2.Stopped() {
+		t.Error("Stopped() = false after Stop")
+	}
+}
+
+func TestRunTimeLimit(t *testing.T) {
+	e := NewEngine()
+	_, _ = e.AddDomain("cpu", 10, TickFunc(func(Time) {}))
+	if _, err := e.Run(100, nil); err == nil {
+		t.Error("expected time-limit error")
+	}
+	if e.Now() < 100 {
+		t.Errorf("engine stopped early at %d", e.Now())
+	}
+}
+
+func TestRunEmptyEngine(t *testing.T) {
+	e := NewEngine()
+	now, err := e.Run(0, nil)
+	if err != nil || now != 0 {
+		t.Errorf("empty engine Run = (%d, %v), want (0, nil)", now, err)
+	}
+}
+
+// Property: for any pair of periods, edges are dispatched in non-decreasing
+// global time and each domain ticks floor(T/period) times by time T.
+func TestPropertyEdgeCounts(t *testing.T) {
+	f := func(p1u, p2u uint8) bool {
+		p1 := Time(p1u%97) + 3
+		p2 := Time(p2u%89) + 5
+		e := NewEngine()
+		var last Time
+		monotone := true
+		check := func(now Time) {
+			if now < last {
+				monotone = false
+			}
+			last = now
+		}
+		d1, _ := e.AddDomain("a", p1, TickFunc(check))
+		d2, _ := e.AddDomain("b", p2, TickFunc(check))
+		horizon := Time(5000)
+		for e.Now() < horizon {
+			if e.RunTicks(1) == e.Now() && e.Now() == 0 {
+				break
+			}
+		}
+		// After crossing the horizon, each domain has ticked either
+		// floor(now/p) or that ±1 depending on which edge crossed last.
+		okCount := func(d *Domain, p Time) bool {
+			exact := uint64(e.Now() / p)
+			return d.Ticks() >= exact-1 && d.Ticks() <= exact+1
+		}
+		return monotone && okCount(d1, p1) && okCount(d2, p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,595 @@
+// Package simt models the GPGPU-style PNM baselines of Section V: a 32-lane
+// SM with 4-way warp multithreading (GPGPU), the Variable Warp Sizing
+// configuration the paper reports always picks 4-wide warps for BMLAs
+// (VWS: 8 independent 4-lane slices), and VWS-row — VWS augmented with
+// Millipede's row-oriented, flow-controlled prefetch (the paper's
+// generality experiment).
+//
+// Divergence is modeled with the classic immediate-post-dominator
+// reconvergence stack, using the reconvergence PCs the assembler computes
+// from the kernel CFG. Memory accesses by a warp's lanes coalesce into
+// 128-byte transactions against the SM's L1 D-cache (with sequential
+// cache-block prefetch); the live state lives in 32-bank word-interleaved
+// shared memory with broadcast and bank-conflict serialization — exactly
+// the mapping Section III-E prescribes for BMLAs on GPGPUs.
+package simt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/layout"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// Variant selects the SM organization.
+type Variant int
+
+const (
+	// GPGPU: 32-wide warps, L1D cache-block prefetch.
+	GPGPU Variant = iota
+	// VWS: 4-wide warps in independent slices, L1D cache-block prefetch.
+	VWS
+	// VWSRow: 4-wide warps with Millipede's row prefetch + flow control.
+	VWSRow
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VWS:
+		return "vws"
+	case VWSRow:
+		return "vws-row"
+	}
+	return "gpgpu"
+}
+
+// Stats aggregates SM execution counters.
+type Stats struct {
+	WarpInsts    uint64 // issue slots used (instruction fetch/decode events)
+	ThreadInsts  uint64 // per-lane executed instructions
+	CondBranches uint64 // per-lane conditional branches
+	Divergences  uint64 // warp splits
+	SharedAcc    uint64 // shared-memory bank accesses
+	BankConflict uint64 // extra cycles from bank conflicts
+	Transactions uint64 // coalesced global transactions (cache accesses)
+	LaneIdle     uint64 // lane-cycles without work (divergence + stalls)
+	Cycles       uint64
+}
+
+type stackEntry struct {
+	rpc  int
+	pc   int
+	mask uint64
+}
+
+type warp struct {
+	slice   int // lane group: lanes [slice*width, (slice+1)*width)
+	context int
+	pc      int
+	rpc     int
+	mask    uint64 // relative to the slice's lanes (bit i = lane slice*width+i)
+	stack   []stackEntry
+	regs    [][isa.NumRegs]uint32 // per lane in slice
+	readyAt int64
+	// Outstanding memory state.
+	outstanding int
+	pendingBlk  []uint32 // coalesced transactions awaiting cache acceptance
+	done        bool
+}
+
+func (w *warp) fullMask(width int) uint64 { return (uint64(1) << uint(width)) - 1 }
+
+// SM is one streaming multiprocessor plus its memory side.
+type SM struct {
+	P       arch.Params
+	EP      energy.Params
+	V       Variant
+	node    *arch.Node
+	lay     layout.Layout
+	prog    *isa.Program
+	width   int
+	slices  int
+	warps   []*warp
+	shared  []uint32
+	l1      *cache.Cache
+	buf     *prefetch.Buffer
+	rr      []int // per-slice round-robin pointer
+	ticks   uint64
+	stats   Stats
+	running int
+	// Scratch buffers reused across memory accesses (hot path).
+	scratchAddrs  []uint32
+	scratchBlocks []uint32
+}
+
+// NewSM builds and loads an SM for one launch. The launch's interleave must
+// be Word (the coalesceable layout the paper says GPGPUs require).
+func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ep.Validate(); err != nil {
+		return nil, err
+	}
+	if l.Prog == nil {
+		return nil, fmt.Errorf("simt: nil program")
+	}
+	if l.Interleave != layout.Word {
+		return nil, fmt.Errorf("simt: SIMT models require the word-interleaved layout")
+	}
+	width := p.Corelets
+	if v != GPGPU {
+		width = p.VWSWarpWidth
+	}
+	if width <= 0 || width > 64 || p.Corelets%width != 0 {
+		return nil, fmt.Errorf("simt: bad warp width %d for %d lanes", width, p.Corelets)
+	}
+	lay := layout.Layout{
+		Base:       0,
+		RowBytes:   p.DRAM.RowBytes,
+		Corelets:   p.Corelets,
+		Contexts:   p.Contexts,
+		Interleave: layout.Word,
+	}
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	flat, err := lay.Pack(l.Streams)
+	if err != nil {
+		return nil, err
+	}
+	node, err := arch.NewNode(p, len(flat)*4)
+	if err != nil {
+		return nil, err
+	}
+	node.DRAM.LoadWords(0, flat)
+
+	m := &SM{
+		P: p, EP: ep, V: v, node: node, lay: lay, prog: l.Prog,
+		width:  width,
+		slices: p.Corelets / width,
+		shared: make([]uint32, p.SharedMemBytes/4),
+	}
+	m.rr = make([]int, m.slices)
+	for i, w := range l.Args {
+		m.shared[i] = w
+	}
+	switch v {
+	case VWSRow:
+		bcfg := prefetch.Config{
+			Entries:     p.PrefetchEntries,
+			Corelets:    p.Corelets,
+			RowBytes:    p.DRAM.RowBytes,
+			FlowControl: p.FlowControl,
+		}
+		m.buf, err = prefetch.New(bcfg, arch.MemBacking{Ctl: node.Ctl}.Fetch)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.buf.Start(0, len(flat)*4); err != nil {
+			return nil, err
+		}
+	default:
+		ccfg := cache.Config{
+			SizeBytes:     p.GPGPUL1Bytes,
+			LineBytes:     p.CacheLineBytes,
+			Assoc:         p.CacheAssoc,
+			PrefetchDepth: p.PrefetchDepth,
+		}
+		m.l1, err = cache.New(ccfg, arch.MemBacking{Ctl: node.Ctl}, 16)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for s := 0; s < m.slices; s++ {
+		for c := 0; c < p.Contexts; c++ {
+			w := &warp{slice: s, context: c, rpc: len(l.Prog.Insts)}
+			w.mask = w.fullMask(width)
+			w.regs = make([][isa.NumRegs]uint32, width)
+			m.warps = append(m.warps, w)
+		}
+	}
+	m.running = len(m.warps)
+	if err := node.AttachCompute(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// laneID returns the global lane (corelet) index of bit i in warp w.
+func (m *SM) laneID(w *warp, i int) int { return w.slice*m.width + i }
+
+func (m *SM) csr(w *warp, lane int, n int32) uint32 {
+	gl := m.laneID(w, lane)
+	switch n {
+	case isa.CSRCoreletID:
+		return uint32(gl)
+	case isa.CSRContextID:
+		return uint32(w.context)
+	case isa.CSRNumCorelet:
+		return uint32(m.P.Corelets)
+	case isa.CSRNumContext:
+		return uint32(m.P.Contexts)
+	case isa.CSRThreadID:
+		return uint32(gl*m.P.Contexts + w.context)
+	case isa.CSRNumThreads:
+		return uint32(m.P.Corelets * m.P.Contexts)
+	}
+	panic(fmt.Sprintf("simt: unknown CSR %d", n))
+}
+
+// Halted reports whether every warp has finished.
+func (m *SM) Halted() bool { return m.running == 0 }
+
+// Tick advances the SM one compute cycle: each slice retries pending memory
+// and issues at most one warp instruction.
+func (m *SM) Tick(now sim.Time) {
+	m.ticks++
+	m.stats.Cycles++
+	if m.buf != nil {
+		m.buf.Pump()
+	}
+	issuedLanes := 0
+	for s := 0; s < m.slices; s++ {
+		issuedLanes += m.tickSlice(s)
+	}
+	m.stats.LaneIdle += uint64(m.P.Corelets - issuedLanes)
+}
+
+func (m *SM) tickSlice(s int) int {
+	n := m.P.Contexts
+	base := s * n
+	// Retry transactions bounced off full queues.
+	for i := 0; i < n; i++ {
+		w := m.warps[base+i]
+		if len(w.pendingBlk) > 0 {
+			m.retryBlocks(w)
+		}
+	}
+	for i := 0; i < n; i++ {
+		idx := (m.rr[s] + 1 + i) % n
+		w := m.warps[base+idx]
+		if w.done || w.outstanding > 0 || len(w.pendingBlk) > 0 || w.readyAt > int64(m.ticks) {
+			continue
+		}
+		m.rr[s] = idx
+		return m.execute(w)
+	}
+	return 0
+}
+
+// reconverge pops the divergence stack while the warp sits at a
+// reconvergence point.
+func (w *warp) reconverge() {
+	for len(w.stack) > 0 && w.pc == w.rpc {
+		top := w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+		w.pc, w.mask, w.rpc = top.pc, top.mask, top.rpc
+	}
+}
+
+// execute runs one warp instruction and returns the number of active lanes.
+func (m *SM) execute(w *warp) int {
+	w.reconverge()
+	in := m.prog.Insts[w.pc]
+	active := bits.OnesCount64(w.mask)
+	m.stats.WarpInsts++
+	m.stats.ThreadInsts += uint64(active)
+	lat := int64(m.latencyOf(isa.Classify(in.Op)))
+
+	switch {
+	case in.Op == isa.HALT:
+		if len(w.stack) != 0 {
+			panic("simt: HALT under divergence (kernel reconvergence bug)")
+		}
+		w.done = true
+		m.running--
+		return active
+	case in.Op == isa.CSRR:
+		m.forEachLane(w, func(l int) {
+			m.setReg(w, l, in.Rd, m.csr(w, l, in.Imm))
+		})
+		w.pc++
+	case in.Op == isa.LW:
+		conf := m.sharedAccess(w, in, false)
+		lat += int64(conf)
+		w.pc++
+	case in.Op == isa.SW:
+		conf := m.sharedAccess(w, in, true)
+		lat += int64(conf)
+		w.pc++
+	case in.Op == isa.LDG, in.Op == isa.LDS:
+		lat += int64(m.globalLoad(w, in))
+		w.pc++
+	case in.Op == isa.STG:
+		panic("simt: STG not supported by the PNM kernels")
+	case isa.IsCondBranch(in.Op):
+		m.stats.CondBranches += uint64(active)
+		var taken uint64
+		m.forEachLane(w, func(l int) {
+			t, _ := isa.EvalBranch(in.Op, w.regs[l][in.Rs1], w.regs[l][in.Rs2])
+			if t {
+				taken |= 1 << uint(l)
+			}
+		})
+		lat = int64(m.P.Latencies.TakenBranch)
+		switch {
+		case taken == 0:
+			w.pc++
+		case taken == w.mask:
+			w.pc = int(in.Imm)
+		default:
+			m.stats.Divergences++
+			r := m.prog.ReconvPC[w.pc]
+			// Continuation at the reconvergence point, then the taken
+			// path; execution proceeds on the fall-through path.
+			w.stack = append(w.stack,
+				stackEntry{rpc: w.rpc, pc: r, mask: w.mask},
+				stackEntry{rpc: r, pc: int(in.Imm), mask: taken},
+			)
+			w.mask &^= taken
+			w.rpc = r
+			w.pc++
+		}
+	case in.Op == isa.J:
+		w.pc = int(in.Imm)
+		lat = int64(m.P.Latencies.TakenBranch)
+	case in.Op == isa.JAL:
+		m.forEachLane(w, func(l int) {
+			m.setReg(w, l, in.Rd, uint32(w.pc+1))
+		})
+		w.pc = int(in.Imm)
+		lat = int64(m.P.Latencies.TakenBranch)
+	case in.Op == isa.JR:
+		var target uint32
+		first := true
+		ok := true
+		m.forEachLane(w, func(l int) {
+			v := w.regs[l][in.Rs1]
+			if first {
+				target, first = v, false
+			} else if v != target {
+				ok = false
+			}
+		})
+		if !ok {
+			panic("simt: divergent JR targets unsupported")
+		}
+		w.pc = int(target)
+		lat = int64(m.P.Latencies.TakenBranch)
+	default:
+		m.forEachLane(w, func(l int) {
+			v, ok := isa.EvalALU(in, w.regs[l][in.Rs1], w.regs[l][in.Rs2])
+			if !ok {
+				panic(fmt.Sprintf("simt: unhandled op %v", in.Op))
+			}
+			m.setReg(w, l, in.Rd, v)
+		})
+		w.pc++
+	}
+	w.readyAt = int64(m.ticks) + lat
+	return active
+}
+
+func (m *SM) latencyOf(c isa.Class) int {
+	l := m.P.Latencies
+	switch c {
+	case isa.ClassMul:
+		return l.Mul
+	case isa.ClassDiv:
+		return l.Div
+	case isa.ClassFPU:
+		return l.FPU
+	case isa.ClassFDiv:
+		return l.FDiv
+	case isa.ClassLocalMem:
+		return l.Local
+	case isa.ClassGlobalMem:
+		return l.GlobalHit
+	default:
+		return l.ALU
+	}
+}
+
+func (m *SM) forEachLane(w *warp, f func(lane int)) {
+	for l := 0; l < m.width; l++ {
+		if w.mask&(1<<uint(l)) != 0 {
+			f(l)
+		}
+	}
+}
+
+func (m *SM) setReg(w *warp, lane int, rd uint8, v uint32) {
+	if rd != 0 {
+		w.regs[lane][rd] = v
+	}
+}
+
+// sharedAccess performs a banked shared-memory access for all active lanes
+// and returns the extra serialization cycles (conflict degree - 1). Lanes
+// reading the same word broadcast for free. The distinct-address scan is
+// O(lanes^2) over a reused scratch buffer — far cheaper than per-access
+// maps for warp-sized n.
+func (m *SM) sharedAccess(w *warp, in isa.Inst, store bool) int {
+	addrs := m.scratchAddrs[:0]
+	m.forEachLane(w, func(l int) {
+		addr := uint32(int32(w.regs[l][in.Rs1]) + in.Imm)
+		if addr%4 != 0 {
+			panic(fmt.Sprintf("simt: unaligned shared access %#x", addr))
+		}
+		if int(addr/4) >= len(m.shared) {
+			panic(fmt.Sprintf("simt: shared access %#x beyond %d B shared memory", addr, len(m.shared)*4))
+		}
+		if store {
+			m.shared[addr/4] = w.regs[l][in.Rs2]
+		} else {
+			m.setReg(w, l, in.Rd, m.shared[addr/4])
+		}
+		for _, a := range addrs {
+			if a == addr {
+				return // broadcast: same word costs one bank access
+			}
+		}
+		addrs = append(addrs, addr)
+	})
+	m.scratchAddrs = addrs[:0]
+	m.stats.SharedAcc += uint64(len(addrs))
+	var perBank [32]uint8
+	worst := 1
+	for _, a := range addrs {
+		b := int(a/4) % 32
+		perBank[b]++
+		if int(perBank[b]) > worst {
+			worst = int(perBank[b])
+		}
+	}
+	if worst > 1 {
+		m.stats.BankConflict += uint64(worst - 1)
+	}
+	return worst - 1
+}
+
+// globalLoad performs the lanes' loads functionally, then models the timing:
+// coalesce into cache-block transactions (GPGPU/VWS) or per-word prefetch
+// buffer accesses (VWS-row). It returns the extra issue-slot cycles consumed
+// by transactions beyond the first.
+func (m *SM) globalLoad(w *warp, in isa.Inst) int {
+	laneAddr := func(l int) uint32 {
+		if in.Op == isa.LDS {
+			a := w.regs[l][isa.StreamAddr]
+			advanceStream(&w.regs[l])
+			return a
+		}
+		return uint32(int32(w.regs[l][in.Rs1]) + in.Imm)
+	}
+	if m.buf != nil {
+		m.forEachLane(w, func(l int) {
+			addr := laneAddr(l)
+			m.setReg(w, l, in.Rd, m.node.DRAM.ReadWord(addr))
+			c, slot := m.lay.OwnerOf(addr)
+			if c != m.laneID(w, l) {
+				panic("simt: lane touched another lane's slab")
+			}
+			if m.buf.Access(c, slot, addr, func() { w.outstanding-- }) == prefetch.Waiting {
+				w.outstanding++
+			}
+		})
+		m.stats.Transactions += uint64(bits.OnesCount64(w.mask))
+		return 0
+	}
+	blocks := m.scratchBlocks[:0]
+	lb := int64(m.P.CacheLineBytes)
+	m.forEachLane(w, func(l int) {
+		addr := laneAddr(l)
+		m.setReg(w, l, in.Rd, m.node.DRAM.ReadWord(addr))
+		blk := uint32(int64(addr) / lb * lb)
+		for _, b := range blocks {
+			if b == blk {
+				return
+			}
+		}
+		blocks = append(blocks, blk)
+	})
+	w.pendingBlk = append(w.pendingBlk, blocks...)
+	n := len(blocks)
+	m.scratchBlocks = blocks[:0]
+	m.retryBlocks(w)
+	return n - 1
+}
+
+// retryBlocks issues as many pending coalesced transactions as the L1 will
+// accept this cycle.
+func (m *SM) retryBlocks(w *warp) {
+	rest := w.pendingBlk[:0]
+	for _, b := range w.pendingBlk {
+		switch m.l1.Access(b, func() { w.outstanding-- }) {
+		case cache.Hit:
+			m.stats.Transactions++
+		case cache.Miss:
+			m.stats.Transactions++
+			w.outstanding++
+		default: // Retry
+			rest = append(rest, b)
+		}
+	}
+	w.pendingBlk = rest
+}
+
+// Run executes to completion and returns aggregated results.
+func (m *SM) Run(limit sim.Time) (Result, error) {
+	t, err := m.node.Run(limit)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{Time: t, ComputeCycles: m.ticks, SM: m.stats}
+	ds := m.node.DRAM.Stats()
+	r.DRAM = core.DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
+	if m.l1 != nil {
+		r.Cache = m.l1.Stats()
+	}
+	if m.buf != nil {
+		r.Prefetch = m.buf.Stats()
+	}
+	r.Energy = m.energy(t)
+	return r, nil
+}
+
+// Result aggregates one SM run.
+type Result struct {
+	Time          sim.Time
+	ComputeCycles uint64
+	SM            Stats
+	Cache         cache.Stats
+	Prefetch      prefetch.Stats
+	DRAM          core.DRAMStats
+	Energy        energy.Breakdown
+}
+
+// energy: SIMT amortizes instruction fetch over the warp but pays the
+// shared-memory crossbar on every live-state access and idles lanes on
+// divergence (Section VI-B's explanation of Figure 4).
+func (m *SM) energy(t sim.Time) energy.Breakdown {
+	ep := m.EP
+	var b energy.Breakdown
+	b.CorePJ = float64(m.stats.WarpInsts)*ep.IFetchWarpPJ +
+		float64(m.stats.ThreadInsts)*ep.InstPJ +
+		float64(m.stats.SharedAcc)*ep.SharedMemPJ +
+		float64(m.stats.LaneIdle)*ep.IdlePJ
+	if m.buf != nil {
+		b.CorePJ += float64(m.stats.Transactions) * ep.LocalPJ
+	} else {
+		b.CorePJ += float64(m.stats.Transactions) * ep.L1LargePJ
+	}
+	ds := m.node.DRAM.Stats()
+	b.DRAMPJ = ep.DRAM(ds.RowMisses, ds.BytesRead)
+	b.LeakPJ = ep.Leakage(m.P.Corelets, float64(t)/1e12)
+	return b
+}
+
+// advanceStream steps a lane's hardware stream walker (isa.LDS semantics).
+func advanceStream(regs *[isa.NumRegs]uint32) {
+	regs[isa.StreamAddr] += regs[isa.StreamStride]
+	regs[isa.StreamCount]--
+	if regs[isa.StreamCount] == 0 {
+		regs[isa.StreamAddr] += regs[isa.StreamFix]
+		regs[isa.StreamCount] = regs[isa.StreamChunk]
+	}
+}
+
+// InjectMemoryJitter enables deterministic DRAM completion jitter (fault
+// injection). Call before Run.
+func (m *SM) InjectMemoryJitter(max int64, seed uint64) { m.node.InjectMemoryJitter(max, seed) }
+
+// ReadShared reads a word of SM shared memory after the run (host Reduce).
+// The corelet argument is ignored: shared memory is SM-wide.
+func (m *SM) ReadShared(_ int, addr uint32) uint32 { return m.shared[addr/4] }
+
+// Layout returns the input layout.
+func (m *SM) Layout() layout.Layout { return m.lay }

@@ -1,0 +1,219 @@
+// Package ssmc models the paper's plain "sea of simple MIMD cores"
+// baseline: the same corelets as Millipede, but with each core's 5 KB L1
+// D-cache and sequential cache-block prefetch in place of the shared
+// row-oriented prefetch buffer (Section V: "SSMC representing previous
+// multicores without row-orientedness").
+//
+// Because each core fetches cache blocks on its own schedule, cores that
+// stray from each other interleave requests to different DRAM rows in the
+// 16-deep FR-FCFS window, degrading row locality — the row-miss-rate column
+// of Table IV and the bandwidth loss behind Figure 3's SSMC bars.
+//
+// Live state stays cache-resident (the paper stipulates BMLA state
+// "completely fits"), so the L1 here filters only the streaming input; the
+// corelet's local accesses are charged at L1 energy in the breakdown.
+package ssmc
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/corelet"
+	"repro/internal/energy"
+	"repro/internal/layout"
+	"repro/internal/sim"
+)
+
+// Processor is one SSMC processor plus its memory side.
+type Processor struct {
+	P      arch.Params
+	EP     energy.Params
+	node   *arch.Node
+	lay    layout.Layout
+	cores  []*corelet.Corelet
+	caches []*cache.Cache
+	ticks  uint64
+}
+
+// Result aliases the Millipede result shape with cache stats in place of
+// prefetch stats.
+type Result struct {
+	Time          sim.Time
+	ComputeCycles uint64
+	Cores         corelet.Stats
+	Cache         cache.Stats
+	DRAM          core.DRAMStats
+	Energy        energy.Breakdown
+}
+
+// NewProcessor builds and loads an SSMC processor for one launch.
+func NewProcessor(p arch.Params, ep energy.Params, l core.Launch) (*Processor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ep.Validate(); err != nil {
+		return nil, err
+	}
+	if l.Prog == nil {
+		return nil, fmt.Errorf("ssmc: nil program")
+	}
+	if len(l.Streams) == 0 || len(l.Streams[0]) == 0 {
+		return nil, fmt.Errorf("ssmc: empty streams")
+	}
+	lay := layout.Layout{
+		Base:        0,
+		RowBytes:    p.DRAM.RowBytes,
+		Corelets:    p.Corelets,
+		Contexts:    p.Contexts,
+		Interleave:  l.Interleave,
+		StreamWords: len(l.Streams[0]),
+	}
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	flat, err := lay.Pack(l.Streams)
+	if err != nil {
+		return nil, err
+	}
+	node, err := arch.NewNode(p, len(flat)*4)
+	if err != nil {
+		return nil, err
+	}
+	node.DRAM.LoadWords(0, flat)
+
+	pr := &Processor{P: p, EP: ep, node: node, lay: lay}
+	backing := arch.MemBacking{Ctl: node.Ctl}
+	ccfg := cache.Config{
+		SizeBytes:     p.SSMCL1Bytes,
+		LineBytes:     p.SSMCLineBytes,
+		Assoc:         p.CacheAssoc,
+		PrefetchDepth: p.PrefetchDepth,
+	}
+	if l.Interleave != layout.Split {
+		// Under a row-shared interleaving, a core's slab recurs once per
+		// DRAM row: its stream prefetcher strides a whole row ahead, and
+		// the set index is hashed so the strided stream uses all sets.
+		ccfg.PrefetchStrideBlocks = p.DRAM.RowBytes / p.SSMCLineBytes
+		ccfg.HashSets = true
+	}
+	read := func(addr uint32) uint32 { return node.DRAM.ReadWord(addr) }
+	pr.cores = make([]*corelet.Corelet, p.Corelets)
+	pr.caches = make([]*cache.Cache, p.Corelets)
+	for c := 0; c < p.Corelets; c++ {
+		pr.caches[c], err = cache.New(ccfg, backing, 8)
+		if err != nil {
+			return nil, err
+		}
+		ids := corelet.IDs{Corelet: c, NumCorelets: p.Corelets, NumContexts: p.Contexts}
+		pr.cores[c], err = corelet.New(ids, l.Prog, p.LocalBytes, p.Latencies, &port{cache: pr.caches[c]}, read)
+		if err != nil {
+			return nil, err
+		}
+		for i, w := range l.Args {
+			pr.cores[c].WriteLocal(uint32(i*4), w)
+		}
+	}
+	if err := node.AttachCompute(pr); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// port adapts a private L1 D-cache to the corelet's GlobalPort.
+type port struct{ cache *cache.Cache }
+
+func (pt *port) Read(ctx int, addr uint32, ready func()) corelet.Status {
+	switch pt.cache.Access(addr, ready) {
+	case cache.Hit:
+		return corelet.Done
+	case cache.Miss:
+		return corelet.Pending
+	default:
+		return corelet.Retry
+	}
+}
+
+// Tick advances every live core one compute cycle.
+func (pr *Processor) Tick(now sim.Time) {
+	pr.ticks++
+	for _, c := range pr.cores {
+		if !c.Halted() {
+			c.Tick()
+		}
+	}
+}
+
+// Halted reports whether every core has finished.
+func (pr *Processor) Halted() bool {
+	for _, c := range pr.cores {
+		if !c.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes to completion and returns aggregated results.
+func (pr *Processor) Run(limit sim.Time) (Result, error) {
+	t, err := pr.node.Run(limit)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{Time: t, ComputeCycles: pr.ticks}
+	for _, c := range pr.cores {
+		s := c.Stats()
+		r.Cores.Instructions += s.Instructions
+		r.Cores.CondBranches += s.CondBranches
+		r.Cores.TakenCond += s.TakenCond
+		r.Cores.LocalAccess += s.LocalAccess
+		r.Cores.GlobalReads += s.GlobalReads
+		r.Cores.IdleCycles += s.IdleCycles
+		r.Cores.BusyCycles += s.BusyCycles
+		r.Cores.RetryCycles += s.RetryCycles
+	}
+	for _, ch := range pr.caches {
+		s := ch.Stats()
+		r.Cache.Hits += s.Hits
+		r.Cache.Misses += s.Misses
+		r.Cache.MSHRMerges += s.MSHRMerges
+		r.Cache.PrefetchIssue += s.PrefetchIssue
+		r.Cache.PrefetchHits += s.PrefetchHits
+		r.Cache.Retries += s.Retries
+	}
+	ds := pr.node.DRAM.Stats()
+	r.DRAM = core.DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
+	r.Energy = pr.energy(r, t)
+	return r, nil
+}
+
+// energy: SSMC cores pay the same MIMD instruction costs as Millipede, but
+// both the live state and the streaming input go through the 5 KB L1
+// D-cache rather than a local SRAM + prefetch-buffer slice.
+func (pr *Processor) energy(r Result, t sim.Time) energy.Breakdown {
+	ep := pr.EP
+	var b energy.Breakdown
+	b.CorePJ = float64(r.Cores.Instructions)*(ep.InstPJ+ep.IFetchMIMDPJ) +
+		float64(r.Cores.LocalAccess)*ep.L1SmallPJ +
+		float64(r.Cores.GlobalReads)*ep.L1SmallPJ +
+		float64(r.Cores.IdleCycles)*ep.IdlePJ
+	ds := pr.node.DRAM.Stats()
+	b.DRAMPJ = ep.DRAM(ds.RowMisses, ds.BytesRead)
+	b.LeakPJ = ep.Leakage(pr.P.Corelets, float64(t)/1e12)
+	return b
+}
+
+// InjectMemoryJitter enables deterministic DRAM completion jitter (fault
+// injection). Call before Run.
+func (pr *Processor) InjectMemoryJitter(max int64, seed uint64) {
+	pr.node.InjectMemoryJitter(max, seed)
+}
+
+// ReadState reads a word of a core's local state after the run.
+func (pr *Processor) ReadState(coreID int, addr uint32) uint32 {
+	return pr.cores[coreID].ReadLocal(addr)
+}
+
+// Layout returns the layout used for the input region.
+func (pr *Processor) Layout() layout.Layout { return pr.lay }

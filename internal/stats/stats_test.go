@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean = %v", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive value accepted")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty inputs")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+}
+
+func TestMonotoneUp(t *testing.T) {
+	if !MonotoneUp([]float64{1, 2, 3}, 0) {
+		t.Error("strictly increasing rejected")
+	}
+	if !MonotoneUp([]float64{1, 0.96, 3}, 0.05) {
+		t.Error("within-tolerance dip rejected")
+	}
+	if MonotoneUp([]float64{1, 0.5}, 0.05) {
+		t.Error("large dip accepted")
+	}
+	if !MonotoneUp(nil, 0) || !MonotoneUp([]float64{5}, 0) {
+		t.Error("trivial cases")
+	}
+}

@@ -1,0 +1,115 @@
+// Package trace provides the lightweight execution tracing used for kernel
+// debugging and model inspection: a bounded log of per-instruction and
+// memory-system events that cmd/millisim can print. Tracing is opt-in and
+// costs one nil-check per event source when disabled.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// Exec: one instruction issued (Detail = disassembly).
+	Exec Kind = iota
+	// Prefetch: a sequential row prefetch was issued.
+	Prefetch
+	// FlowBlock: flow control deferred a prefetch trigger.
+	FlowBlock
+	// Starve: a demand access waited on DRAM.
+	Starve
+	// Evict: a prefetch-buffer entry was re-allocated prematurely.
+	Evict
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Exec:
+		return "exec"
+	case Prefetch:
+		return "prefetch"
+	case FlowBlock:
+		return "flow-block"
+	case Starve:
+		return "starve"
+	case Evict:
+		return "evict"
+	}
+	return "?"
+}
+
+// Event is one trace record.
+type Event struct {
+	Cycle   uint64
+	Corelet int // -1 for processor-wide events
+	Context int // -1 when not applicable
+	Kind    Kind
+	PC      int
+	Detail  string
+}
+
+// String renders one event line.
+func (e Event) String() string {
+	who := "proc"
+	if e.Corelet >= 0 {
+		who = fmt.Sprintf("c%02d", e.Corelet)
+		if e.Context >= 0 {
+			who += fmt.Sprintf(".%d", e.Context)
+		}
+	}
+	if e.Kind == Exec {
+		return fmt.Sprintf("%10d %-6s %-10s pc=%-4d %s", e.Cycle, who, e.Kind, e.PC, e.Detail)
+	}
+	return fmt.Sprintf("%10d %-6s %-10s %s", e.Cycle, who, e.Kind, e.Detail)
+}
+
+// Log is a bounded event log: recording stops (silently) once Max events
+// have been captured, so tracing long runs stays cheap and the interesting
+// part — the beginning — is preserved.
+type Log struct {
+	Max    int
+	events []Event
+	drops  uint64
+}
+
+// NewLog returns a log capturing at most max events.
+func NewLog(max int) *Log {
+	if max <= 0 {
+		max = 1000
+	}
+	return &Log{Max: max}
+}
+
+// Add records one event if capacity remains.
+func (l *Log) Add(e Event) {
+	if len(l.events) >= l.Max {
+		l.drops++
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Full reports whether the log has stopped recording.
+func (l *Log) Full() bool { return len(l.events) >= l.Max }
+
+// Events returns the captured events.
+func (l *Log) Events() []Event { return l.events }
+
+// Dropped returns how many events arrived after the log filled.
+func (l *Log) Dropped() uint64 { return l.drops }
+
+// Render formats the whole log.
+func (l *Log) Render() string {
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	if l.drops > 0 {
+		fmt.Fprintf(&b, "... %d further events not captured (log limit %d)\n", l.drops, l.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogBounds(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{Cycle: uint64(i), Kind: Exec})
+	}
+	if len(l.Events()) != 2 || !l.Full() || l.Dropped() != 3 {
+		t.Errorf("events=%d full=%v dropped=%d", len(l.Events()), l.Full(), l.Dropped())
+	}
+	if !strings.Contains(l.Render(), "3 further events") {
+		t.Error("render missing drop note")
+	}
+}
+
+func TestNewLogDefault(t *testing.T) {
+	if NewLog(0).Max != 1000 {
+		t.Error("default max")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 7, Corelet: 3, Context: 1, Kind: Exec, PC: 12, Detail: "add r1, r2, r3"}
+	s := e.String()
+	for _, want := range []string{"c03.1", "exec", "pc=12", "add r1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event %q missing %q", s, want)
+		}
+	}
+	p := Event{Cycle: 9, Corelet: -1, Context: -1, Kind: Prefetch, Detail: "row 5"}
+	if !strings.Contains(p.String(), "proc") || !strings.Contains(p.String(), "prefetch") {
+		t.Errorf("processor event %q", p.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{Exec: "exec", Prefetch: "prefetch",
+		FlowBlock: "flow-block", Starve: "starve", Evict: "evict", Kind(99): "?"} {
+		if k.String() != want {
+			t.Errorf("%d = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,488 @@
+// Package workloads is the benchmark registry: for each of the paper's
+// eight BMLAs (Table II) it bundles the simulated kernel, a deterministic
+// dataset generator, a bit-exact golden reference (the same Map + partial
+// Reduce executed in Go, in the same order and float32 precision as the
+// kernel), and the host-side final Reduce (Section IV-D).
+//
+// The golden reference is the repository's ground truth: every architecture
+// model must produce identical per-thread live state for identical streams,
+// which the integration tests assert word-for-word.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/layout"
+)
+
+// Kind classifies a state word for the host Reduce.
+type Kind uint8
+
+const (
+	KindInt  Kind = iota // merge by integer addition
+	KindF32              // merge by float32 addition
+	KindKeep             // per-thread only (sample rings, scratch): zero in the reduce
+)
+
+// Benchmark is one BMLA workload.
+type Benchmark struct {
+	K *kernels.Kernel
+	// DefaultRecords is the per-thread record count used by the paper-
+	// scale harness runs.
+	DefaultRecords int
+	// Gen produces one thread's packed record stream.
+	Gen func(rng *datagen.RNG, records int) []uint32
+	// GoldenThread executes the Map + partial Reduce over one stream in
+	// Go, mirroring the kernel bit-for-bit. It returns StateWords words.
+	GoldenThread func(stream []uint32, records int) []uint32
+	// ReduceSpec classifies each state word for Reduce.
+	ReduceSpec []Kind
+}
+
+// Name returns the benchmark name.
+func (b *Benchmark) Name() string { return b.K.Name }
+
+// StreamWords returns the per-thread stream length for records records.
+func (b *Benchmark) StreamWords(records int) int { return records * b.K.RecordWords }
+
+// Streams generates per-thread streams; thread t's stream depends only on
+// (seed, t), so golden state is independent of how threads map to hardware.
+func (b *Benchmark) Streams(threads, records int, seed uint64) [][]uint32 {
+	out := make([][]uint32, threads)
+	for t := range out {
+		rng := datagen.NewRNG(seed*0x10001 + uint64(t)*0x9E3779B97F4A7C15 + 1)
+		out[t] = b.Gen(rng, records)
+		if len(out[t]) != b.StreamWords(records) {
+			panic(fmt.Sprintf("workloads: %s generator produced %d words, want %d",
+				b.Name(), len(out[t]), b.StreamWords(records)))
+		}
+	}
+	return out
+}
+
+// GoldenStates runs the golden reference over every stream.
+func (b *Benchmark) GoldenStates(streams [][]uint32, records int) [][]uint32 {
+	out := make([][]uint32, len(streams))
+	for t, s := range streams {
+		out[t] = b.GoldenThread(s, records)
+		if len(out[t]) != b.K.StateWords {
+			panic(fmt.Sprintf("workloads: %s golden produced %d state words, want %d",
+				b.Name(), len(out[t]), b.K.StateWords))
+		}
+	}
+	return out
+}
+
+// Reduce performs the host-side final Reduce over per-thread states,
+// merging words according to the ReduceSpec.
+func (b *Benchmark) Reduce(states [][]uint32) []uint32 {
+	out := make([]uint32, b.K.StateWords)
+	for _, s := range states {
+		for i, v := range s {
+			switch b.ReduceSpec[i] {
+			case KindInt:
+				out[i] += v
+			case KindF32:
+				out[i] = isa.Bits(isa.F32(out[i]) + isa.F32(v))
+			}
+		}
+	}
+	return out
+}
+
+// StateReader abstracts post-run access to a corelet's local (or an SM's
+// shared) memory.
+type StateReader func(corelet int, addr uint32) uint32
+
+// ExtractStates drains per-thread live state from the simulated memories
+// after a run, indexed by the layout's thread id.
+func ExtractStates(b *Benchmark, sl kernels.StateLayout, lay layout.Layout, read StateReader) [][]uint32 {
+	out := make([][]uint32, lay.Threads())
+	for c := 0; c < lay.Corelets; c++ {
+		for ctx := 0; ctx < lay.Contexts; ctx++ {
+			base := sl.Base0 + uint32(c)*sl.CoreletMult + uint32(ctx)*sl.ContextMult
+			st := make([]uint32, b.K.StateWords)
+			for i := range st {
+				st[i] = read(c, base+uint32(i<<sl.Shift))
+			}
+			out[lay.ThreadID(c, ctx)] = st
+		}
+	}
+	return out
+}
+
+// reduceSpec builds a spec from segment descriptions.
+func reduceSpec(segs ...struct {
+	k Kind
+	n int
+}) []Kind {
+	var out []Kind
+	for _, s := range segs {
+		for i := 0; i < s.n; i++ {
+			out = append(out, s.k)
+		}
+	}
+	return out
+}
+
+func seg(k Kind, n int) struct {
+	k Kind
+	n int
+} {
+	return struct {
+		k Kind
+		n int
+	}{k, n}
+}
+
+// centroidSeed fixes the constant centroids shared by the kernel constants,
+// the generators, and the golden references.
+const centroidSeed = 77
+
+// ClassifyCentroids returns the fixed centroid set used by classify.
+func ClassifyCentroids() [][]float32 {
+	return datagen.Centers(datagen.NewRNG(centroidSeed), kernels.ClassifyK, kernels.ClassifyDims)
+}
+
+// KMeansCentroids returns the fixed centroid set used by kmeans.
+func KMeansCentroids() [][]float32 {
+	return datagen.Centers(datagen.NewRNG(centroidSeed+1), kernels.KMeansK, kernels.KMeansDims)
+}
+
+// All returns the eight benchmarks in the paper's Table IV order (ascending
+// instructions per input word).
+func All() []*Benchmark {
+	return []*Benchmark{
+		CountBench(), SampleBench(), VarianceBench(), NBayesBench(),
+		ClassifyBench(), KMeansBench(), PCABench(), GDABench(),
+	}
+}
+
+// ByName returns the named benchmark or an error.
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range All() {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// --- count -----------------------------------------------------------------
+
+// CountBench bins ratings above a threshold.
+func CountBench() *Benchmark {
+	k := kernels.Count()
+	return &Benchmark{
+		K:              k,
+		DefaultRecords: 4096,
+		Gen: func(rng *datagen.RNG, records int) []uint32 {
+			return datagen.Ratings(rng, records, kernels.RatingMax)
+		},
+		GoldenThread: func(stream []uint32, records int) []uint32 {
+			st := make([]uint32, k.StateWords)
+			for i := 0; i < records; i++ {
+				r := stream[i]
+				if int32(r) < int32(kernels.CountThresh) {
+					st[kernels.CountBins+(r>>4)]++
+					st[2*kernels.CountBins] += r
+				} else {
+					st[r>>4]++
+				}
+			}
+			return st
+		},
+		ReduceSpec: reduceSpec(seg(KindInt, 2*kernels.CountBins+1)),
+	}
+}
+
+// --- sample ----------------------------------------------------------------
+
+// SampleBench keeps cold-band ratings in per-bin rings and counts the rest.
+func SampleBench() *Benchmark {
+	k := kernels.Sample()
+	return &Benchmark{
+		K:              k,
+		DefaultRecords: 4096,
+		Gen: func(rng *datagen.RNG, records int) []uint32 {
+			return datagen.Ratings(rng, records, kernels.RatingMax)
+		},
+		GoldenThread: func(stream []uint32, records int) []uint32 {
+			st := make([]uint32, k.StateWords)
+			for i := 0; i < records; i++ {
+				r := stream[i]
+				if int32(r) >= int32(kernels.CountThresh) {
+					st[kernels.CountBins*(1+kernels.SampleRing)+(r>>4)]++
+					continue
+				}
+				bin := r >> 4
+				base := bin * (1 + kernels.SampleRing)
+				st[base]++
+				slot := (st[base] - 1) % kernels.SampleRing
+				st[base+1+slot] = r
+			}
+			return st
+		},
+		ReduceSpec: func() []Kind {
+			var spec []Kind
+			for b := 0; b < kernels.CountBins; b++ {
+				spec = append(spec, KindInt)
+				for s := 0; s < kernels.SampleRing; s++ {
+					spec = append(spec, KindKeep)
+				}
+			}
+			return append(spec, reduceSpec(seg(KindInt, kernels.CountBins))...)
+		}(),
+	}
+}
+
+// --- variance ----------------------------------------------------------------
+
+// VarianceBench accumulates per-bin count, sum, and sum of squares.
+func VarianceBench() *Benchmark {
+	k := kernels.Variance()
+	return &Benchmark{
+		K:              k,
+		DefaultRecords: 4096,
+		Gen: func(rng *datagen.RNG, records int) []uint32 {
+			return datagen.Ratings(rng, records, kernels.RatingMax)
+		},
+		GoldenThread: func(stream []uint32, records int) []uint32 {
+			st := make([]uint32, k.StateWords)
+			for i := 0; i < records; i++ {
+				r := stream[i]
+				b := (r >> 4) * 3
+				st[b]++
+				st[b+1] += r
+				st[b+2] += r * r
+			}
+			return st
+		},
+		ReduceSpec: reduceSpec(seg(KindInt, kernels.CountBins*3)),
+	}
+}
+
+// --- nbayes ----------------------------------------------------------------
+
+// NBayesBench is Table I's Naive Bayes: conditional probability counting
+// with a data-dependent class branch and indirect state accesses.
+func NBayesBench() *Benchmark {
+	k := kernels.NBayes()
+	dims, vals, classes := kernels.NBDims, kernels.NBValues, kernels.NBClasses
+	return &Benchmark{
+		K:              k,
+		DefaultRecords: 512,
+		Gen: func(rng *datagen.RNG, records int) []uint32 {
+			out := make([]uint32, 0, records*(1+dims))
+			for i := 0; i < records; i++ {
+				var year uint32
+				if rng.Bernoulli(0.7) {
+					year = uint32(kernels.NBYearMin + rng.Intn(kernels.NBYearThresh-kernels.NBYearMin))
+				} else {
+					year = uint32(kernels.NBYearThresh + 1 + rng.Intn(kernels.NBYearMax-kernels.NBYearThresh))
+				}
+				out = append(out, year)
+				for d := 0; d < dims; d++ {
+					out = append(out, uint32(rng.Intn(vals)))
+				}
+			}
+			return out
+		},
+		GoldenThread: func(stream []uint32, records int) []uint32 {
+			st := make([]uint32, k.StateWords)
+			p := 0
+			for i := 0; i < records; i++ {
+				year := stream[p]
+				p++
+				class := uint32(0)
+				if int32(year) > int32(kernels.NBYearThresh) {
+					class = 1
+				}
+				for d := 0; d < dims; d++ {
+					x := stream[p]
+					p++
+					st[uint32(d*vals*classes)+x*2+class]++
+				}
+				st[uint32(dims*vals*classes)+class]++
+			}
+			return st
+		},
+		ReduceSpec: reduceSpec(seg(KindInt, dims*vals*classes+classes)),
+	}
+}
+
+// --- classify ----------------------------------------------------------------
+
+func nearest(x []float32, centroids [][]float32) int {
+	best, bestDist := 0, float32(3.0e38)
+	for c := range centroids {
+		var dist float32
+		for d := range x {
+			diff := x[d] - centroids[c][d]
+			diff = diff * diff
+			dist = dist + diff
+		}
+		if dist < bestDist {
+			bestDist = dist
+			best = c
+		}
+	}
+	return best
+}
+
+func floatPointGen(dims int, centers [][]float32) func(*datagen.RNG, int) []uint32 {
+	return func(rng *datagen.RNG, records int) []uint32 {
+		return datagen.FloatPoints(rng, records, dims, centers, 1.5)
+	}
+}
+
+// ClassifyBench assigns points to the nearest constant centroid.
+func ClassifyBench() *Benchmark {
+	cents := ClassifyCentroids()
+	k := kernels.Classify(cents)
+	dims := kernels.ClassifyDims
+	return &Benchmark{
+		K:              k,
+		DefaultRecords: 512,
+		Gen:            floatPointGen(dims, cents),
+		GoldenThread: func(stream []uint32, records int) []uint32 {
+			st := make([]uint32, k.StateWords)
+			x := make([]float32, dims)
+			for i := 0; i < records; i++ {
+				for d := 0; d < dims; d++ {
+					x[d] = isa.F32(stream[i*dims+d])
+				}
+				st[nearest(x, cents)]++
+			}
+			return st
+		},
+		ReduceSpec: reduceSpec(seg(KindInt, kernels.ClassifyK)),
+	}
+}
+
+// --- kmeans ----------------------------------------------------------------
+
+// KMeansBench performs one k-means iteration: nearest centroid plus
+// per-centroid coordinate sums.
+func KMeansBench() *Benchmark { return KMeansBenchWith(KMeansCentroids()) }
+
+// KMeansBenchWith is KMeansBench with caller-supplied centroids — the
+// handle for iterative k-means, where each MapReduction's reduced output
+// (per-centroid counts and coordinate sums) parameterizes the next
+// iteration's kernel over the same resident dataset (Section IV-E's reuse).
+// The data distribution stays anchored to the fixed generator centers so
+// iterations converge toward them.
+func KMeansBenchWith(cents [][]float32) *Benchmark {
+	k := kernels.KMeans(cents)
+	dims, kk := kernels.KMeansDims, kernels.KMeansK
+	gen := floatPointGen(dims, KMeansCentroids())
+	return &Benchmark{
+		K:              k,
+		DefaultRecords: 512,
+		Gen:            gen,
+		GoldenThread: func(stream []uint32, records int) []uint32 {
+			st := make([]uint32, k.StateWords)
+			x := make([]float32, dims)
+			for i := 0; i < records; i++ {
+				for d := 0; d < dims; d++ {
+					x[d] = isa.F32(stream[i*dims+d])
+				}
+				best := nearest(x, cents)
+				st[best]++
+				for d := 0; d < dims; d++ {
+					idx := kk + best*dims + d
+					st[idx] = isa.Bits(isa.F32(st[idx]) + x[d])
+				}
+			}
+			return st
+		},
+		ReduceSpec: reduceSpec(seg(KindInt, kk), seg(KindF32, kk*dims)),
+	}
+}
+
+// --- pca -------------------------------------------------------------------
+
+// PCABench accumulates the mean vector and second-moment matrix.
+func PCABench() *Benchmark {
+	k := kernels.PCA()
+	dims := kernels.PCADims
+	cents := datagen.Centers(datagen.NewRNG(centroidSeed+2), 4, dims)
+	return &Benchmark{
+		K:              k,
+		DefaultRecords: 256,
+		Gen:            floatPointGen(dims, cents),
+		GoldenThread: func(stream []uint32, records int) []uint32 {
+			st := make([]uint32, k.StateWords)
+			covBase := dims
+			scratch := dims + dims*dims
+			for i := 0; i < records; i++ {
+				for d := 0; d < dims; d++ {
+					x := isa.F32(stream[i*dims+d])
+					st[d] = isa.Bits(isa.F32(st[d]) + x)
+					st[scratch+d] = stream[i*dims+d]
+				}
+				for a := 0; a < dims; a++ {
+					xi := isa.F32(st[scratch+a])
+					for b := 0; b < dims; b++ {
+						xj := isa.F32(st[scratch+b])
+						idx := covBase + a*dims + b
+						st[idx] = isa.Bits(isa.F32(st[idx]) + xj*xi)
+					}
+				}
+			}
+			return st
+		},
+		ReduceSpec: reduceSpec(seg(KindF32, dims+dims*dims), seg(KindKeep, dims)),
+	}
+}
+
+// --- gda -------------------------------------------------------------------
+
+// GDABench accumulates per-class counts and mean-sums plus a pooled
+// covariance of running-mean-centered coordinates.
+func GDABench() *Benchmark {
+	k := kernels.GDA()
+	dims, classes := kernels.GDADims, kernels.GDAClasses
+	return &Benchmark{
+		K:              k,
+		DefaultRecords: 256,
+		Gen: func(rng *datagen.RNG, records int) []uint32 {
+			return datagen.BurstyLabeledFloatPoints(rng, records, dims, classes, 0.7, 1.5)
+		},
+		GoldenThread: func(stream []uint32, records int) []uint32 {
+			st := make([]uint32, k.StateWords)
+			meanBase := classes
+			covBase := meanBase + classes*dims
+			scratch := covBase + dims*dims
+			p := 0
+			for i := 0; i < records; i++ {
+				label := stream[p]
+				p++
+				st[label]++
+				count := float32(int32(st[label]))
+				for d := 0; d < dims; d++ {
+					x := isa.F32(stream[p])
+					p++
+					mi := meanBase + int(label)*dims + d
+					sum := isa.F32(st[mi]) + x
+					st[mi] = isa.Bits(sum)
+					mean := sum / count
+					st[scratch+d] = isa.Bits(x - mean)
+				}
+				for a := 0; a < dims; a++ {
+					xi := isa.F32(st[scratch+a])
+					for b := 0; b < dims; b++ {
+						xj := isa.F32(st[scratch+b])
+						idx := covBase + a*dims + b
+						st[idx] = isa.Bits(isa.F32(st[idx]) + xj*xi)
+					}
+				}
+			}
+			return st
+		},
+		ReduceSpec: reduceSpec(seg(KindInt, classes), seg(KindF32, classes*dims+dims*dims), seg(KindKeep, dims)),
+	}
+}

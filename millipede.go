@@ -1,0 +1,212 @@
+// Package millipede is the public API of this repository: a Go
+// reproduction of "Millipede: Die-Stacked Memory Optimizations for Big Data
+// Machine Learning Analytics" (Nitin, Thottethodi, Vijaykumar; IPDPS 2018).
+//
+// The package wraps a cycle-level processing-near-memory simulation stack —
+// die-stacked DRAM with an FR-FCFS controller, MIMD corelets, Millipede's
+// row-oriented flow-controlled prefetch buffer, GPGPU/VWS SIMT models, a
+// conventional multicore, the eight BMLA benchmarks of the paper's Table
+// II, and the harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := millipede.DefaultConfig()
+//	res, err := millipede.RunBenchmark(millipede.ArchMillipede, "kmeans", cfg, 512)
+//	fmt.Println(res.Time, res.Energy.TotalJ())
+//
+// Reproduce a figure:
+//
+//	fig, err := millipede.Figure3(cfg, 1.0)
+//	fmt.Print(fig.Render())
+//
+// Every RunBenchmark result is verified against a host-side golden
+// MapReduce reference before it is returned; a timing number can never come
+// from a functionally wrong simulation.
+package millipede
+
+import (
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/harness"
+	"repro/internal/isa"
+	"repro/internal/node"
+	"repro/internal/workloads"
+)
+
+// Config is the Table III hardware configuration shared by all PNM
+// architecture models. Obtain one from DefaultConfig and adjust fields.
+type Config = arch.Params
+
+// DefaultConfig returns the paper's Table III configuration: 32 corelets x
+// 4 contexts at 700 MHz, 16-entry prefetch buffer, 4 KB local memories,
+// one 128-bit 1.2 GHz die-stacked DRAM channel with 2 KB rows.
+func DefaultConfig() Config { return arch.Default() }
+
+// EnergyParams are the per-event energy constants of the GPUWattch-analog
+// model.
+type EnergyParams = energy.Params
+
+// DefaultEnergy returns the calibrated energy constants (6 pJ/bit
+// die-stacked streaming, 70 pJ/bit off-chip).
+func DefaultEnergy() EnergyParams { return energy.Default() }
+
+// Architecture identifiers accepted by RunBenchmark.
+const (
+	ArchMillipede     = harness.ArchMillipede     // row-oriented, flow-controlled prefetch
+	ArchMillipedeNoFC = harness.ArchMillipedeNoFC // ablation: no flow control
+	ArchMillipedeRM   = harness.ArchMillipedeRM   // with compute-memory rate matching
+	ArchSSMC          = harness.ArchSSMC          // plain sea-of-simple-cores + block prefetch
+	ArchGPGPU         = harness.ArchGPGPU         // 32-wide SIMT SM + block prefetch
+	ArchVWS           = harness.ArchVWS           // variable warp sizing (4-wide)
+	ArchVWSRow        = harness.ArchVWSRow        // VWS + Millipede's row prefetch
+	ArchMulticore     = harness.ArchMulticore     // conventional 8-core Xeon-like system
+)
+
+// Architectures lists the PNM architecture identifiers.
+func Architectures() []string { return harness.Architectures() }
+
+// Benchmarks lists the eight BMLA benchmark names in the paper's Table IV
+// order.
+func Benchmarks() []string {
+	var out []string
+	for _, b := range workloads.All() {
+		out = append(out, b.Name())
+	}
+	return out
+}
+
+// Result is one verified {architecture x benchmark} measurement.
+type Result = harness.RunResult
+
+// Figure is a reproduced table or figure.
+type Figure = harness.Figure
+
+// RunBenchmark executes the named BMLA benchmark on the named architecture
+// with recordsPerThread records per hardware thread, verifies the simulated
+// live state against the golden MapReduce reference, and returns timing,
+// energy, and characterization metrics.
+func RunBenchmark(archName, bench string, cfg Config, recordsPerThread int) (Result, error) {
+	b, err := workloads.ByName(bench)
+	if err != nil {
+		return Result{}, err
+	}
+	return harness.Run(archName, b, cfg, recordsPerThread)
+}
+
+// Figure3 reproduces the paper's Figure 3 (performance normalized to
+// GPGPU). scale multiplies each benchmark's default input size; 1.0 is the
+// paper-scale run used by cmd/milliexp, smaller values are proportionally
+// faster.
+func Figure3(cfg Config, scale float64) (*Figure, error) { return harness.Fig3(cfg, scale) }
+
+// Figure4 reproduces Figure 4 (energy normalized to GPGPU); the second
+// figure carries the core/DRAM/leakage breakdown.
+func Figure4(cfg Config, scale float64) (*Figure, *Figure, error) { return harness.Fig4(cfg, scale) }
+
+// Figure5 reproduces Figure 5 (Millipede node vs conventional multicore).
+func Figure5(cfg Config, scale float64) (*Figure, error) { return harness.Fig5(cfg, scale) }
+
+// Figure6 reproduces Figure 6 (speedup vs system size).
+func Figure6(cfg Config, scale float64) (*Figure, error) { return harness.Fig6(cfg, scale) }
+
+// Figure7 reproduces Figure 7 (speedup vs prefetch buffer count).
+func Figure7(cfg Config, scale float64) (*Figure, error) { return harness.Fig7(cfg, scale) }
+
+// TableIV reproduces Table IV (benchmark characteristics).
+func TableIV(cfg Config, scale float64) (*Figure, error) { return harness.TableIV(cfg, scale) }
+
+// TableIII renders the hardware configuration.
+func TableIII(cfg Config) string { return harness.TableIII(cfg) }
+
+// TableII renders the application-behavior summary.
+func TableII() string { return harness.TableII() }
+
+// Program is an assembled kernel.
+type Program = isa.Program
+
+// Assemble translates kernel assembly source (see internal/asm for the
+// dialect) into a program runnable on any of the architecture models.
+func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
+
+// RunReduced is RunBenchmark plus the host-side final Reduce over the
+// verified per-thread live states — the benchmark's actual output (e.g.,
+// kmeans' per-centroid counts and coordinate sums). The meaning of each
+// output word is benchmark-specific; see internal/workloads.
+func RunReduced(archName, bench string, cfg Config, recordsPerThread int) (Result, []uint32, error) {
+	b, err := workloads.ByName(bench)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return harness.RunReduced(archName, b, cfg, recordsPerThread)
+}
+
+// BarrierAblation reproduces the paper's Section IV-C software-barrier
+// discussion on the count benchmark: hardware flow control vs no flow
+// control vs software barriers at record and Map-task granularity.
+func BarrierAblation(cfg Config, scale float64) (*Figure, error) {
+	return harness.BarrierAblation(cfg, scale)
+}
+
+// CharacteristicsStudy quantifies the paper's first contribution (Sections
+// III-C/III-D): the compact, row-dense count benchmark versus the
+// non-compact join anti-benchmark on the same Millipede processor.
+func CharacteristicsStudy(cfg Config, scale float64) (*Figure, error) {
+	return harness.CharacteristicsStudy(cfg, scale)
+}
+
+// WarpWidthSweep examines the VWS design space: performance at warp widths
+// 4..32 on the branchy benchmarks, the paper's "VWS always chooses 4-wide
+// warps" observation.
+func WarpWidthSweep(cfg Config, scale float64) (*Figure, error) {
+	return harness.WarpWidthSweep(cfg, scale)
+}
+
+// ResidencyStudy quantifies Section IV-E: the cost of per-run host copy-in
+// versus kernel time, and the data-reuse count after which residency makes
+// it negligible.
+func ResidencyStudy(cfg Config, hostBandwidthGBs, scale float64) (*Figure, error) {
+	return harness.ResidencyStudy(cfg, hostBandwidthGBs, scale)
+}
+
+// KMeansIteration runs one k-means MapReduction on Millipede with the given
+// centroids and returns the updated centroids — chain it for full iterative
+// k-means over the resident dataset.
+func KMeansIteration(cfg Config, centroids [][]float32, recordsPerThread int) ([][]float32, Result, error) {
+	return harness.KMeansIteration(cfg, centroids, recordsPerThread)
+}
+
+// CentroidShift is the mean Euclidean distance between two centroid sets.
+func CentroidShift(a, b [][]float32) float64 { return harness.CentroidShift(a, b) }
+
+// NodeResult is a full multi-processor Millipede node run.
+type NodeResult = node.Result
+
+// RunNode simulates a full Millipede node: `processors` Millipede
+// processors (each with its own die-stacked channel) execute independent
+// shards concurrently, and the host performs the per-node Reduce. The
+// result's Time is the measured makespan including cross-processor load
+// imbalance.
+func RunNode(bench string, cfg Config, processors, recordsPerThread int) (NodeResult, error) {
+	b, err := workloads.ByName(bench)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	return node.Run(cfg, energy.Default(), b, processors, recordsPerThread, harness.Seed)
+}
+
+// DFSSample is one rate-matching controller decision (compute cycle and
+// the frequency chosen).
+type DFSSample = core.DFSSample
+
+// RateTrace runs a benchmark on rate-matched Millipede and returns the DFS
+// clock trajectory (frequency changes only) with the verified measurement.
+func RateTrace(bench string, cfg Config, recordsPerThread int) ([]DFSSample, Result, error) {
+	b, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return harness.RateTrace(b, cfg, recordsPerThread)
+}

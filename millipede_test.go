@@ -1,0 +1,116 @@
+package millipede
+
+import "testing"
+
+func TestPublicAPISmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Corelets != 32 || cfg.Threads() != 128 {
+		t.Fatalf("default config geometry: %d corelets", cfg.Corelets)
+	}
+	if err := DefaultEnergy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(Benchmarks()); got != 8 {
+		t.Fatalf("benchmarks = %d, want 8", got)
+	}
+	if got := len(Architectures()); got < 6 {
+		t.Fatalf("architectures = %d", got)
+	}
+}
+
+func TestPublicRunBenchmark(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := RunBenchmark(ArchMillipede, "variance", cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 || res.Energy.TotalPJ() <= 0 || res.Insts == 0 {
+		t.Errorf("empty result: %+v", res)
+	}
+	if _, err := RunBenchmark(ArchMillipede, "nope", cfg, 8); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := RunBenchmark("nope", "variance", cfg, 8); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+}
+
+func TestPublicRunReduced(t *testing.T) {
+	cfg := DefaultConfig()
+	_, out, err := RunReduced(ArchMillipede, "count", cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	// Dual-band histogram: 32 bins; the final word is the low-band sum.
+	for _, v := range out[:32] {
+		total += uint64(v)
+	}
+	if total != 64*uint64(cfg.Threads()) {
+		t.Errorf("histogram total %d, want %d", total, 64*cfg.Threads())
+	}
+}
+
+func TestPublicAssemble(t *testing.T) {
+	p, err := Assemble("t", "csrr r1, tid\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 2 {
+		t.Errorf("insts = %d", len(p.Insts))
+	}
+	if _, err := Assemble("t", "not a kernel"); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestPublicTables(t *testing.T) {
+	if TableIII(DefaultConfig()) == "" || TableII() == "" {
+		t.Error("empty tables")
+	}
+}
+
+func TestPublicRunNode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Corelets = 8
+	cfg.Contexts = 2
+	cfg.PrefetchEntries = 8
+	r, err := RunNode("count", cfg, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time <= 0 || len(r.ProcessorTimes) != 2 || len(r.Output) == 0 {
+		t.Errorf("node result: %+v", r)
+	}
+}
+
+func TestPublicRateTrace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Corelets = 8
+	cfg.Contexts = 2
+	cfg.ChannelHz = 150e6 // memory-bound so the controller moves
+	trace, res, err := RateTrace("count", cfg, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Error("no DFS trajectory on a memory-bound machine")
+	}
+	if res.FinalHz >= cfg.ComputeHz {
+		t.Errorf("final clock %.0f not below nominal", res.FinalHz)
+	}
+}
+
+func TestPublicBarrierAblationAndCharacteristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	cfg := DefaultConfig()
+	f, err := BarrierAblation(cfg, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 1 {
+		t.Error("ablation rows")
+	}
+}
