@@ -1,0 +1,28 @@
+# Convenience targets for the Millipede reproduction.
+
+GO ?= go
+
+.PHONY: all build test check bench benchjson
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge gate: static analysis plus the race detector over
+# the concurrent packages (the figure harness fans runs out over a worker
+# pool; sim and prefetch carry the determinism-critical hot paths).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/harness ./internal/sim ./internal/prefetch
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# benchjson regenerates the benchmark-trajectory snapshot (see
+# EXPERIMENTS.md, "Benchmark trajectory").
+benchjson:
+	$(GO) run ./cmd/milliexp -benchjson BENCH_1.json

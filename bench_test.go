@@ -127,6 +127,7 @@ func benchOne(b *testing.B, archName, bench string) {
 func BenchmarkMillipedeKMeans(b *testing.B) { benchOne(b, harness.ArchMillipede, "kmeans") }
 func BenchmarkSSMCKMeans(b *testing.B)      { benchOne(b, harness.ArchSSMC, "kmeans") }
 func BenchmarkGPGPUKMeans(b *testing.B)     { benchOne(b, harness.ArchGPGPU, "kmeans") }
+func BenchmarkVWSKMeans(b *testing.B)       { benchOne(b, harness.ArchVWS, "kmeans") }
 func BenchmarkMillipedeNBayes(b *testing.B) { benchOne(b, harness.ArchMillipede, "nbayes") }
 
 func BenchmarkBarrierAblation(b *testing.B) {

@@ -4,9 +4,17 @@
 // Usage:
 //
 //	milliexp [-scale 1.0] [-only fig3,fig4,fig5,fig6,fig7,table2,table3,table4]
+//	milliexp -benchjson BENCH_2.json [-benchbase BENCH_1.json] [-benchscale 0.25]
 //
 // scale multiplies each benchmark's default input size; 1.0 is the
 // paper-scale run recorded in EXPERIMENTS.md.
+//
+// -benchjson records the simulator's own throughput (simulated cycles and
+// instructions per wall-clock second for every architecture x benchmark,
+// plus the wall time of a full Figure 3 reproduction) into the named
+// BENCH_*.json file; -benchbase additionally prints a speedup comparison
+// against a previously recorded file. See EXPERIMENTS.md, "Benchmark
+// trajectory".
 package main
 
 import (
@@ -17,13 +25,22 @@ import (
 	"time"
 
 	millipede "repro"
+	"repro/internal/benchreport"
 )
 
 func main() {
 	log.SetFlags(0)
 	scale := flag.Float64("scale", 1.0, "input-size multiplier")
 	only := flag.String("only", "", "comma-separated subset (fig3..fig7, table2, table3, table4, ablation, characteristics, warpwidth, residency, node)")
+	benchJSON := flag.String("benchjson", "", "measure simulator throughput and write a BENCH_*.json report to this path (skips figures)")
+	benchBase := flag.String("benchbase", "", "previous BENCH_*.json to compare the new report against")
+	benchScale := flag.Float64("benchscale", benchreport.DefaultScale, "input scale for -benchjson throughput runs")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		runBenchReport(*benchJSON, *benchBase, *benchScale)
+		return
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -81,5 +98,30 @@ func main() {
 		fmt.Printf("  makespan %.1f us, load imbalance %.1f%%, energy %.1f uJ\n",
 			float64(r.Time)/1e6, r.Imbalance()*100, r.Energy.TotalPJ()/1e6)
 		fmt.Printf("(node wall time: %s)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+// runBenchReport measures simulator throughput over Figure 3's workload set
+// and writes the BENCH_*.json trajectory point.
+func runBenchReport(path, basePath string, scale float64) {
+	cfg := millipede.DefaultConfig()
+	t0 := time.Now()
+	rep, err := benchreport.Collect(cfg, benchreport.Fig3Archs(), scale)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if err := rep.Write(path); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Printf("wrote %s (%d entries, collected in %s)\n", path, len(rep.Entries),
+		time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("geomean simulated cycles/sec: %.0f; fig3 wall time: %.2fs\n",
+		rep.GeomeanCyclesPerSec["all"], rep.Fig3WallSeconds)
+	if basePath != "" {
+		base, err := benchreport.Read(basePath)
+		if err != nil {
+			log.Fatalf("benchbase: %v", err)
+		}
+		fmt.Printf("\ncomparison against %s:\n%s", basePath, benchreport.Compare(base, rep))
 	}
 }

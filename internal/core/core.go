@@ -79,7 +79,13 @@ type Processor struct {
 	EP        energy.Params
 	node      *arch.Node
 	lay       layout.Layout
+	ownerOf   func(addr uint32) (corelet, slot int)
 	corelets  []*corelet.Corelet
+	// live is the active set: corelets that have not yet halted, in
+	// registration order. Corelets never un-halt, so Tick compacts the slice
+	// in place (order-preserving, to keep shared-buffer access order — and
+	// therefore timing — identical to a full scan) and Halted is O(1).
+	live []*corelet.Corelet
 	buf       *prefetch.Buffer
 	rate      *dfs.Controller
 	tableBase uint32 // start of the optional non-compact table region
@@ -129,7 +135,7 @@ func NewProcessor(p arch.Params, ep energy.Params, l Launch) (*Processor, error)
 		return nil, err
 	}
 	node.DRAM.LoadWords(0, flat)
-	pr := &Processor{P: p, EP: ep, node: node, lay: lay}
+	pr := &Processor{P: p, EP: ep, node: node, lay: lay, ownerOf: lay.OwnerFunc()}
 	if len(l.Table) > 0 {
 		node.DRAM.LoadWords(uint32(tableBase), l.Table)
 		pr.tableBase = uint32(tableBase)
@@ -163,6 +169,7 @@ func NewProcessor(p arch.Params, ep energy.Params, l Launch) (*Processor, error)
 	for _, c := range pr.corelets {
 		c.SetBarrier(pr.barrierArrive)
 	}
+	pr.live = append([]*corelet.Corelet(nil), pr.corelets...)
 
 	if p.RateMatch {
 		pr.rate, err = dfs.New(p.ComputeHz, p.DFSStepPct, p.DFSMinHz, p.DFSMaxHz)
@@ -211,7 +218,7 @@ func (pt *port) Read(ctx int, addr uint32, ready func()) corelet.Status {
 		}
 		return corelet.Pending
 	}
-	c, slot := pt.pr.lay.OwnerOf(addr)
+	c, slot := pt.pr.ownerOf(addr)
 	if c != pt.corelet {
 		panic(fmt.Sprintf("core: corelet %d touched corelet %d's slab at %#x (kernel addressing bug)", pt.corelet, c, addr))
 	}
@@ -225,11 +232,18 @@ func (pt *port) Read(ctx int, addr uint32, ready func()) corelet.Status {
 // controller at its sampling interval.
 func (pr *Processor) Tick(now sim.Time) {
 	pr.ticks++
-	for _, c := range pr.corelets {
+	live := pr.live
+	n := 0
+	for i, c := range live {
+		c.Tick()
 		if !c.Halted() {
-			c.Tick()
+			if n != i {
+				live[n] = c // only move on an actual halt: skips the write barrier
+			}
+			n++
 		}
 	}
+	pr.live = live[:n]
 	pr.buf.Pump()
 	if pr.rate != nil && pr.P.DFSIntervalCycles > 0 && pr.ticks%uint64(pr.P.DFSIntervalCycles) == 0 {
 		// Section IV-F: the controller reacts to the leading corelet
@@ -272,14 +286,7 @@ func (pr *Processor) barrierArrive(release func()) {
 }
 
 // Halted reports whether every corelet has finished.
-func (pr *Processor) Halted() bool {
-	for _, c := range pr.corelets {
-		if !c.Halted() {
-			return false
-		}
-	}
-	return true
-}
+func (pr *Processor) Halted() bool { return len(pr.live) == 0 }
 
 // Run executes to completion and returns aggregated results.
 func (pr *Processor) Run(limit sim.Time) (Result, error) {
@@ -346,6 +353,10 @@ func (pr *Processor) ReadState(coreletID int, addr uint32) uint32 {
 func (pr *Processor) CoreletStats(coreletID int) corelet.Stats {
 	return pr.corelets[coreletID].Stats()
 }
+
+// PrefetchBuffer exposes the shared row buffer, so invariant tests can check
+// its flow-control state directly after a run.
+func (pr *Processor) PrefetchBuffer() *prefetch.Buffer { return pr.buf }
 
 // Layout returns the layout used for the input region.
 func (pr *Processor) Layout() layout.Layout { return pr.lay }

@@ -83,8 +83,18 @@ const (
 )
 
 type context struct {
-	pc      int
-	regs    [isa.NumRegs]uint32
+	pc   int
+	regs [isa.NumRegs]uint32
+	// wake marks the context ready; built once at construction so the hot
+	// global-load path hands the memory system a callback without
+	// allocating a closure per access.
+	wake func()
+}
+
+// sched is the scheduler-visible state of one context. It lives in a compact
+// array parallel to contexts so the round-robin issue scan touches one cache
+// line per corelet instead of one line per (much larger) context.
+type sched struct {
 	state   ctxState
 	readyAt int64 // cycle at which the context may issue again
 }
@@ -98,17 +108,25 @@ type IDs struct {
 type Corelet struct {
 	ids      IDs
 	prog     *isa.Program
+	insts    []isa.Inst // == prog.Insts, cached to skip a dependent load per fetch
 	local    []uint32
 	lat      Latencies
 	port     GlobalPort
 	read     Reader
 	contexts []context
+	sched    []sched
 	barrier  BarrierFunc
 	tracer   Tracer
 	rr       int // round-robin pointer
 	cycle    int64
 	halted   int
-	stats    Stats
+	// ready counts contexts in ctxReady state (regardless of readyAt), so a
+	// fully stalled or drained corelet ticks without scanning its contexts.
+	ready int
+	// latTab maps isa.Class to issue latency (built from lat at New), so
+	// the per-instruction latency pick is one indexed load.
+	latTab [10]int
+	stats  Stats
 }
 
 // New builds a corelet with the given local memory size in bytes. Kernel
@@ -127,17 +145,65 @@ func New(ids IDs, prog *isa.Program, localBytes int, lat Latencies, port GlobalP
 	c := &Corelet{
 		ids:      ids,
 		prog:     prog,
+		insts:    prog.Insts,
 		local:    make([]uint32, localBytes/4),
 		lat:      lat,
 		port:     port,
 		read:     read,
 		contexts: make([]context, ids.NumContexts),
+		sched:    make([]sched, ids.NumContexts),
+	}
+	c.ready = len(c.contexts)
+	for i := range c.contexts {
+		s := &c.sched[i]
+		c.contexts[i].wake = func() {
+			if s.state != ctxReady {
+				s.state = ctxReady
+				c.ready++
+			}
+			s.readyAt = 0 // wakes in the memory domain; issue at next corelet tick
+		}
+	}
+	for cl := range c.latTab {
+		c.latTab[cl] = latencyFor(lat, isa.Class(cl))
 	}
 	return c, nil
 }
 
-// Stats returns a copy of the counters.
-func (c *Corelet) Stats() Stats { return c.stats }
+func latencyFor(l Latencies, class isa.Class) int {
+	switch class {
+	case isa.ClassMul:
+		return l.Mul
+	case isa.ClassDiv:
+		return l.Div
+	case isa.ClassFPU:
+		return l.FPU
+	case isa.ClassFDiv:
+		return l.FDiv
+	case isa.ClassLocalMem:
+		return l.Local
+	default:
+		return l.ALU
+	}
+}
+
+// Stats returns a copy of the counters. The aggregate counters that are fully
+// determined by per-class counts are derived here rather than maintained with
+// separate increments on the interpret hot path: every issued instruction
+// bumps exactly one ClassCounts bucket (retries bump none), so Instructions
+// and BusyCycles are the bucket sum, and GlobalReads/LocalAccess are the
+// global/local-memory buckets (STG is rejected, so the global bucket is pure
+// loads).
+func (c *Corelet) Stats() Stats {
+	s := c.stats
+	for _, n := range s.ClassCounts {
+		s.Instructions += n
+	}
+	s.BusyCycles = s.Instructions
+	s.GlobalReads = s.ClassCounts[isa.ClassGlobalMem]
+	s.LocalAccess = s.ClassCounts[isa.ClassLocalMem]
+	return s
+}
 
 // SetBarrier installs the processor-wide barrier coordinator.
 func (c *Corelet) SetBarrier(f BarrierFunc) { c.barrier = f }
@@ -201,15 +267,23 @@ func (c *Corelet) setReg(ctx *context, rd uint8, v uint32) {
 // the next ready context in round-robin order.
 func (c *Corelet) Tick() {
 	c.cycle++
-	n := len(c.contexts)
+	if c.ready == 0 {
+		c.stats.IdleCycles++
+		return
+	}
+	n := len(c.sched)
+	id := c.rr + 1
 	for i := 0; i < n; i++ {
-		id := (c.rr + 1 + i) % n
-		ctx := &c.contexts[id]
-		if ctx.state != ctxReady || ctx.readyAt > c.cycle {
+		if id >= n {
+			id -= n
+		}
+		s := &c.sched[id]
+		if s.state != ctxReady || s.readyAt > c.cycle {
+			id++
 			continue
 		}
 		c.rr = id
-		c.execute(id, ctx)
+		c.execute(id, &c.contexts[id], s)
 		return
 	}
 	c.stats.IdleCycles++
@@ -225,130 +299,108 @@ func advanceStream(regs *[isa.NumRegs]uint32) {
 	}
 }
 
-func (c *Corelet) latencyOf(class isa.Class) int {
-	switch class {
-	case isa.ClassMul:
-		return c.lat.Mul
-	case isa.ClassDiv:
-		return c.lat.Div
-	case isa.ClassFPU:
-		return c.lat.FPU
-	case isa.ClassFDiv:
-		return c.lat.FDiv
-	case isa.ClassLocalMem:
-		return c.lat.Local
-	default:
-		return c.lat.ALU
-	}
-}
+func (c *Corelet) latencyOf(class isa.Class) int { return c.latTab[class] }
 
-func (c *Corelet) execute(id int, ctx *context) {
-	in := c.prog.Insts[ctx.pc]
+func (c *Corelet) execute(id int, ctx *context, s *sched) {
+	in := &c.insts[ctx.pc]
 	class := isa.Classify(in.Op)
 	if c.tracer != nil {
-		c.tracer(c.cycle, id, ctx.pc, in)
+		c.tracer(c.cycle, id, ctx.pc, *in)
 	}
 
 	// A global load's timing is resolved before the instruction retires:
 	// on Retry the context stays put and re-issues the same instruction
 	// next cycle; on Pending it sleeps until the memory system's callback.
-	if in.Op == isa.LDG || in.Op == isa.LDS {
+	// Dispatch switches directly on the opcode (not a compare chain) so the
+	// compiler can emit a jump table.
+	switch in.Op {
+	case isa.LDG, isa.LDS:
 		addr := uint32(int32(ctx.regs[in.Rs1]) + in.Imm)
 		if in.Op == isa.LDS {
 			addr = ctx.regs[isa.StreamAddr]
 		}
-		st := c.port.Read(id, addr, func() {
-			ctx.state = ctxReady
-			ctx.readyAt = 0 // wakes in the memory domain; issue at next corelet tick
-		})
+		st := c.port.Read(id, addr, ctx.wake)
 		switch st {
 		case Retry:
 			c.stats.RetryCycles++
 			return // PC unchanged; retry next cycle
 		case Pending:
-			ctx.state = ctxWaitMem
+			s.state = ctxWaitMem
+			c.ready--
 		}
 		c.setReg(ctx, in.Rd, c.read(addr))
 		if in.Op == isa.LDS {
 			advanceStream(&ctx.regs)
 		}
-		c.stats.GlobalReads++
-		c.stats.Instructions++
 		c.stats.ClassCounts[class]++
-		c.stats.BusyCycles++
 		ctx.pc++
 		if st == Done {
-			ctx.readyAt = c.cycle + int64(c.lat.GlobalHit)
+			s.readyAt = c.cycle + int64(c.lat.GlobalHit)
 		}
 		return
 	}
 
-	c.stats.Instructions++
 	c.stats.ClassCounts[class]++
-	c.stats.BusyCycles++
-	lat := c.latencyOf(class)
+	lat := c.latTab[class]
 
-	switch {
-	case in.Op == isa.HALT:
-		ctx.state = ctxHalted
+	switch in.Op {
+	case isa.HALT:
+		s.state = ctxHalted
 		c.halted++
+		c.ready--
 		return
-	case in.Op == isa.BAR:
+	case isa.BAR:
 		if c.barrier != nil {
 			ctx.pc++
-			ctx.state = ctxWaitMem
-			c.barrier(func() {
-				ctx.state = ctxReady
-				ctx.readyAt = 0
-			})
+			s.state = ctxWaitMem
+			c.ready--
+			c.barrier(ctx.wake)
 			return
 		}
 		// No coordinator installed: BAR is a no-op.
-	case in.Op == isa.CSRR:
+	case isa.CSRR:
 		c.setReg(ctx, in.Rd, c.csr(id, in.Imm))
-	case in.Op == isa.LW:
+	case isa.LW:
 		addr := uint32(int32(ctx.regs[in.Rs1]) + in.Imm)
 		c.setReg(ctx, in.Rd, c.local[c.localIndex(addr)])
-		c.stats.LocalAccess++
-	case in.Op == isa.SW:
+	case isa.SW:
 		addr := uint32(int32(ctx.regs[in.Rs1]) + in.Imm)
 		c.local[c.localIndex(addr)] = ctx.regs[in.Rs2]
-		c.stats.LocalAccess++
-	case in.Op == isa.STG:
+	case isa.STG:
 		// The PNM execution model keeps live state in local memory
 		// (Section III-B); a global store in a kernel is a porting bug,
 		// surfaced loudly rather than silently mis-timed.
 		panic("corelet: STG not supported by the PNM kernels (live state must stay in local memory)")
-	case isa.IsCondBranch(in.Op):
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
 		c.stats.CondBranches++
 		taken, _ := isa.EvalBranch(in.Op, ctx.regs[in.Rs1], ctx.regs[in.Rs2])
 		if taken {
 			c.stats.TakenCond++
 			ctx.pc = int(in.Imm)
-			ctx.readyAt = c.cycle + int64(c.lat.TakenBranch)
+			s.readyAt = c.cycle + int64(c.lat.TakenBranch)
 			return
 		}
-	case in.Op == isa.J:
+	case isa.J:
 		ctx.pc = int(in.Imm)
-		ctx.readyAt = c.cycle + int64(c.lat.TakenBranch)
+		s.readyAt = c.cycle + int64(c.lat.TakenBranch)
 		return
-	case in.Op == isa.JAL:
+	case isa.JAL:
 		c.setReg(ctx, in.Rd, uint32(ctx.pc+1))
 		ctx.pc = int(in.Imm)
-		ctx.readyAt = c.cycle + int64(c.lat.TakenBranch)
+		s.readyAt = c.cycle + int64(c.lat.TakenBranch)
 		return
-	case in.Op == isa.JR:
+	case isa.JR:
 		ctx.pc = int(ctx.regs[in.Rs1])
-		ctx.readyAt = c.cycle + int64(c.lat.TakenBranch)
+		s.readyAt = c.cycle + int64(c.lat.TakenBranch)
 		return
 	default:
 		b := ctx.regs[in.Rs2]
-		v, ok := isa.EvalALU(in, ctx.regs[in.Rs1], b)
+		v, ok := isa.EvalALUOp(in.Op, in.Imm, ctx.regs[in.Rs1], b)
 		if !ok {
 			panic(fmt.Sprintf("corelet: unhandled op %v at pc %d", in.Op, ctx.pc))
 		}
 		c.setReg(ctx, in.Rd, v)
 	}
 	ctx.pc++
-	ctx.readyAt = c.cycle + int64(lat)
+	s.readyAt = c.cycle + int64(lat)
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/kernels"
 	"repro/internal/layout"
 	"repro/internal/workloads"
@@ -74,7 +75,7 @@ func runBarrierVariant(p arch.Params, b *workloads.Benchmark, interval, records 
 		return 0, err
 	}
 	args := kernels.ArgsAndConsts(k, lay.Walk(), sl, records)
-	pr, err := core.NewProcessor(q, defaultEnergyParams(), core.Launch{
+	pr, err := core.NewProcessor(q, energy.Default(), core.Launch{
 		Prog: k.Prog, Interleave: layout.Slab, Streams: streams, Args: args,
 	})
 	if err != nil {

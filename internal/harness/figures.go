@@ -2,9 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/stats"
@@ -75,40 +77,74 @@ func (f *Figure) geomeans() {
 	}
 }
 
-// runAll executes the given architectures over all benchmarks at the given
-// record scale, returning results[arch][bench]. Runs are independent,
-// deterministic simulations, so they execute concurrently on host
-// goroutines.
-func runAll(p arch.Params, archs []string, scale float64) (map[string]map[string]RunResult, error) {
-	type key struct{ a, b string }
-	type item struct {
-		k   key
-		r   RunResult
-		err error
+// runJobs executes fn(0..n-1) on at most GOMAXPROCS worker goroutines and
+// returns the lowest-indexed error. The figure generators' runs are
+// independent deterministic simulations, so they parallelize freely — but
+// each simulation holds a full node (DRAM backing store included), so the
+// pool bounds peak memory and scheduler pressure by the host's parallelism
+// instead of the job count (a figure can fan out 48+ runs).
+func runJobs(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
 	}
+	errs := make([]error, n)
+	var next int64
 	var wg sync.WaitGroup
-	results := make(chan item, len(archs)*len(workloads.All()))
-	for _, a := range archs {
-		for _, b := range workloads.All() {
-			wg.Add(1)
-			go func(a string, b *workloads.Benchmark) {
-				defer wg.Done()
-				r, err := Run(a, b, p, recordsFor(b, scale))
-				results <- item{key{a, b.Name()}, r, err}
-			}(a, b)
-		}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
 	}
 	wg.Wait()
-	close(results)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runAll executes the given architectures over all benchmarks at the given
+// record scale, returning results[arch][bench].
+func runAll(p arch.Params, archs []string, scale float64) (map[string]map[string]RunResult, error) {
+	type job struct {
+		a string
+		b *workloads.Benchmark
+	}
+	var jobs []job
+	for _, a := range archs {
+		for _, b := range workloads.All() {
+			jobs = append(jobs, job{a, b})
+		}
+	}
+	res := make([]RunResult, len(jobs))
+	err := runJobs(len(jobs), func(i int) error {
+		j := jobs[i]
+		r, err := Run(j.a, j.b, p, recordsFor(j.b, scale))
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", j.a, j.b.Name(), err)
+		}
+		res[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := map[string]map[string]RunResult{}
 	for _, a := range archs {
 		out[a] = map[string]RunResult{}
 	}
-	for it := range results {
-		if it.err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", it.k.a, it.k.b, it.err)
-		}
-		out[it.k.a][it.k.b] = it.r
+	for i, j := range jobs {
+		out[j.a][j.b.Name()] = res[i]
 	}
 	return out, nil
 }
@@ -178,16 +214,26 @@ const NodeProcessors = 32
 func Fig5(p arch.Params, scale float64) (*Figure, error) {
 	f := &Figure{Name: "Figure 5: 32-processor Millipede node vs conventional 8-core multicore",
 		Series: []string{"speedup", "energy-improvement"}}
-	for _, b := range workloads.All() {
+	benches := workloads.All()
+	mps := make([]RunResult, len(benches))
+	mcs := make([]RunResult, len(benches))
+	err := runJobs(2*len(benches), func(i int) error {
+		b := benches[i/2]
 		records := recordsFor(b, scale)
-		mp, err := Run(ArchMillipede, b, p, records)
-		if err != nil {
-			return nil, err
+		if i%2 == 0 {
+			r, err := Run(ArchMillipede, b, p, records)
+			mps[i/2] = r
+			return err
 		}
-		mc, err := Run(ArchMulticore, b, p, records)
-		if err != nil {
-			return nil, err
-		}
+		r, err := Run(ArchMulticore, b, p, records)
+		mcs[i/2] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		mp, mc := mps[i], mcs[i]
 		// Equal-total-input comparison: the multicore processed the same
 		// records as ONE Millipede processor; the full node runs 32
 		// processors in parallel while the multicore must serialize 32x
@@ -216,30 +262,45 @@ func Fig6(p arch.Params, scale float64) (*Figure, error) {
 			f.Series = append(f.Series, fmt.Sprintf("%s-%d", a, n))
 		}
 	}
+	type job struct {
+		n       int
+		a       string
+		b       *workloads.Benchmark
+		records int
+	}
+	var jobs []job
+	for _, n := range sizes {
+		for _, b := range workloads.All() {
+			// Equal total input across sizes: more lanes means fewer
+			// records per thread, never below the minimum-records floor.
+			records := recordsForSize(b, scale, n)
+			for _, a := range archs {
+				jobs = append(jobs, job{n, a, b, records})
+			}
+		}
+	}
+	res := make([]RunResult, len(jobs))
+	err := runJobs(len(jobs), func(i int) error {
+		j := jobs[i]
+		r, err := Run(j.a, j.b, p.WithSize(j.n), j.records)
+		res[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	base := map[string]float64{}
 	rows := map[string]Row{}
 	var order []string
-	for _, n := range sizes {
-		q := p.WithSize(n)
-		for _, b := range workloads.All() {
-			// Equal total input across sizes: more lanes means fewer
-			// records per thread.
-			records := recordsFor(b, scale) * 32 / n
-			if _, ok := rows[b.Name()]; !ok {
-				rows[b.Name()] = Row{Bench: b.Name(), Values: map[string]float64{}}
-				order = append(order, b.Name())
-			}
-			for _, a := range archs {
-				r, err := Run(a, b, q, records)
-				if err != nil {
-					return nil, err
-				}
-				if n == 32 && a == ArchGPGPU {
-					base[b.Name()] = float64(r.Time)
-				}
-				rows[b.Name()].Values[fmt.Sprintf("%s-%d", a, n)] = float64(r.Time)
-			}
+	for i, j := range jobs {
+		if _, ok := rows[j.b.Name()]; !ok {
+			rows[j.b.Name()] = Row{Bench: j.b.Name(), Values: map[string]float64{}}
+			order = append(order, j.b.Name())
 		}
+		if j.n == 32 && j.a == ArchGPGPU {
+			base[j.b.Name()] = float64(res[i].Time)
+		}
+		rows[j.b.Name()].Values[fmt.Sprintf("%s-%d", j.a, j.n)] = float64(res[i].Time)
 	}
 	for _, name := range order {
 		row := rows[name]
@@ -260,21 +321,24 @@ func Fig7(p arch.Params, scale float64) (*Figure, error) {
 	for _, n := range counts {
 		f.Series = append(f.Series, fmt.Sprintf("%d-buffers", n))
 	}
-	for _, b := range workloads.All() {
-		records := recordsFor(b, scale)
+	benches := workloads.All()
+	res := make([]RunResult, len(benches)*len(counts))
+	err := runJobs(len(res), func(i int) error {
+		b := benches[i/len(counts)]
+		q := p
+		q.PrefetchEntries = counts[i%len(counts)]
+		r, err := Run(ArchMillipede, b, q, recordsFor(b, scale))
+		res[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range benches {
 		row := Row{Bench: b.Name(), Values: map[string]float64{}}
-		var base float64
-		for _, n := range counts {
-			q := p
-			q.PrefetchEntries = n
-			r, err := Run(ArchMillipede, b, q, records)
-			if err != nil {
-				return nil, err
-			}
-			if n == counts[0] {
-				base = float64(r.Time)
-			}
-			row.Values[fmt.Sprintf("%d-buffers", n)] = base / float64(r.Time)
+		base := float64(res[bi*len(counts)].Time)
+		for ci, n := range counts {
+			row.Values[fmt.Sprintf("%d-buffers", n)] = base / float64(res[bi*len(counts)+ci].Time)
 		}
 		f.Rows = append(f.Rows, row)
 	}
@@ -288,21 +352,30 @@ func Fig7(p arch.Params, scale float64) (*Figure, error) {
 func TableIV(p arch.Params, scale float64) (*Figure, error) {
 	f := &Figure{Name: "Table IV: benchmark parameters and characteristics",
 		Series: []string{"insts/word", "branches/inst", "ssmc-row-miss", "rate-clock-MHz"}}
-	for _, b := range workloads.All() {
+	benches := workloads.All()
+	mps := make([]RunResult, len(benches))
+	scs := make([]RunResult, len(benches))
+	err := runJobs(2*len(benches), func(i int) error {
+		b := benches[i/2]
 		records := recordsFor(b, scale)
-		mp, err := Run(ArchMillipedeRM, b, p, records)
-		if err != nil {
-			return nil, err
+		if i%2 == 0 {
+			r, err := Run(ArchMillipedeRM, b, p, records)
+			mps[i/2] = r
+			return err
 		}
-		sc, err := Run(ArchSSMC, b, p, records)
-		if err != nil {
-			return nil, err
-		}
+		r, err := Run(ArchSSMC, b, p, records)
+		scs[i/2] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
 		f.Rows = append(f.Rows, Row{Bench: b.Name(), Values: map[string]float64{
-			"insts/word":     mp.InstsPerWord,
-			"branches/inst":  mp.BranchesPerInst,
-			"ssmc-row-miss":  sc.RowMissRate,
-			"rate-clock-MHz": mp.FinalHz / 1e6,
+			"insts/word":     mps[i].InstsPerWord,
+			"branches/inst":  mps[i].BranchesPerInst,
+			"ssmc-row-miss":  scs[i].RowMissRate,
+			"rate-clock-MHz": mps[i].FinalHz / 1e6,
 		}})
 	}
 	return f, nil

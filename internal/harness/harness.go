@@ -54,6 +54,10 @@ type RunResult struct {
 	RowMissRate     float64
 	DRAMBytes       uint64
 	FinalHz         float64
+	// Cycles is the number of compute-clock cycles the model simulated —
+	// the numerator of the simulator-throughput metric recorded in
+	// BENCH_*.json (simulated cycles per wall-clock second).
+	Cycles uint64
 }
 
 // Seed is the dataset seed used by all experiments.
@@ -113,6 +117,7 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		}
 		res.Time, res.Energy, res.FinalHz = r.Time, r.Energy, r.FinalHz
 		res.Insts = r.Cores.Instructions
+		res.Cycles = r.ComputeCycles
 		res.BranchesPerInst = ratio(r.Cores.CondBranches, r.Cores.Instructions)
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
@@ -135,6 +140,7 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		}
 		res.Time, res.Energy, res.FinalHz = r.Time, r.Energy, p.ComputeHz
 		res.Insts = r.Cores.Instructions
+		res.Cycles = r.ComputeCycles
 		res.BranchesPerInst = ratio(r.Cores.CondBranches, r.Cores.Instructions)
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
@@ -163,6 +169,7 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		}
 		res.Time, res.Energy, res.FinalHz = r.Time, r.Energy, p.ComputeHz
 		res.Insts = r.SM.ThreadInsts
+		res.Cycles = r.ComputeCycles
 		res.BranchesPerInst = ratio(r.SM.CondBranches, r.SM.ThreadInsts)
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
@@ -206,6 +213,7 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		states = got
 		res.Time, res.Energy, res.FinalHz = r.Time, r.Energy, c.ClockHz
 		res.Insts = r.Cores.Instructions
+		res.Cycles = r.ComputeCycles
 		res.BranchesPerInst = ratio(r.Cores.CondBranches, r.Cores.Instructions)
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
@@ -242,8 +250,6 @@ func buildLaunch(b *workloads.Benchmark, p arch.Params, il layout.Interleave, re
 	return core.Launch{Prog: b.K.Prog, Interleave: il, Streams: streams, Args: args}, lay, sl, streams, nil
 }
 
-func defaultEnergyParams() energy.Params { return energy.Default() }
-
 func ratio(a, b uint64) float64 {
 	if b == 0 {
 		return 0
@@ -251,14 +257,35 @@ func ratio(a, b uint64) float64 {
 	return float64(a) / float64(b)
 }
 
-// Scale multiplies every benchmark's DefaultRecords; tests use small scales
-// and cmd/milliexp uses >= 1.
-func recordsFor(b *workloads.Benchmark, scale float64) int {
-	r := int(float64(b.DefaultRecords) * scale)
+// baseLanes is the paper's reference lane/corelet count (Table III); the
+// system-size study (Figure 6) scales per-thread records relative to it so
+// total input stays constant across sizes.
+const baseLanes = 32
+
+// RecordsFor returns the per-thread record count for benchmark b at the
+// given input scale. Scale multiplies every benchmark's DefaultRecords;
+// tests use small scales and cmd/milliexp uses >= 1.
+func RecordsFor(b *workloads.Benchmark, scale float64) int {
+	return recordsForSize(b, scale, baseLanes)
+}
+
+// recordsForSize is RecordsFor for a processor with lanes corelets/lanes:
+// per-thread records shrink proportionally so the total input matches the
+// 32-lane configuration. The minimum-records floor is applied after the
+// size scaling — applying it before (as Fig6 once did by scaling
+// RecordsFor's result) silently produced fewer than 4 records per thread
+// at 64 lanes and small scales.
+func recordsForSize(b *workloads.Benchmark, scale float64, lanes int) int {
+	r := int(float64(b.DefaultRecords)*scale) * baseLanes / lanes
 	if r < 4 {
 		r = 4
 	}
 	return r
+}
+
+// recordsFor is the unexported alias used throughout the harness.
+func recordsFor(b *workloads.Benchmark, scale float64) int {
+	return RecordsFor(b, scale)
 }
 
 // RateTrace runs a benchmark on rate-matched Millipede and returns the DFS

@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestRecordsForSizeFloor is the regression test for the Fig6 record-count
+// bug: the minimum-records floor must be applied after size scaling, so a
+// 64-lane run at a tiny scale still processes at least 4 records per thread
+// (the old code scaled RecordsFor's already-floored result and could return
+// fewer, even 0).
+func TestRecordsForSizeFloor(t *testing.T) {
+	for _, b := range workloads.All() {
+		for _, lanes := range []int{32, 64} {
+			if r := recordsForSize(b, 0.001, lanes); r < 4 {
+				t.Errorf("%s @ %d lanes: records = %d, want >= 4", b.Name(), lanes, r)
+			}
+		}
+	}
+}
+
+// TestRecordsForSizeScaling checks equal-total-input scaling: away from the
+// floor, doubling the lane count halves the per-thread records.
+func TestRecordsForSizeScaling(t *testing.T) {
+	for _, b := range workloads.All() {
+		r32 := recordsForSize(b, 1.0, 32)
+		r64 := recordsForSize(b, 1.0, 64)
+		if r32 < 8 {
+			continue // too close to the floor to check the ratio
+		}
+		if r64 != r32/2 {
+			t.Errorf("%s: records(64) = %d, want %d (half of records(32) = %d)",
+				b.Name(), r64, r32/2, r32)
+		}
+		if RecordsFor(b, 1.0) != r32 {
+			t.Errorf("%s: RecordsFor disagrees with recordsForSize at 32 lanes", b.Name())
+		}
+	}
+}

@@ -188,31 +188,36 @@ const (
 	ClassHalt
 )
 
-// Classify returns the instruction class of op.
-func Classify(op Op) Class {
-	switch op {
-	case NOP, CSRR, BAR:
-		return ClassNop
-	case HALT:
-		return ClassHalt
-	case MUL:
-		return ClassMul
-	case DIV, REM:
-		return ClassDiv
-	case FADD, FSUB, FMUL, FMIN, FMAX, FLT, FLE, FEQ, CVTIF, CVTFI:
-		return ClassFPU
-	case FDIV, FSQRT:
-		return ClassFDiv
-	case LW, SW:
-		return ClassLocalMem
-	case LDG, LDS, STG:
-		return ClassGlobalMem
-	case BEQ, BNE, BLT, BGE, BLTU, BGEU, J, JAL, JR:
-		return ClassBranch
-	default:
-		return ClassALU
+// opClass is the opcode-to-class lookup table behind Classify. Sized to the
+// full uint8 range so the lookup needs no bounds check; undefined opcodes
+// default to ClassALU, matching the old switch's default arm.
+var opClass = func() [256]Class {
+	var t [256]Class
+	for i := range t {
+		t[i] = ClassALU
 	}
-}
+	for op, c := range map[Op]Class{
+		NOP: ClassNop, CSRR: ClassNop, BAR: ClassNop,
+		HALT: ClassHalt,
+		MUL:  ClassMul,
+		DIV:  ClassDiv, REM: ClassDiv,
+		FADD: ClassFPU, FSUB: ClassFPU, FMUL: ClassFPU, FMIN: ClassFPU,
+		FMAX: ClassFPU, FLT: ClassFPU, FLE: ClassFPU, FEQ: ClassFPU,
+		CVTIF: ClassFPU, CVTFI: ClassFPU,
+		FDIV: ClassFDiv, FSQRT: ClassFDiv,
+		LW: ClassLocalMem, SW: ClassLocalMem,
+		LDG: ClassGlobalMem, LDS: ClassGlobalMem, STG: ClassGlobalMem,
+		BEQ: ClassBranch, BNE: ClassBranch, BLT: ClassBranch, BGE: ClassBranch,
+		BLTU: ClassBranch, BGEU: ClassBranch,
+		J: ClassBranch, JAL: ClassBranch, JR: ClassBranch,
+	} {
+		t[op] = c
+	}
+	return t
+}()
+
+// Classify returns the instruction class of op.
+func Classify(op Op) Class { return opClass[op] }
 
 // IsCondBranch reports whether op is a conditional branch (the only source
 // of SIMT divergence and the quantity reported as "branches per instruction"
@@ -265,14 +270,21 @@ func Bits(f float32) uint32 { return math.Float32bits(f) }
 // pipeline model. The boolean result is false for opcodes EvalALU does not
 // handle (memory, branches, HALT, CSRR).
 func EvalALU(in Inst, a, b uint32) (uint32, bool) {
+	return EvalALUOp(in.Op, in.Imm, a, b)
+}
+
+// EvalALUOp is EvalALU with the opcode and immediate passed directly, for
+// pipelines that have already fetched the instruction fields — it avoids
+// copying a whole Inst per executed instruction on the hot interpret path.
+func EvalALUOp(op Op, imm int32, a, b uint32) (uint32, bool) {
 	ia, ib := int32(a), int32(b)
-	switch in.Op {
+	switch op {
 	case NOP:
 		return 0, true
 	case ADD:
 		return uint32(ia + ib), true
 	case ADDI:
-		return uint32(ia + in.Imm), true
+		return uint32(ia + imm), true
 	case SUB:
 		return uint32(ia - ib), true
 	case MUL:
@@ -296,34 +308,34 @@ func EvalALU(in Inst, a, b uint32) (uint32, bool) {
 	case AND:
 		return a & b, true
 	case ANDI:
-		return a & uint32(in.Imm), true
+		return a & uint32(imm), true
 	case OR:
 		return a | b, true
 	case ORI:
-		return a | uint32(in.Imm), true
+		return a | uint32(imm), true
 	case XOR:
 		return a ^ b, true
 	case XORI:
-		return a ^ uint32(in.Imm), true
+		return a ^ uint32(imm), true
 	case SLL:
 		return a << (b & 31), true
 	case SLLI:
-		return a << (uint32(in.Imm) & 31), true
+		return a << (uint32(imm) & 31), true
 	case SRL:
 		return a >> (b & 31), true
 	case SRLI:
-		return a >> (uint32(in.Imm) & 31), true
+		return a >> (uint32(imm) & 31), true
 	case SRA:
 		return uint32(ia >> (b & 31)), true
 	case SRAI:
-		return uint32(ia >> (uint32(in.Imm) & 31)), true
+		return uint32(ia >> (uint32(imm) & 31)), true
 	case SLT:
 		if ia < ib {
 			return 1, true
 		}
 		return 0, true
 	case SLTI:
-		if ia < in.Imm {
+		if ia < imm {
 			return 1, true
 		}
 		return 0, true
@@ -343,7 +355,7 @@ func EvalALU(in Inst, a, b uint32) (uint32, bool) {
 		}
 		return b, true
 	case LUI:
-		return uint32(in.Imm) << 12, true
+		return uint32(imm) << 12, true
 	case FADD:
 		return Bits(F32(a) + F32(b)), true
 	case FSUB:

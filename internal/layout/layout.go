@@ -196,6 +196,53 @@ func (l Layout) OwnerOf(addr uint32) (corelet, slot int) {
 	return corelet, context*w + k
 }
 
+// log2 returns log2(v) when v is a positive power of two, else -1.
+func log2(v int) int {
+	if v <= 0 || v&(v-1) != 0 {
+		return -1
+	}
+	n := 0
+	for 1<<uint(n) < v {
+		n++
+	}
+	return n
+}
+
+// OwnerFunc returns a function equivalent to OwnerOf with the layout's
+// geometry precomputed. When every dimension is a power of two — all the
+// hardware configurations in Table III — the divisions become shifts and
+// masks; otherwise it falls back to OwnerOf. Pipelines call the result once
+// per global access, so they cache it instead of re-deriving it per call.
+func (l Layout) OwnerFunc() func(addr uint32) (corelet, slot int) {
+	rowSh := log2(l.RowBytes)
+	w := l.ChunkWords()
+	wSh, thrSh := log2(w), log2(l.Threads())
+	ctxSh, corSh := log2(l.Contexts), log2(l.Corelets)
+	if l.Interleave == Split || rowSh < 0 || wSh < 0 || thrSh < 0 || ctxSh < 0 || corSh < 0 {
+		return func(addr uint32) (int, int) { return l.OwnerOf(addr) }
+	}
+	base := l.Base
+	rowMask := uint32(l.RowBytes - 1)
+	if l.Interleave == Word {
+		thrMask := l.Threads() - 1
+		corMask := l.Corelets - 1
+		return func(addr uint32) (int, int) {
+			off := int(((addr - base) & rowMask) >> 2)
+			k := off >> uint(thrSh)
+			t := off & thrMask
+			return t & corMask, (t>>uint(corSh))<<uint(wSh) + k
+		}
+	}
+	wMask := w - 1
+	ctxMask := l.Contexts - 1
+	return func(addr uint32) (int, int) {
+		off := int(((addr - base) & rowMask) >> 2)
+		t := off >> uint(wSh)
+		k := off & wMask
+		return t >> uint(ctxSh), (t&ctxMask)<<uint(wSh) + k
+	}
+}
+
 // Pack places per-thread streams into a flat word array covering whole rows
 // (zero-padded), ready to load into the DRAM backing store at Base. All
 // streams must have equal length.

@@ -23,9 +23,10 @@ type Request struct {
 	Done func(cycle int64, rowHit bool)
 }
 
+// queued requests stay in arrival order, which is what makes the single-pass
+// FR-FCFS pick in Tick correct.
 type queued struct {
 	req Request
-	seq uint64 // arrival order for FCFS aging
 }
 
 type inflight struct {
@@ -52,7 +53,6 @@ type Controller struct {
 	depth int
 	queue []queued
 	fly   []inflight
-	seq   uint64
 	cycle int64
 	stats Stats
 	// Fault injection: completion jitter (see SetJitter).
@@ -112,8 +112,7 @@ func (c *Controller) Enqueue(r Request) bool {
 		c.stats.Rejected++
 		return false
 	}
-	c.queue = append(c.queue, queued{req: r, seq: c.seq})
-	c.seq++
+	c.queue = append(c.queue, queued{req: r})
 	c.stats.Enqueued++
 	if len(c.queue) > c.stats.MaxOccupancy {
 		c.stats.MaxOccupancy = len(c.queue)
@@ -142,22 +141,27 @@ func (c *Controller) Tick() {
 	if len(c.queue) == 0 {
 		return
 	}
-	// FR-FCFS pick.
+	// FR-FCFS pick, in one pass: the queue is kept in arrival order (append
+	// on enqueue, order-preserving splice on issue), so the oldest ready
+	// request is simply the first ready one; a ready row hit anywhere ahead
+	// of it still wins.
 	pick := -1
-	for i, q := range c.queue {
-		if c.D.BankReady(q.req.Addr, c.cycle) && c.D.IsRowHit(q.req.Addr) {
+	firstReady := -1
+	for i := range c.queue {
+		q := &c.queue[i]
+		if !c.D.BankReady(q.req.Addr, c.cycle) {
+			continue
+		}
+		if c.D.IsRowHit(q.req.Addr) {
 			pick = i
 			break
 		}
+		if firstReady < 0 {
+			firstReady = i
+		}
 	}
 	if pick < 0 {
-		oldest := uint64(1<<63 - 1)
-		for i, q := range c.queue {
-			if c.D.BankReady(q.req.Addr, c.cycle) && q.seq < oldest {
-				oldest = q.seq
-				pick = i
-			}
-		}
+		pick = firstReady
 	}
 	if pick < 0 {
 		c.stats.StallCycles++

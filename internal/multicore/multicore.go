@@ -143,6 +143,9 @@ type System struct {
 	d     *dram.DRAM
 	ctl   *memctrl.Controller
 	cores []*corelet.Corelet
+	// live is the active set of non-halted cores, compacted in registration
+	// order as cores halt (cores never un-halt).
+	live  []*corelet.Corelet
 	l1s   []*cache.Cache
 	l2s   []*cache.Cache
 	delay *delayLine
@@ -231,6 +234,7 @@ func New(c Config, ep energy.Params, l core.Launch) (*System, error) {
 		s.l1s = append(s.l1s, l1)
 		s.l2s = append(s.l2s, l2)
 	}
+	s.live = append([]*corelet.Corelet(nil), s.cores...)
 	if _, err := s.eng.AddDomain("mem", sim.PeriodFromHz(c.MemClockHz),
 		sim.TickFunc(func(sim.Time) { ctl.Tick() })); err != nil {
 		return nil, err
@@ -241,29 +245,30 @@ func New(c Config, ep energy.Params, l core.Launch) (*System, error) {
 	return s, nil
 }
 
-// tick gives each core IssueWidth issue slots per cycle.
+// tick gives each core IssueWidth issue slots per cycle. A core that halts
+// mid-cycle still receives its remaining slots (as with the full scan, which
+// only checked Halted at the top of the cycle) and drops out the next cycle.
 func (s *System) tick(sim.Time) {
 	s.ticks++
 	s.delay.tick()
-	for _, co := range s.cores {
-		if co.Halted() {
-			continue
-		}
+	live := s.live
+	n := 0
+	for i, co := range live {
 		for k := 0; k < s.C.IssueWidth; k++ {
 			co.Tick()
 		}
+		if !co.Halted() {
+			if n != i {
+				live[n] = co // only move on an actual halt: skips the write barrier
+			}
+			n++
+		}
 	}
+	s.live = live[:n]
 }
 
 // Halted reports whether all cores finished.
-func (s *System) Halted() bool {
-	for _, co := range s.cores {
-		if !co.Halted() {
-			return false
-		}
-	}
-	return true
-}
+func (s *System) Halted() bool { return len(s.live) == 0 }
 
 // Run executes to completion.
 func (s *System) Run(limit sim.Time) (Result, error) {

@@ -92,6 +92,7 @@ type Stats struct {
 	StashHits        uint64 // no-flow-control snoop-latch hits
 	TriggerClears    uint64 // PFT bits cleared by successful triggers
 	FetchRejects     uint64 // fetches bounced off a full controller queue
+	MaxDF            uint64 // highest DF counter value ever observed (invariant: <= Corelets)
 }
 
 type waiter struct {
@@ -120,6 +121,13 @@ func (e *entry) reset(row int64) {
 	e.waiters = e.waiters[:0]
 }
 
+// futureRow is one parked wait-list: corelets waiting on a row not currently
+// resident in the queue.
+type futureRow struct {
+	row     int64
+	waiters []waiter
+}
+
 // Buffer is the shared prefetch buffer of one Millipede processor.
 type Buffer struct {
 	cfg     Config
@@ -128,17 +136,31 @@ type Buffer struct {
 	// Input region, in rows.
 	baseRow, rowCount int64
 	rowBytes          int64
+	// rowShift is log2(rowBytes) when the row size is a power of two (the
+	// hardware case), letting Access turn the address-to-row division into a
+	// shift; 0 means divide.
+	rowShift uint
+	// fullMask has one bit per slab word: the consumed bitmap value at which
+	// a corelet's slab counts as fully consumed.
+	fullMask uint64
 	// nextRow is the next row index (relative to baseRow) to prefetch; the
 	// tail entry holds nextRow-1 and the head (eviction candidate) slot is
 	// nextRow mod Entries.
 	nextRow int64
 	// future holds corelets waiting on rows not currently resident: rows
 	// beyond the window (flow-control back-pressure on leaders) or rows
-	// evicted from under a pending fetch (no-flow-control mode).
-	future map[int64][]waiter
+	// evicted from under a pending fetch (no-flow-control mode). At most a
+	// handful of rows are ever parked at once, so a linear scan beats a map;
+	// the list is unordered (only keyed lookups, never iterated for effect).
+	future []futureRow
+	// waiterPool recycles detached future wait-list backing arrays, so the
+	// park/serve cycle stops allocating once warm.
+	waiterPool [][]waiter
 	// inFlight marks outstanding fetches: key = row*256 + corelet for slab
-	// demand fetches, row*256 + 255 for full-row prefetches.
-	inFlight map[int64]bool
+	// demand fetches, row*256 + 255 for full-row prefetches. Bounded by
+	// Entries outstanding row fetches + Corelets slab fetches, so a small
+	// unordered slice replaces the map.
+	inFlight []int64
 	// pending are fetches bounced off a full controller queue, retried by
 	// Pump (same key encoding as inFlight).
 	pending []int64
@@ -166,8 +188,7 @@ func New(cfg Config, fetch FetchFunc) (*Buffer, error) {
 	b := &Buffer{
 		cfg:      cfg,
 		fetch:    fetch,
-		future:   make(map[int64][]waiter),
-		inFlight: make(map[int64]bool),
+		fullMask: uint64(1)<<uint(cfg.SlabWords()) - 1,
 	}
 	b.entries = make([]entry, cfg.Entries)
 	for i := range b.entries {
@@ -203,6 +224,12 @@ func (b *Buffer) Start(base uint32, bytes int) error {
 		return fmt.Errorf("prefetch: base %#x not row-aligned", base)
 	}
 	b.rowBytes = int64(b.cfg.RowBytes)
+	b.rowShift = 0
+	if b.rowBytes&(b.rowBytes-1) == 0 {
+		for 1<<b.rowShift < b.rowBytes {
+			b.rowShift++
+		}
+	}
 	b.baseRow = int64(base) / b.rowBytes
 	b.rowCount = (int64(bytes) + b.rowBytes - 1) / b.rowBytes
 	b.nextRow = 0
@@ -219,6 +246,59 @@ func (b *Buffer) Start(base uint32, bytes int) error {
 // slotOf returns the circular-queue slot for relative row r.
 func (b *Buffer) slotOf(r int64) int { return int(r % int64(b.cfg.Entries)) }
 
+// futureIdx returns the index of row's parked wait-list, or -1.
+func (b *Buffer) futureIdx(row int64) int {
+	for i := range b.future {
+		if b.future[i].row == row {
+			return i
+		}
+	}
+	return -1
+}
+
+// newWaiters returns an empty wait-list, reusing a pooled backing array.
+func (b *Buffer) newWaiters() []waiter {
+	if n := len(b.waiterPool); n > 0 {
+		ws := b.waiterPool[n-1]
+		b.waiterPool = b.waiterPool[:n-1]
+		return ws
+	}
+	return make([]waiter, 0, 8)
+}
+
+// recycle returns a detached wait-list's backing array to the pool. Callers
+// must only recycle after they are done iterating the slice.
+func (b *Buffer) recycle(ws []waiter) {
+	if cap(ws) > 0 {
+		b.waiterPool = append(b.waiterPool, ws[:0])
+	}
+}
+
+// addFuture parks one waiter on a non-resident row.
+func (b *Buffer) addFuture(row int64, w waiter) {
+	if i := b.futureIdx(row); i >= 0 {
+		b.future[i].waiters = append(b.future[i].waiters, w)
+		return
+	}
+	b.future = append(b.future, futureRow{row: row, waiters: append(b.newWaiters(), w)})
+}
+
+// takeFuture detaches and returns row's parked wait-list (nil if none). The
+// caller iterates it and then recycles it; detaching first keeps the list
+// safe against b.future mutations from callbacks fired mid-iteration.
+func (b *Buffer) takeFuture(row int64) []waiter {
+	i := b.futureIdx(row)
+	if i < 0 {
+		return nil
+	}
+	ws := b.future[i].waiters
+	last := len(b.future) - 1
+	b.future[i] = b.future[last]
+	b.future[last] = futureRow{}
+	b.future = b.future[:last]
+	return ws
+}
+
 // evictWaiters parks an entry's outstanding waiters in future; the data they
 // asked for is forwarded when the row's in-flight (or Pump-pending) fetch
 // arrives. Waiters exist only on unfilled entries, which by construction
@@ -227,7 +307,11 @@ func (b *Buffer) evictWaiters(e *entry) {
 	if len(e.waiters) == 0 {
 		return
 	}
-	b.future[e.row] = append(b.future[e.row], e.waiters...)
+	if i := b.futureIdx(e.row); i >= 0 {
+		b.future[i].waiters = append(b.future[i].waiters, e.waiters...)
+	} else {
+		b.future = append(b.future, futureRow{row: e.row, waiters: append(b.newWaiters(), e.waiters...)})
+	}
 	e.waiters = e.waiters[:0]
 }
 
@@ -261,8 +345,10 @@ func (b *Buffer) issueSlab(row int64, c int) { b.issue(row, c) }
 
 func (b *Buffer) issue(row int64, who int) {
 	key := row*256 + int64(who)
-	if b.inFlight[key] {
-		return
+	for _, k := range b.inFlight {
+		if k == key {
+			return
+		}
 	}
 	addr := uint32((b.baseRow + row) * b.rowBytes)
 	bytes := b.cfg.RowBytes
@@ -275,7 +361,7 @@ func (b *Buffer) issue(row int64, who int) {
 		b.pending = append(b.pending, key)
 		return
 	}
-	b.inFlight[key] = true
+	b.inFlight = append(b.inFlight, key)
 }
 
 // Pump retries fetches that bounced off a full controller queue. The owning
@@ -296,7 +382,15 @@ func (b *Buffer) Pump() {
 // arrival latches into the requesting corelet's stash and wakes only its
 // own waiters.
 func (b *Buffer) arrive(row int64, who int) {
-	delete(b.inFlight, row*256+int64(who))
+	key := row*256 + int64(who)
+	for i, k := range b.inFlight {
+		if k == key {
+			last := len(b.inFlight) - 1
+			b.inFlight[i] = b.inFlight[last]
+			b.inFlight = b.inFlight[:last]
+			break
+		}
+	}
 	if who == fullRowKey {
 		e := &b.entries[b.slotOf(row)]
 		if e.row == row && !e.filled {
@@ -310,19 +404,24 @@ func (b *Buffer) arrive(row int64, who int) {
 				}
 			}
 		}
-		if ws, ok := b.future[row]; ok {
-			delete(b.future, row)
+		if ws := b.takeFuture(row); ws != nil {
 			for _, w := range ws {
 				b.stash[w.corelet] = row
 				if w.cb != nil {
 					w.cb()
 				}
 			}
+			b.recycle(ws)
 		}
 		return
 	}
-	// Slab arrival: serve this corelet's waiters for the row.
-	ws := b.future[row]
+	// Slab arrival: serve this corelet's waiters for the row, re-parking the
+	// rest. The list is detached up front so callbacks are free to touch
+	// b.future.
+	ws := b.takeFuture(row)
+	if ws == nil {
+		return
+	}
 	rest := ws[:0]
 	for _, w := range ws {
 		if w.corelet == who {
@@ -335,9 +434,9 @@ func (b *Buffer) arrive(row int64, who int) {
 		}
 	}
 	if len(rest) == 0 {
-		delete(b.future, row)
+		b.recycle(ws)
 	} else {
-		b.future[row] = rest
+		b.future = append(b.future, futureRow{row: row, waiters: rest})
 	}
 }
 
@@ -349,9 +448,11 @@ func (b *Buffer) consume(e *entry, corelet, slot int) {
 		return
 	}
 	e.consumed[corelet] |= bit
-	full := uint64(1)<<uint(b.cfg.SlabWords()) - 1
-	if e.consumed[corelet] == full {
+	if e.consumed[corelet] == b.fullMask {
 		e.df++
+		if uint64(e.df) > b.stats.MaxDF {
+			b.stats.MaxDF = uint64(e.df)
+		}
 		if b.cfg.FlowControl && e.df >= b.cfg.Corelets && b.slotOf(b.nextRow) == b.slotOf(e.row) {
 			b.tryDeferredTrigger()
 		}
@@ -408,7 +509,12 @@ func (b *Buffer) tryDeferredTrigger() bool {
 // corelet model derives from its context and stream position. On Waiting,
 // cb fires when the word becomes available (in the memory clock domain).
 func (b *Buffer) Access(c int, slot int, addr uint32, cb func()) Result {
-	row := int64(addr)/b.rowBytes - b.baseRow
+	var row int64
+	if b.rowShift != 0 {
+		row = int64(addr)>>b.rowShift - b.baseRow
+	} else {
+		row = int64(addr)/b.rowBytes - b.baseRow
+	}
 	if row < 0 || row >= b.rowCount {
 		panic(fmt.Sprintf("prefetch: access %#x outside streamed region", addr))
 	}
@@ -456,7 +562,7 @@ func (b *Buffer) Access(c int, slot int, addr uint32, cb func()) Result {
 			b.stats.Starved++
 			return Waiting
 		}
-		b.future[row] = append(b.future[row], waiter{c, slot, cb})
+		b.addFuture(row, waiter{c, slot, cb})
 		b.stats.Starved++
 		return Waiting
 	}
@@ -470,7 +576,7 @@ func (b *Buffer) Access(c int, slot int, addr uint32, cb func()) Result {
 		return Ready
 	}
 	b.stats.DemandRowFetches++
-	b.future[row] = append(b.future[row], waiter{c, slot, cb})
+	b.addFuture(row, waiter{c, slot, cb})
 	b.issueSlab(row, c)
 	b.stats.Starved++
 	return Waiting
@@ -479,9 +585,9 @@ func (b *Buffer) Access(c int, slot int, addr uint32, cb func()) Result {
 // adoptFuture moves waiters of the row just tagged into the entry's wait
 // list; they are served when the fill arrives.
 func (b *Buffer) adoptFuture(e *entry) {
-	if ws, ok := b.future[e.row]; ok {
+	if ws := b.takeFuture(e.row); ws != nil {
 		e.waiters = append(e.waiters, ws...)
-		delete(b.future, e.row)
+		b.recycle(ws)
 	}
 }
 

@@ -227,3 +227,39 @@ func TestPropertyEdgeCounts(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPeriodRangeEnforced checks the documented [1 ps, 1 s] period range:
+// sub-1-Hz clocks (periods above one second) are rejected both at domain
+// registration and on a later retune.
+func TestPeriodRangeEnforced(t *testing.T) {
+	e := NewEngine()
+	tick := TickFunc(func(Time) {})
+	if _, err := e.AddDomain("slow", Second+1, tick); err == nil {
+		t.Error("AddDomain accepted a period above 1 s")
+	}
+	d, err := e.AddDomain("ok", Second, tick)
+	if err != nil {
+		t.Fatalf("AddDomain rejected a 1 s period: %v", err)
+	}
+	if err := d.SetPeriod(Second + 1); err == nil {
+		t.Error("SetPeriod accepted a period above 1 s")
+	}
+	if err := d.SetPeriod(1); err != nil {
+		t.Errorf("SetPeriod rejected a 1 ps period: %v", err)
+	}
+}
+
+// TestPeriodFromHzRange spot-checks the conversion at the documented edges:
+// frequencies below 1 Hz produce periods AddDomain rejects, and frequencies
+// far above 1 THz round to a zero (rejected) period.
+func TestPeriodFromHzRange(t *testing.T) {
+	if p := PeriodFromHz(0.5); p <= Second {
+		t.Errorf("PeriodFromHz(0.5) = %d, want > 1 s (rejected on registration)", p)
+	}
+	if p := PeriodFromHz(3e12); p != 0 {
+		t.Errorf("PeriodFromHz(3e12) = %d, want 0 (rounds below 1 ps)", p)
+	}
+	if p := PeriodFromHz(1e9); p != Millisecond/1e6 {
+		t.Errorf("PeriodFromHz(1 GHz) = %d ps, want 1000", p)
+	}
+}

@@ -82,6 +82,9 @@ type warp struct {
 	outstanding int
 	pendingBlk  []uint32 // coalesced transactions awaiting cache acceptance
 	done        bool
+	// memDone decrements outstanding; built once at construction so memory
+	// accesses don't allocate a closure per transaction.
+	memDone func()
 }
 
 func (w *warp) fullMask(width int) uint64 { return (uint64(1) << uint(width)) - 1 }
@@ -93,6 +96,7 @@ type SM struct {
 	V       Variant
 	node    *arch.Node
 	lay     layout.Layout
+	ownerOf func(addr uint32) (corelet, slot int)
 	prog    *isa.Program
 	width   int
 	slices  int
@@ -101,9 +105,21 @@ type SM struct {
 	l1      *cache.Cache
 	buf     *prefetch.Buffer
 	rr      []int // per-slice round-robin pointer
-	ticks   uint64
+	// latTab maps isa.Class to issue latency (built at NewSM), so the
+	// per-instruction latency pick is one indexed load.
+	latTab [10]int64
+	// slicePending counts warps per slice with coalesced transactions
+	// bounced off a full L1 queue, so the per-tick retry scan is skipped
+	// entirely in the common case of no structural stalls.
+	slicePending []int
+	ticks        uint64
 	stats   Stats
 	running int
+	// liveSlices holds the indices of slices with at least one non-done
+	// warp, in ascending order (warps never un-halt, so Tick compacts the
+	// list in place); sliceLive counts non-done warps per slice.
+	liveSlices []int
+	sliceLive  []int
 	// Scratch buffers reused across memory accesses (hot path).
 	scratchAddrs  []uint32
 	scratchBlocks []uint32
@@ -152,12 +168,16 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 	node.DRAM.LoadWords(0, flat)
 
 	m := &SM{
-		P: p, EP: ep, V: v, node: node, lay: lay, prog: l.Prog,
+		P: p, EP: ep, V: v, node: node, lay: lay, ownerOf: lay.OwnerFunc(), prog: l.Prog,
 		width:  width,
 		slices: p.Corelets / width,
 		shared: make([]uint32, p.SharedMemBytes/4),
 	}
 	m.rr = make([]int, m.slices)
+	m.slicePending = make([]int, m.slices)
+	for cl := range m.latTab {
+		m.latTab[cl] = int64(m.latencyOf(isa.Class(cl)))
+	}
 	for i, w := range l.Args {
 		m.shared[i] = w
 	}
@@ -193,10 +213,17 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 			w := &warp{slice: s, context: c, rpc: len(l.Prog.Insts)}
 			w.mask = w.fullMask(width)
 			w.regs = make([][isa.NumRegs]uint32, width)
+			w.memDone = func() { w.outstanding-- }
 			m.warps = append(m.warps, w)
 		}
 	}
 	m.running = len(m.warps)
+	m.liveSlices = make([]int, m.slices)
+	m.sliceLive = make([]int, m.slices)
+	for s := 0; s < m.slices; s++ {
+		m.liveSlices[s] = s
+		m.sliceLive[s] = p.Contexts
+	}
 	if err := node.AttachCompute(m); err != nil {
 		return nil, err
 	}
@@ -237,26 +264,43 @@ func (m *SM) Tick(now sim.Time) {
 		m.buf.Pump()
 	}
 	issuedLanes := 0
-	for s := 0; s < m.slices; s++ {
+	live := m.liveSlices
+	k := 0
+	for i, s := range live {
 		issuedLanes += m.tickSlice(s)
+		if m.sliceLive[s] > 0 {
+			if k != i {
+				live[k] = s
+			}
+			k++
+		}
 	}
+	m.liveSlices = live[:k]
 	m.stats.LaneIdle += uint64(m.P.Corelets - issuedLanes)
 }
 
 func (m *SM) tickSlice(s int) int {
 	n := m.P.Contexts
-	base := s * n
+	warps := m.warps[s*n : s*n+n]
 	// Retry transactions bounced off full queues.
-	for i := 0; i < n; i++ {
-		w := m.warps[base+i]
-		if len(w.pendingBlk) > 0 {
-			m.retryBlocks(w)
+	if m.slicePending[s] > 0 {
+		for _, w := range warps {
+			if len(w.pendingBlk) > 0 {
+				m.retryBlocks(w)
+				if len(w.pendingBlk) == 0 {
+					m.slicePending[s]--
+				}
+			}
 		}
 	}
+	idx := m.rr[s] + 1
 	for i := 0; i < n; i++ {
-		idx := (m.rr[s] + 1 + i) % n
-		w := m.warps[base+idx]
+		if idx >= n {
+			idx -= n
+		}
+		w := warps[idx]
 		if w.done || w.outstanding > 0 || len(w.pendingBlk) > 0 || w.readyAt > int64(m.ticks) {
+			idx++
 			continue
 		}
 		m.rr[s] = idx
@@ -278,11 +322,11 @@ func (w *warp) reconverge() {
 // execute runs one warp instruction and returns the number of active lanes.
 func (m *SM) execute(w *warp) int {
 	w.reconverge()
-	in := m.prog.Insts[w.pc]
+	in := &m.prog.Insts[w.pc]
 	active := bits.OnesCount64(w.mask)
 	m.stats.WarpInsts++
 	m.stats.ThreadInsts += uint64(active)
-	lat := int64(m.latencyOf(isa.Classify(in.Op)))
+	lat := m.latTab[isa.Classify(in.Op)]
 
 	switch {
 	case in.Op == isa.HALT:
@@ -291,6 +335,7 @@ func (m *SM) execute(w *warp) int {
 		}
 		w.done = true
 		m.running--
+		m.sliceLive[w.slice]--
 		return active
 	case in.Op == isa.CSRR:
 		m.forEachLane(w, func(l int) {
@@ -365,13 +410,23 @@ func (m *SM) execute(w *warp) int {
 		w.pc = int(target)
 		lat = int64(m.P.Latencies.TakenBranch)
 	default:
-		m.forEachLane(w, func(l int) {
-			v, ok := isa.EvalALU(in, w.regs[l][in.Rs1], w.regs[l][in.Rs2])
-			if !ok {
-				panic(fmt.Sprintf("simt: unhandled op %v", in.Op))
+		// Direct lane loop: the ALU path runs per active lane every warp
+		// instruction, so it avoids the per-lane closure call of
+		// forEachLane and indexes the lane register file once.
+		op, imm, rs1, rs2, rd := in.Op, in.Imm, in.Rs1, in.Rs2, in.Rd
+		for l, mask := 0, w.mask; mask != 0; l, mask = l+1, mask>>1 {
+			if mask&1 == 0 {
+				continue
 			}
-			m.setReg(w, l, in.Rd, v)
-		})
+			regs := &w.regs[l]
+			v, ok := isa.EvalALUOp(op, imm, regs[rs1], regs[rs2])
+			if !ok {
+				panic(fmt.Sprintf("simt: unhandled op %v", op))
+			}
+			if rd != 0 {
+				regs[rd] = v
+			}
+		}
 		w.pc++
 	}
 	w.readyAt = int64(m.ticks) + lat
@@ -417,7 +472,7 @@ func (m *SM) setReg(w *warp, lane int, rd uint8, v uint32) {
 // reading the same word broadcast for free. The distinct-address scan is
 // O(lanes^2) over a reused scratch buffer — far cheaper than per-access
 // maps for warp-sized n.
-func (m *SM) sharedAccess(w *warp, in isa.Inst, store bool) int {
+func (m *SM) sharedAccess(w *warp, in *isa.Inst, store bool) int {
 	addrs := m.scratchAddrs[:0]
 	m.forEachLane(w, func(l int) {
 		addr := uint32(int32(w.regs[l][in.Rs1]) + in.Imm)
@@ -460,7 +515,7 @@ func (m *SM) sharedAccess(w *warp, in isa.Inst, store bool) int {
 // coalesce into cache-block transactions (GPGPU/VWS) or per-word prefetch
 // buffer accesses (VWS-row). It returns the extra issue-slot cycles consumed
 // by transactions beyond the first.
-func (m *SM) globalLoad(w *warp, in isa.Inst) int {
+func (m *SM) globalLoad(w *warp, in *isa.Inst) int {
 	laneAddr := func(l int) uint32 {
 		if in.Op == isa.LDS {
 			a := w.regs[l][isa.StreamAddr]
@@ -473,11 +528,11 @@ func (m *SM) globalLoad(w *warp, in isa.Inst) int {
 		m.forEachLane(w, func(l int) {
 			addr := laneAddr(l)
 			m.setReg(w, l, in.Rd, m.node.DRAM.ReadWord(addr))
-			c, slot := m.lay.OwnerOf(addr)
+			c, slot := m.ownerOf(addr)
 			if c != m.laneID(w, l) {
 				panic("simt: lane touched another lane's slab")
 			}
-			if m.buf.Access(c, slot, addr, func() { w.outstanding-- }) == prefetch.Waiting {
+			if m.buf.Access(c, slot, addr, w.memDone) == prefetch.Waiting {
 				w.outstanding++
 			}
 		})
@@ -501,6 +556,9 @@ func (m *SM) globalLoad(w *warp, in isa.Inst) int {
 	n := len(blocks)
 	m.scratchBlocks = blocks[:0]
 	m.retryBlocks(w)
+	if len(w.pendingBlk) > 0 {
+		m.slicePending[w.slice]++
+	}
 	return n - 1
 }
 
@@ -509,7 +567,7 @@ func (m *SM) globalLoad(w *warp, in isa.Inst) int {
 func (m *SM) retryBlocks(w *warp) {
 	rest := w.pendingBlk[:0]
 	for _, b := range w.pendingBlk {
-		switch m.l1.Access(b, func() { w.outstanding-- }) {
+		switch m.l1.Access(b, w.memDone) {
 		case cache.Hit:
 			m.stats.Transactions++
 		case cache.Miss:

@@ -34,7 +34,10 @@ type Processor struct {
 	lay    layout.Layout
 	cores  []*corelet.Corelet
 	caches []*cache.Cache
-	ticks  uint64
+	// live is the active set of non-halted cores, compacted in registration
+	// order as cores halt (cores never un-halt).
+	live  []*corelet.Corelet
+	ticks uint64
 }
 
 // Result aliases the Millipede result shape with cache stats in place of
@@ -115,6 +118,7 @@ func NewProcessor(p arch.Params, ep energy.Params, l core.Launch) (*Processor, e
 			pr.cores[c].WriteLocal(uint32(i*4), w)
 		}
 	}
+	pr.live = append([]*corelet.Corelet(nil), pr.cores...)
 	if err := node.AttachCompute(pr); err != nil {
 		return nil, err
 	}
@@ -138,22 +142,22 @@ func (pt *port) Read(ctx int, addr uint32, ready func()) corelet.Status {
 // Tick advances every live core one compute cycle.
 func (pr *Processor) Tick(now sim.Time) {
 	pr.ticks++
-	for _, c := range pr.cores {
+	live := pr.live
+	n := 0
+	for i, c := range live {
+		c.Tick()
 		if !c.Halted() {
-			c.Tick()
+			if n != i {
+				live[n] = c // only move on an actual halt: skips the write barrier
+			}
+			n++
 		}
 	}
+	pr.live = live[:n]
 }
 
 // Halted reports whether every core has finished.
-func (pr *Processor) Halted() bool {
-	for _, c := range pr.cores {
-		if !c.Halted() {
-			return false
-		}
-	}
-	return true
-}
+func (pr *Processor) Halted() bool { return len(pr.live) == 0 }
 
 // Run executes to completion and returns aggregated results.
 func (pr *Processor) Run(limit sim.Time) (Result, error) {
