@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check bench benchjson
+.PHONY: all build test check bench benchjson bench-diff
 
 all: build
 
@@ -25,4 +25,11 @@ bench:
 # benchjson regenerates the benchmark-trajectory snapshot (see
 # EXPERIMENTS.md, "Benchmark trajectory").
 benchjson:
-	$(GO) run ./cmd/milliexp -benchjson BENCH_1.json
+	$(GO) run ./cmd/milliexp -benchjson BENCH_2.json
+
+# bench-diff is the determinism gate: re-measure and fail unless every
+# records/sim_cycles/sim_picos/insts field is bit-identical to the
+# committed baseline. A timing-neutral change must pass this unchanged.
+BENCH_BASE ?= BENCH_1.json
+bench-diff:
+	$(GO) run ./cmd/milliexp -benchdiff $(BENCH_BASE)

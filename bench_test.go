@@ -81,6 +81,18 @@ func BenchmarkFig6SystemSize(b *testing.B) {
 	}
 }
 
+func BenchmarkChannelSweep(b *testing.B) {
+	p := arch.Default()
+	for i := 0; i < b.N; i++ {
+		f, err := harness.ChannelSweep(p, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Geomean["2-ch"], "speedup-2ch-vs-1ch")
+		b.ReportMetric(f.Geomean["4-ch"], "speedup-4ch-vs-1ch")
+	}
+}
+
 func BenchmarkFig7PrefetchBuffers(b *testing.B) {
 	p := arch.Default()
 	for i := 0; i < b.N; i++ {

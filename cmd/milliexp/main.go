@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	milliexp [-scale 1.0] [-only fig3,fig4,fig5,fig6,fig7,table2,table3,table4]
+//	milliexp [-scale 1.0] [-only fig3,fig4,fig5,fig6,fig7,table2,table3,table4,channels]
 //	milliexp -benchjson BENCH_2.json [-benchbase BENCH_1.json] [-benchscale 0.25]
+//	milliexp -benchdiff BENCH_1.json [-benchjson BENCH_2.json]
 //
 // scale multiplies each benchmark's default input size; 1.0 is the
 // paper-scale run recorded in EXPERIMENTS.md.
@@ -15,6 +16,10 @@
 // BENCH_*.json file; -benchbase additionally prints a speedup comparison
 // against a previously recorded file. See EXPERIMENTS.md, "Benchmark
 // trajectory".
+//
+// -benchdiff is the determinism gate: it re-collects at the baseline's
+// scale and exits nonzero unless every entry's records, sim_cycles,
+// sim_picos, and insts are bit-identical to the baseline file.
 package main
 
 import (
@@ -31,14 +36,15 @@ import (
 func main() {
 	log.SetFlags(0)
 	scale := flag.Float64("scale", 1.0, "input-size multiplier")
-	only := flag.String("only", "", "comma-separated subset (fig3..fig7, table2, table3, table4, ablation, characteristics, warpwidth, residency, node)")
+	only := flag.String("only", "", "comma-separated subset (fig3..fig7, table2, table3, table4, ablation, characteristics, warpwidth, residency, channels, node)")
 	benchJSON := flag.String("benchjson", "", "measure simulator throughput and write a BENCH_*.json report to this path (skips figures)")
 	benchBase := flag.String("benchbase", "", "previous BENCH_*.json to compare the new report against")
 	benchScale := flag.Float64("benchscale", benchreport.DefaultScale, "input scale for -benchjson throughput runs")
+	benchDiff := flag.String("benchdiff", "", "determinism gate: collect a fresh report and exit nonzero unless its records/sim_cycles/sim_picos/insts are bit-identical to this baseline BENCH_*.json (skips figures)")
 	flag.Parse()
 
-	if *benchJSON != "" {
-		runBenchReport(*benchJSON, *benchBase, *benchScale)
+	if *benchJSON != "" || *benchDiff != "" {
+		runBenchReport(*benchJSON, *benchBase, *benchDiff, *benchScale)
 		return
 	}
 
@@ -87,6 +93,7 @@ func main() {
 	run("ablation", func() (*millipede.Figure, error) { return millipede.BarrierAblation(cfg, *scale) })
 	run("characteristics", func() (*millipede.Figure, error) { return millipede.CharacteristicsStudy(cfg, *scale/4) })
 	run("warpwidth", func() (*millipede.Figure, error) { return millipede.WarpWidthSweep(cfg, *scale) })
+	run("channels", func() (*millipede.Figure, error) { return millipede.ChannelSweep(cfg, *scale) })
 	run("residency", func() (*millipede.Figure, error) { return millipede.ResidencyStudy(cfg, 16, *scale) })
 	if sel("node") {
 		t0 := time.Now()
@@ -102,9 +109,40 @@ func main() {
 }
 
 // runBenchReport measures simulator throughput over Figure 3's workload set
-// and writes the BENCH_*.json trajectory point.
-func runBenchReport(path, basePath string, scale float64) {
+// and writes the BENCH_*.json trajectory point and/or runs the determinism
+// gate against a baseline report.
+func runBenchReport(path, basePath, diffPath string, scale float64) {
 	cfg := millipede.DefaultConfig()
+	if diffPath != "" {
+		base, err := benchreport.Read(diffPath)
+		if err != nil {
+			log.Fatalf("benchdiff: %v", err)
+		}
+		// Diff at the baseline's own scale so the record counts line up.
+		scale = base.Scale
+		t0 := time.Now()
+		rep, err := benchreport.Collect(cfg, benchreport.Fig3Archs(), scale)
+		if err != nil {
+			log.Fatalf("benchdiff: %v", err)
+		}
+		if path != "" {
+			if err := rep.Write(path); err != nil {
+				log.Fatalf("benchdiff: %v", err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		diffs := benchreport.DiffDeterminism(base, rep)
+		if len(diffs) > 0 {
+			for _, d := range diffs {
+				fmt.Println(d)
+			}
+			log.Fatalf("benchdiff: %d determinism mismatches against %s", len(diffs), diffPath)
+		}
+		fmt.Printf("benchdiff: %d entries bit-identical to %s on %v (collected in %s)\n",
+			len(rep.Entries), diffPath, benchreport.DeterminismFields,
+			time.Since(t0).Round(time.Millisecond))
+		return
+	}
 	t0 := time.Now()
 	rep, err := benchreport.Collect(cfg, benchreport.Fig3Archs(), scale)
 	if err != nil {

@@ -34,10 +34,14 @@ func main() {
 	traceN := flag.Int("trace", 0, "print the first N trace events (millipede only)")
 	corelets := flag.Int("corelets", 32, "corelets/lanes per processor")
 	buffers := flag.Int("buffers", 16, "prefetch buffer entries")
+	channels := flag.Int("channels", 0, "die-stack memory channels (0 = geometry default)")
 	flag.Parse()
 
 	cfg := millipede.DefaultConfig().WithSize(*corelets)
 	cfg.PrefetchEntries = *buffers
+	if *channels > 0 {
+		cfg.Channels = *channels
+	}
 	n := *records
 	if n == 0 {
 		n = 512
@@ -63,6 +67,9 @@ func main() {
 	fmt.Printf("branches/inst       %.4f\n", res.BranchesPerInst)
 	fmt.Printf("DRAM row miss rate  %.3f\n", res.RowMissRate)
 	fmt.Printf("DRAM bytes read     %d (%.2f GB/s)\n", res.DRAMBytes, float64(res.DRAMBytes)/float64(res.Time)*1000)
+	fmt.Printf("mem channels        %d\n", cfg.Channels)
+	fmt.Printf("mem stall cycles    %d (max queue occupancy %d, rejected %d)\n",
+		res.MemStallCycles, res.MemMaxOccupancy, res.MemRejected)
 	fmt.Printf("final clock         %.0f MHz\n", res.FinalHz/1e6)
 	fmt.Printf("energy              %.3f uJ (core %.3f / dram %.3f / leak %.3f)\n",
 		res.Energy.TotalPJ()/1e6, res.Energy.CorePJ/1e6, res.Energy.DRAMPJ/1e6, res.Energy.LeakPJ/1e6)

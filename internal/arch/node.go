@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
-	"repro/internal/memctrl"
+	"repro/internal/mem"
 	"repro/internal/sim"
 )
 
@@ -14,16 +14,19 @@ type ComputeUnit interface {
 	Halted() bool
 }
 
-// Node is one PNM node: the two clock domains, the die-stacked DRAM channel
-// and its FR-FCFS controller. Every architecture model builds on it.
+// Node is one PNM node: the two clock domains and the die-stacked memory
+// system (N row-interleaved channels, each an FR-FCFS controller over its
+// own bank set). Every architecture model builds on it and reaches memory
+// only through Mem's Port interface; DRAM is the functional word store
+// behind the fabric.
 type Node struct {
-	Params  Params
-	Engine  *sim.Engine
-	DRAM    *dram.DRAM
-	Ctl     *memctrl.Controller
-	Compute *sim.Domain
-	Mem     *sim.Domain
-	unit    ComputeUnit
+	Params    Params
+	Engine    *sim.Engine
+	Mem       *mem.System
+	DRAM      *dram.DRAM // functional backing store (Mem.Store())
+	Compute   *sim.Domain
+	MemDomain *sim.Domain
+	unit      ComputeUnit
 }
 
 // NewNode builds the memory side; AttachCompute must be called before Run.
@@ -31,17 +34,13 @@ func NewNode(p Params, capacityBytes int) (*Node, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	d, err := dram.New(p.DRAM, capacityBytes)
+	m, err := mem.New(p.DRAM, p.Channels, p.MemQueueDepth, capacityBytes)
 	if err != nil {
 		return nil, err
 	}
-	ctl, err := memctrl.New(d, p.MemQueueDepth)
-	if err != nil {
-		return nil, err
-	}
-	n := &Node{Params: p, Engine: sim.NewEngine(), DRAM: d, Ctl: ctl}
-	n.Mem, err = n.Engine.AddDomain("mem", sim.PeriodFromHz(p.ChannelHz),
-		sim.TickFunc(func(sim.Time) { ctl.Tick() }))
+	n := &Node{Params: p, Engine: sim.NewEngine(), Mem: m, DRAM: m.Store()}
+	n.MemDomain, err = n.Engine.AddDomain("mem", sim.PeriodFromHz(p.ChannelHz),
+		sim.TickFunc(func(sim.Time) { m.Tick() }))
 	if err != nil {
 		return nil, err
 	}
@@ -49,8 +48,9 @@ func NewNode(p Params, capacityBytes int) (*Node, error) {
 }
 
 // InjectMemoryJitter enables deterministic DRAM completion jitter of up to
-// max channel cycles (fault injection for robustness tests).
-func (n *Node) InjectMemoryJitter(max int64, seed uint64) { n.Ctl.SetJitter(max, seed) }
+// max channel cycles on every channel (fault injection for robustness
+// tests).
+func (n *Node) InjectMemoryJitter(max int64, seed uint64) { n.Mem.SetJitter(max, seed) }
 
 // AttachCompute registers the processor on the compute clock.
 func (n *Node) AttachCompute(unit ComputeUnit) error {
@@ -77,17 +77,4 @@ func (n *Node) Run(limit sim.Time) (sim.Time, error) {
 		limit = 10 * sim.Second
 	}
 	return n.Engine.Run(limit, n.unit.Halted)
-}
-
-// MemBacking adapts the FR-FCFS controller to the fetch interfaces used by
-// caches (cache.Backing) and the prefetch buffer (prefetch.FetchFunc).
-type MemBacking struct{ Ctl *memctrl.Controller }
-
-// Fetch implements cache.Backing.
-func (m MemBacking) Fetch(addr uint32, bytes int, done func()) bool {
-	return m.Ctl.Enqueue(memctrl.Request{Addr: addr, Bytes: bytes, Done: func(int64, bool) {
-		if done != nil {
-			done()
-		}
-	}})
 }

@@ -3,6 +3,7 @@ package arch
 import (
 	"testing"
 
+	"repro/internal/mem"
 	"repro/internal/sim"
 )
 
@@ -59,32 +60,71 @@ func TestRunTimeLimitDefault(t *testing.T) {
 	}
 }
 
-func TestMemBacking(t *testing.T) {
+func TestNodeMemPort(t *testing.T) {
 	n, _ := NewNode(Default(), 1<<16)
-	mb := MemBacking{Ctl: n.Ctl}
 	done := false
-	if !mb.Fetch(0, 64, func() { done = true }) {
-		t.Fatal("fetch rejected on empty queue")
+	ok := n.Mem.Enqueue(mem.Request{Addr: 0, Bytes: 64,
+		Done: func(int64, bool) { done = true }})
+	if !ok {
+		t.Fatal("enqueue rejected on empty queue")
 	}
 	for i := 0; i < 200 && !done; i++ {
-		n.Ctl.Tick()
+		n.Mem.Tick()
 	}
 	if !done {
 		t.Error("fetch never completed")
 	}
 	// Nil callback must not panic.
-	mb.Fetch(128, 64, nil)
+	n.Mem.Enqueue(mem.Request{Addr: 128, Bytes: 64})
 	for i := 0; i < 200; i++ {
-		n.Ctl.Tick()
+		n.Mem.Tick()
+	}
+	if !n.Mem.Idle() {
+		t.Error("port not idle after drain")
 	}
 	// Jitter injection plumbs through.
 	n.InjectMemoryJitter(50, 3)
 	delayed := false
-	mb.Fetch(4096, 64, func() { delayed = true })
+	n.Mem.Enqueue(mem.Request{Addr: 4096, Bytes: 64,
+		Done: func(int64, bool) { delayed = true }})
 	for i := 0; i < 500 && !delayed; i++ {
-		n.Ctl.Tick()
+		n.Mem.Tick()
 	}
 	if !delayed {
 		t.Error("jittered fetch never completed")
+	}
+}
+
+func TestNodeMultiChannel(t *testing.T) {
+	p := Default()
+	p.Channels = 2
+	n, err := NewNode(p, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Mem.Channels() != 2 {
+		t.Fatalf("channels = %d", n.Mem.Channels())
+	}
+	// Consecutive rows land on alternating channels.
+	rb := uint32(p.DRAM.RowBytes)
+	if ch, _ := n.Mem.Route(0); ch != 0 {
+		t.Errorf("row 0 on channel %d", ch)
+	}
+	if ch, _ := n.Mem.Route(rb); ch != 1 {
+		t.Errorf("row 1 on channel %d", ch)
+	}
+	done := 0
+	for i := 0; i < 4; i++ {
+		ok := n.Mem.Enqueue(mem.Request{Addr: uint32(i) * rb, Bytes: 64,
+			Done: func(int64, bool) { done++ }})
+		if !ok {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	for i := 0; i < 500 && done < 4; i++ {
+		n.Mem.Tick()
+	}
+	if done != 4 {
+		t.Errorf("completions = %d, want 4", done)
 	}
 }

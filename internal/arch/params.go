@@ -49,7 +49,8 @@ type Params struct {
 
 	// Memory system.
 	DRAM          dram.Params
-	MemQueueDepth int // FR-FCFS depth: 16
+	Channels      int // simulated die-stack channels (row-interleaved): 1
+	MemQueueDepth int // FR-FCFS depth per channel: 16
 
 	// Pipeline latencies (identical simple in-order pipelines everywhere).
 	Latencies corelet.Latencies
@@ -80,6 +81,7 @@ func Default() Params {
 		SharedMemBytes:    131072,
 		VWSWarpWidth:      4,
 		DRAM:              dram.DefaultParams(),
+		Channels:          1,
 		MemQueueDepth:     16,
 		Latencies:         corelet.DefaultLatencies(),
 		DFSStepPct:        0.05,
@@ -100,6 +102,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("arch: bad memory sizes")
 	case p.PrefetchEntries < 2:
 		return fmt.Errorf("arch: need >= 2 prefetch entries")
+	case p.Channels <= 0:
+		return fmt.Errorf("arch: bad channel count %d", p.Channels)
 	case p.MemQueueDepth <= 0:
 		return fmt.Errorf("arch: bad memory queue depth")
 	case p.SSMCLineBytes <= 0 || p.CacheLineBytes <= 0:
@@ -115,14 +119,31 @@ func (p Params) Threads() int { return p.Corelets * p.Contexts }
 
 // WithSize returns a copy scaled to n corelets per processor with
 // proportionally scaled memory bandwidth, as in the paper's system-size
-// sensitivity study (Figure 6: 32 -> 64 cores, 2x bandwidth).
+// sensitivity study (Figure 6: 32 -> 64 cores, 2x bandwidth). Bandwidth
+// scales the way a die-stacked part's does — by engaging more channels —
+// so a 64-lane system gets 2 row-interleaved channels, each with Table III
+// timing. corelets must be a multiple of 32.
 func (p Params) WithSize(corelets int) Params {
 	q := p
 	q.Corelets = corelets
 	scale := float64(corelets) / 32.0
-	q.ChannelHz = p.ChannelHz * scale
+	q.Channels = p.Channels * corelets / 32
 	// Per-lane on-die memory budgets are held constant, so SM-wide
 	// structures scale with the lane count.
+	q.SharedMemBytes = int(float64(p.SharedMemBytes) * scale)
+	q.GPGPUL1Bytes = int(float64(p.GPGPUL1Bytes) * scale)
+	return q
+}
+
+// WithSizeWidthScaled is the pre-fabric scaling model, kept as a printed
+// cross-check in Figure 6: instead of adding channels it doubles the single
+// channel's clock, an idealization with no extra bank-level parallelism and
+// no interleave effects.
+func (p Params) WithSizeWidthScaled(corelets int) Params {
+	q := p
+	q.Corelets = corelets
+	scale := float64(corelets) / 32.0
+	q.ChannelHz = p.ChannelHz * scale
 	q.SharedMemBytes = int(float64(p.SharedMemBytes) * scale)
 	q.GPGPUL1Bytes = int(float64(p.GPGPUL1Bytes) * scale)
 	return q

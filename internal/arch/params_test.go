@@ -39,6 +39,7 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		mod(func(p *Params) { p.MemQueueDepth = 0 }),
 		mod(func(p *Params) { p.Corelets = 33 }),
 		mod(func(p *Params) { p.DRAM.Banks = 0 }),
+		mod(func(p *Params) { p.Channels = 0 }),
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
@@ -55,10 +56,26 @@ func TestWithSize(t *testing.T) {
 	if p.Corelets != 64 {
 		t.Errorf("corelets = %d", p.Corelets)
 	}
-	if p.ChannelHz != 2.4e9 {
-		t.Errorf("bandwidth not doubled: %g", p.ChannelHz)
+	if p.Channels != 2 {
+		t.Errorf("channels = %d, want 2 (bandwidth doubled by channel count)", p.Channels)
+	}
+	if p.ChannelHz != 1.2e9 {
+		t.Errorf("channel clock changed: %g", p.ChannelHz)
 	}
 	if p.SharedMemBytes != 2*131072 || p.GPGPUL1Bytes != 2*32768 {
 		t.Error("SM memories not scaled with lane count")
+	}
+}
+
+func TestWithSizeWidthScaled(t *testing.T) {
+	p := Default().WithSizeWidthScaled(64)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Channels != 1 {
+		t.Errorf("channels = %d, want 1", p.Channels)
+	}
+	if p.ChannelHz != 2.4e9 {
+		t.Errorf("bandwidth not doubled: %g", p.ChannelHz)
 	}
 }

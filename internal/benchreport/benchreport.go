@@ -46,6 +46,54 @@ type Entry struct {
 	WallSeconds  float64 `json:"wall_seconds"`  // host wall time of the run
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	InstsPerSec  float64 `json:"insts_per_sec"`
+	// Memory-fabric contention counters (informational — not part of the
+	// determinism gate, so reports written before they existed still diff
+	// clean).
+	MemStallCycles  uint64 `json:"mem_stall_cycles,omitempty"`
+	MemMaxOccupancy int    `json:"mem_max_occupancy,omitempty"`
+	MemRejected     uint64 `json:"mem_rejected,omitempty"`
+}
+
+// DeterminismFields are the Entry fields that must be bit-identical between
+// two reports collected at the same scale on a timing-neutral change.
+var DeterminismFields = []string{"records", "sim_cycles", "sim_picos", "insts"}
+
+// DiffDeterminism compares the determinism fields of cur against base,
+// keyed by {arch, bench}, and returns one human-readable line per mismatch
+// (including entries present in only one report). An empty slice means cur
+// is bit-identical to base where it matters.
+func DiffDeterminism(base, cur *Report) []string {
+	type key struct{ a, b string }
+	idx := map[key]Entry{}
+	for _, e := range base.Entries {
+		idx[key{e.Arch, e.Bench}] = e
+	}
+	var diffs []string
+	seen := map[key]bool{}
+	for _, e := range cur.Entries {
+		k := key{e.Arch, e.Bench}
+		seen[k] = true
+		b, ok := idx[k]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s/%s: missing from baseline", e.Arch, e.Bench))
+			continue
+		}
+		chk := func(field string, want, got uint64) {
+			if want != got {
+				diffs = append(diffs, fmt.Sprintf("%s/%s: %s %d != baseline %d", e.Arch, e.Bench, field, got, want))
+			}
+		}
+		chk("records", uint64(b.Records), uint64(e.Records))
+		chk("sim_cycles", b.SimCycles, e.SimCycles)
+		chk("sim_picos", uint64(b.SimPicos), uint64(e.SimPicos))
+		chk("insts", b.Insts, e.Insts)
+	}
+	for _, e := range base.Entries {
+		if !seen[key{e.Arch, e.Bench}] {
+			diffs = append(diffs, fmt.Sprintf("%s/%s: missing from new report", e.Arch, e.Bench))
+		}
+	}
+	return diffs
 }
 
 // Report is one recorded benchmark-trajectory point.
@@ -100,7 +148,9 @@ func Collect(p arch.Params, archs []string, scale float64) (*Report, error) {
 			e := Entry{
 				Arch: a, Bench: b.Name(), Records: records,
 				SimCycles: res.Cycles, SimPicos: int64(res.Time), Insts: res.Insts,
-				WallSeconds: wall,
+				WallSeconds:    wall,
+				MemStallCycles: res.MemStallCycles, MemMaxOccupancy: res.MemMaxOccupancy,
+				MemRejected: res.MemRejected,
 			}
 			if wall > 0 {
 				e.CyclesPerSec = float64(res.Cycles) / wall

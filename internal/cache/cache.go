@@ -14,14 +14,9 @@ package cache
 
 import (
 	"fmt"
-)
 
-// Backing is where misses are sent: a memory-controller adapter, or a
-// lower-level Cache. Fetch returns false if the request cannot be accepted
-// this cycle (queue full); the cache retries on a later access.
-type Backing interface {
-	Fetch(addr uint32, bytes int, done func()) bool
-}
+	"repro/internal/mem"
+)
 
 // Config sizes a cache.
 type Config struct {
@@ -92,7 +87,7 @@ type Cache struct {
 	cfg     Config
 	sets    [][]line
 	nsets   int
-	backing Backing
+	backing mem.Port
 	useTick uint64
 	// mshr maps block id -> waiters for an in-flight fill.
 	mshr map[int64][]func()
@@ -104,9 +99,10 @@ type Cache struct {
 	pendingPrefetch int64 // block id, -1 none
 }
 
-// New builds a cache over the given backing store. mshrMax bounds distinct
-// outstanding fills (demand + prefetch).
-func New(cfg Config, backing Backing, mshrMax int) (*Cache, error) {
+// New builds a cache over the given backing memory port — the memory fabric
+// itself, or a lower-level Cache. mshrMax bounds distinct outstanding fills
+// (demand + prefetch).
+func New(cfg Config, backing mem.Port, mshrMax int) (*Cache, error) {
 	nsets, err := cfg.Validate()
 	if err != nil {
 		return nil, err
@@ -230,7 +226,9 @@ func (c *Cache) Access(addr uint32, onFill func()) Result {
 	ln.lastUse = c.useTick
 	c.mshr[block] = []func(){onFill}
 	fillAddr := uint32(block) * uint32(c.cfg.LineBytes)
-	if !c.backing.Fetch(fillAddr, c.cfg.LineBytes, func() { c.fill(block, false) }) {
+	ok := c.backing.Enqueue(mem.Request{Addr: fillAddr, Bytes: c.cfg.LineBytes,
+		Done: func(int64, bool) { c.fill(block, false) }})
+	if !ok {
 		*ln = saved
 		delete(c.mshr, block)
 		c.stats.Retries++
@@ -299,7 +297,9 @@ func (c *Cache) issuePrefetch(block int64) {
 	ln.lastUse = c.useTick
 	c.mshr[block] = []func(){}
 	fillAddr := uint32(block) * uint32(c.cfg.LineBytes)
-	if !c.backing.Fetch(fillAddr, c.cfg.LineBytes, func() { c.fill(block, true) }) {
+	ok := c.backing.Enqueue(mem.Request{Addr: fillAddr, Bytes: c.cfg.LineBytes,
+		Done: func(int64, bool) { c.fill(block, true) }})
+	if !ok {
 		*ln = saved
 		delete(c.mshr, block)
 		c.pendingPrefetch = block
@@ -315,16 +315,21 @@ func (c *Cache) Contains(addr uint32) bool {
 	return ln != nil && !ln.inFlight
 }
 
-// Fetch implements Backing, allowing a Cache to back another Cache (the
-// multicore's L1 -> L2). A hit returns data "immediately" (done called
-// synchronously; the L1 model adds the L2 hit latency itself based on
-// HitLatency bookkeeping in the core model).
-func (c *Cache) Fetch(addr uint32, bytes int, done func()) bool {
-	res := c.Access(addr, done)
+// Enqueue implements mem.Port, allowing a Cache to back another Cache (the
+// multicore's L1 -> L2). A hit returns data "immediately" (Done called
+// synchronously with cycle 0 and rowHit true; the L1 model adds the L2 hit
+// latency itself). A Retry maps to false, as a full controller queue would.
+func (c *Cache) Enqueue(r mem.Request) bool {
+	done := r.Done
+	res := c.Access(r.Addr, func() {
+		if done != nil {
+			done(0, false)
+		}
+	})
 	switch res {
 	case Hit:
 		if done != nil {
-			done()
+			done(0, true)
 		}
 		return true
 	case Miss:
@@ -333,3 +338,10 @@ func (c *Cache) Fetch(addr uint32, bytes int, done func()) bool {
 		return false
 	}
 }
+
+// Tick implements mem.Port. The cache has no clock of its own — fills
+// arrive on the backing's clock — so it is a no-op.
+func (c *Cache) Tick() {}
+
+// Idle implements mem.Port: true when no fills are outstanding.
+func (c *Cache) Idle() bool { return len(c.mshr) == 0 }

@@ -3,30 +3,37 @@ package cache
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/mem"
 )
 
-// fakeBacking records fetches and completes them on demand.
+// fakeBacking is a stub mem.Port: it records fetches and completes them on
+// demand.
 type fakeBacking struct {
-	pending []func()
+	pending []func(int64, bool)
 	addrs   []uint32
 	full    bool
 }
 
-func (b *fakeBacking) Fetch(addr uint32, bytes int, done func()) bool {
+func (b *fakeBacking) Enqueue(r mem.Request) bool {
 	if b.full {
 		return false
 	}
-	b.addrs = append(b.addrs, addr)
-	b.pending = append(b.pending, done)
+	b.addrs = append(b.addrs, r.Addr)
+	b.pending = append(b.pending, r.Done)
 	return true
 }
+
+func (b *fakeBacking) Tick() {}
+
+func (b *fakeBacking) Idle() bool { return len(b.pending) == 0 }
 
 func (b *fakeBacking) drain() {
 	p := b.pending
 	b.pending = nil
 	for _, f := range p {
 		if f != nil {
-			f()
+			f(0, false)
 		}
 	}
 }
@@ -35,7 +42,7 @@ func cfgNoPrefetch() Config {
 	return Config{SizeBytes: 1024, LineBytes: 128, Assoc: 2, PrefetchDepth: 0}
 }
 
-func newCache(t *testing.T, cfg Config, b Backing) *Cache {
+func newCache(t *testing.T, cfg Config, b mem.Port) *Cache {
 	t.Helper()
 	c, err := New(cfg, b, 8)
 	if err != nil {
@@ -232,19 +239,19 @@ func TestStreamHitRateWithPrefetch(t *testing.T) {
 func TestCacheAsBackingForCache(t *testing.T) {
 	// L1 over L2 over fake memory: L1 miss that hits in L2 completes
 	// synchronously; both track stats.
-	mem := &fakeBacking{}
-	l2 := newCache(t, Config{SizeBytes: 4096, LineBytes: 128, Assoc: 4}, mem)
+	fm := &fakeBacking{}
+	l2 := newCache(t, Config{SizeBytes: 4096, LineBytes: 128, Assoc: 4}, fm)
 	l1 := newCache(t, Config{SizeBytes: 512, LineBytes: 128, Assoc: 2}, l2)
 	done := 0
 	l1.Access(0, func() { done++ })
-	mem.drain()
+	fm.drain()
 	if done != 1 {
 		t.Fatal("L1 fill via L2 did not complete")
 	}
 	// Evict block 0 from tiny L1 by filling its set (blocks 0,2,4 share set 0 of 2 sets... 512/128=4 lines, 2 sets).
 	l1.Access(2*128, nil)
 	l1.Access(4*128, nil)
-	mem.drain()
+	fm.drain()
 	// Re-access block 0: L1 miss, L2 hit -> synchronous completion.
 	hitDone := false
 	res := l1.Access(0, func() { hitDone = true })

@@ -20,6 +20,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/isa"
 	"repro/internal/layout"
+	"repro/internal/mem"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -52,6 +53,7 @@ type Result struct {
 	Cores         corelet.Stats
 	Prefetch      prefetch.Stats
 	DRAM          DRAMStats
+	Mem           MemStats
 	FinalHz       float64
 	Energy        energy.Breakdown
 }
@@ -62,6 +64,14 @@ type DRAMStats struct {
 	RowHits, RowMisses uint64
 	BytesRead          uint64
 	Requests           uint64
+}
+
+// MemStats is re-exported memory-controller stats, aggregated across
+// channels (MaxOccupancy is the max over channels).
+type MemStats struct {
+	StallCycles  uint64
+	MaxOccupancy int
+	Rejected     uint64
 }
 
 // RowMissRate returns misses / (hits + misses).
@@ -147,7 +157,7 @@ func NewProcessor(p arch.Params, ep energy.Params, l Launch) (*Processor, error)
 		RowBytes:    p.DRAM.RowBytes,
 		FlowControl: p.FlowControl,
 	}
-	pr.buf, err = prefetch.New(bcfg, arch.MemBacking{Ctl: node.Ctl}.Fetch)
+	pr.buf, err = prefetch.New(bcfg, node.Mem)
 	if err != nil {
 		return nil, err
 	}
@@ -208,11 +218,12 @@ func (pt *port) Read(ctx int, addr uint32, ready func()) corelet.Status {
 		if pt.tableValid && pt.tableBlock == blk {
 			return corelet.Done
 		}
-		ok := arch.MemBacking{Ctl: pt.pr.node.Ctl}.Fetch(blk, 64, func() {
-			pt.tableBlock = blk
-			pt.tableValid = true
-			ready()
-		})
+		ok := pt.pr.node.Mem.Enqueue(mem.Request{Addr: blk, Bytes: 64,
+			Done: func(int64, bool) {
+				pt.tableBlock = blk
+				pt.tableValid = true
+				ready()
+			}})
 		if !ok {
 			return corelet.Retry
 		}
@@ -310,8 +321,10 @@ func (pr *Processor) result(t sim.Time) Result {
 		r.Cores.BusyCycles += s.BusyCycles
 		r.Cores.RetryCycles += s.RetryCycles
 	}
-	ds := pr.node.DRAM.Stats()
+	ds := pr.node.Mem.DRAMStats()
 	r.DRAM = DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
+	cs := pr.node.Mem.CtlStats()
+	r.Mem = MemStats{StallCycles: cs.StallCycles, MaxOccupancy: cs.MaxOccupancy, Rejected: cs.Rejected}
 	r.FinalHz = pr.P.ComputeHz
 	if pr.rate != nil {
 		r.FinalHz = pr.rate.Hz()
@@ -331,7 +344,7 @@ func (pr *Processor) energy(r Result, t sim.Time) energy.Breakdown {
 		float64(r.Cores.LocalAccess)*ep.LocalPJ +
 		float64(r.Cores.GlobalReads)*ep.LocalPJ +
 		float64(r.Cores.IdleCycles)*ep.IdlePJ
-	ds := pr.node.DRAM.Stats()
+	ds := pr.node.Mem.DRAMStats()
 	b.DRAMPJ = ep.DRAM(ds.RowMisses, ds.BytesRead)
 	b.LeakPJ = ep.Leakage(pr.P.Corelets, float64(t)/1e12)
 	return b
@@ -391,5 +404,20 @@ func (pr *Processor) EnableTrace(l *trace.Log, coreletID int) {
 	pr.buf.SetTracer(func(kind string, row int64) {
 		l.Add(trace.Event{Cycle: pr.ticks, Corelet: -1, Context: -1,
 			Kind: kinds[kind], Detail: fmt.Sprintf("row %d", row)})
+	})
+	memKinds := [...]trace.Kind{
+		mem.TraceIssue: trace.MemIssue, mem.TraceReject: trace.MemReject,
+		mem.TraceRowOpen: trace.RowOpen, mem.TraceRowClose: trace.RowClose,
+	}
+	pr.node.Mem.SetTracer(func(ch int, ev mem.TraceEvent, addr uint32, bank int, row int64) {
+		var detail string
+		switch ev {
+		case mem.TraceIssue, mem.TraceReject:
+			detail = fmt.Sprintf("ch %d addr %#x", ch, addr)
+		default:
+			detail = fmt.Sprintf("ch %d bank %d row %d", ch, bank, row)
+		}
+		l.Add(trace.Event{Cycle: pr.ticks, Corelet: -1, Context: -1,
+			Kind: memKinds[ev], Detail: detail})
 	})
 }

@@ -71,6 +71,17 @@ type Stats struct {
 	BusyCycles uint64
 }
 
+// Add accumulates o into s. A multi-channel memory system folds per-channel
+// counters into an aggregate with it.
+func (s *Stats) Add(o Stats) {
+	s.Requests += o.Requests
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.Precharges += o.Precharges
+	s.BytesRead += o.BytesRead
+	s.BusyCycles += o.BusyCycles
+}
+
 // RowMissRate returns misses/(hits+misses), or 0 before any traffic.
 func (s Stats) RowMissRate() float64 {
 	t := s.RowHits + s.RowMisses
@@ -95,7 +106,21 @@ type DRAM struct {
 	busFree int64
 	stats   Stats
 	words   []uint32 // functional contents, index = word address
+	tracer  func(ev Event, bank int, row int64)
 }
+
+// Event identifies a row-buffer trace event (see SetTracer).
+type Event uint8
+
+// Row-buffer trace events.
+const (
+	EvRowOpen  Event = iota // activate: the row became the bank's open row
+	EvRowClose              // precharge: the previously open row was closed
+)
+
+// SetTracer installs an observer of row open/close events. The hook runs
+// inline during Service; pass nil to disable.
+func (d *DRAM) SetTracer(t func(ev Event, bank int, row int64)) { d.tracer = t }
 
 // New returns a channel with the given parameters backing capacityBytes of
 // addressable data (rounded up to whole rows).
@@ -160,11 +185,17 @@ func (d *DRAM) Service(now int64, addr uint32, bytes int) (done int64, hit bool)
 			}
 			start = preAt + int64(d.P.TRP)
 			d.stats.Precharges++
+			if d.tracer != nil {
+				d.tracer(EvRowClose, d.BankOf(addr), bk.openRow)
+			}
 		}
 		bk.actAt = start
 		start += int64(d.P.TRCD)
 		bk.openRow = row
 		d.stats.RowMisses++
+		if d.tracer != nil {
+			d.tracer(EvRowOpen, d.BankOf(addr), row)
+		}
 	} else {
 		d.stats.RowHits++
 	}

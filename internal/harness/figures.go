@@ -252,7 +252,10 @@ func Fig5(p arch.Params, scale float64) (*Figure, error) {
 
 // Fig6 reproduces Figure 6: performance versus system size (32 vs 64
 // corelets/lanes/cores with doubled memory bandwidth), normalized to the
-// 32-lane GPGPU.
+// 32-lane GPGPU. The 64-lane points double bandwidth the physical way — a
+// second die-stack channel — and each also gets a "-wide" cross-check
+// column that doubles the single channel's clock instead, the pre-fabric
+// approximation; the two should land close together.
 func Fig6(p arch.Params, scale float64) (*Figure, error) {
 	sizes := []int{32, 64}
 	archs := []string{ArchGPGPU, ArchSSMC, ArchMillipede}
@@ -262,8 +265,12 @@ func Fig6(p arch.Params, scale float64) (*Figure, error) {
 			f.Series = append(f.Series, fmt.Sprintf("%s-%d", a, n))
 		}
 	}
+	for _, a := range archs {
+		f.Series = append(f.Series, fmt.Sprintf("%s-64-wide", a))
+	}
 	type job struct {
-		n       int
+		series  string
+		params  arch.Params
 		a       string
 		b       *workloads.Benchmark
 		records int
@@ -275,14 +282,17 @@ func Fig6(p arch.Params, scale float64) (*Figure, error) {
 			// records per thread, never below the minimum-records floor.
 			records := recordsForSize(b, scale, n)
 			for _, a := range archs {
-				jobs = append(jobs, job{n, a, b, records})
+				jobs = append(jobs, job{fmt.Sprintf("%s-%d", a, n), p.WithSize(n), a, b, records})
+				if n == 64 {
+					jobs = append(jobs, job{a + "-64-wide", p.WithSizeWidthScaled(n), a, b, records})
+				}
 			}
 		}
 	}
 	res := make([]RunResult, len(jobs))
 	err := runJobs(len(jobs), func(i int) error {
 		j := jobs[i]
-		r, err := Run(j.a, j.b, p.WithSize(j.n), j.records)
+		r, err := Run(j.a, j.b, j.params, j.records)
 		res[i] = r
 		return err
 	})
@@ -297,15 +307,58 @@ func Fig6(p arch.Params, scale float64) (*Figure, error) {
 			rows[j.b.Name()] = Row{Bench: j.b.Name(), Values: map[string]float64{}}
 			order = append(order, j.b.Name())
 		}
-		if j.n == 32 && j.a == ArchGPGPU {
+		if j.series == ArchGPGPU+"-32" {
 			base[j.b.Name()] = float64(res[i].Time)
 		}
-		rows[j.b.Name()].Values[fmt.Sprintf("%s-%d", j.a, j.n)] = float64(res[i].Time)
+		rows[j.b.Name()].Values[j.series] = float64(res[i].Time)
 	}
 	for _, name := range order {
 		row := rows[name]
 		for k, v := range row.Values {
 			row.Values[k] = base[name] / v
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	f.geomeans()
+	return f, nil
+}
+
+// ChannelSweepChannelHz is the per-channel clock of the channel sweep:
+// vault-grade 150 MHz channels (the examples/ratematch bandwidth-bound
+// regime), so aggregate bandwidth genuinely scales with channel count. At
+// the full 1.2 GHz Table III channel the model is compute-bound for all
+// eight kernels (DESIGN.md §7) and the sweep would be flat.
+const ChannelSweepChannelHz = 150e6
+
+// ChannelSweep measures Millipede across 1/2/4 die-stack channels on every
+// benchmark, normalized to the single-channel run. Memory-bound kernels
+// (count, sample) gain the most from extra channels; compute-bound ones
+// (kmeans, gda) barely move.
+func ChannelSweep(p arch.Params, scale float64) (*Figure, error) {
+	channels := []int{1, 2, 4}
+	f := &Figure{Name: "Channel sweep: Millipede speedup vs die-stack channel count (150 MHz vault channels, normalized to 1 channel)"}
+	for _, n := range channels {
+		f.Series = append(f.Series, fmt.Sprintf("%d-ch", n))
+	}
+	benches := workloads.All()
+	res := make([]RunResult, len(benches)*len(channels))
+	err := runJobs(len(res), func(i int) error {
+		b := benches[i/len(channels)]
+		q := p
+		q.ChannelHz = ChannelSweepChannelHz
+		q.Channels = channels[i%len(channels)]
+		r, err := Run(ArchMillipede, b, q, recordsFor(b, scale))
+		res[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range benches {
+		row := Row{Bench: b.Name(), Values: map[string]float64{}}
+		base := float64(res[bi*len(channels)].Time)
+		for ci, n := range channels {
+			row.Values[fmt.Sprintf("%d-ch", n)] = base / float64(res[bi*len(channels)+ci].Time)
 		}
 		f.Rows = append(f.Rows, row)
 	}
@@ -397,6 +450,7 @@ func TableIII(p arch.Params) string {
 	w("GPGPU shared memory per SM (B)", p.SharedMemBytes)
 	w("channel clock (MHz)", p.ChannelHz/1e6)
 	w("channel width (bits)", p.DRAM.ChannelBytes*8)
+	w("die-stack channels (row-interleaved)", p.Channels)
 	w("DRAM tCAS-tRP-tRCD-tRAS", fmt.Sprintf("%d-%d-%d-%d", p.DRAM.TCAS, p.DRAM.TRP, p.DRAM.TRCD, p.DRAM.TRAS))
 	w("DRAM row size (B), banks/channel", fmt.Sprintf("%d, %d", p.DRAM.RowBytes, p.DRAM.Banks))
 	w("memory controller", fmt.Sprintf("FR-FCFS (%d deep)", p.MemQueueDepth))

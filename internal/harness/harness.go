@@ -58,6 +58,20 @@ type RunResult struct {
 	// the numerator of the simulator-throughput metric recorded in
 	// BENCH_*.json (simulated cycles per wall-clock second).
 	Cycles uint64
+	// Memory-controller contention counters, aggregated across channels:
+	// ticks with waiting-but-unissuable requests, the deepest queue
+	// occupancy seen on any channel, and enqueue attempts bounced off a
+	// full queue.
+	MemStallCycles  uint64
+	MemMaxOccupancy int
+	MemRejected     uint64
+}
+
+// setMemStats copies the controller counters out of a processor result.
+func (r *RunResult) setMemStats(m core.MemStats) {
+	r.MemStallCycles = m.StallCycles
+	r.MemMaxOccupancy = m.MaxOccupancy
+	r.MemRejected = m.Rejected
 }
 
 // Seed is the dataset seed used by all experiments.
@@ -121,6 +135,7 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		res.BranchesPerInst = ratio(r.Cores.CondBranches, r.Cores.Instructions)
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
+		res.setMemStats(r.Mem)
 
 	case ArchSSMC:
 		l, lay, sl, streams, err := buildLaunch(b, p, layout.Slab, records, false)
@@ -144,6 +159,7 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		res.BranchesPerInst = ratio(r.Cores.CondBranches, r.Cores.Instructions)
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
+		res.setMemStats(r.Mem)
 
 	case ArchGPGPU, ArchVWS, ArchVWSRow:
 		v := simt.GPGPU
@@ -173,6 +189,7 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		res.BranchesPerInst = ratio(r.SM.CondBranches, r.SM.ThreadInsts)
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
+		res.setMemStats(r.Mem)
 
 	case ArchMulticore:
 		c := multicore.DefaultConfig()
@@ -217,6 +234,7 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		res.BranchesPerInst = ratio(r.Cores.CondBranches, r.Cores.Instructions)
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
+		res.setMemStats(r.Mem)
 		res.Words = uint64(c.Threads()) * uint64(b.StreamWords(mcRecords))
 
 	default:

@@ -1,0 +1,274 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+func params() dram.Params { return dram.DefaultParams() }
+
+func newSys(t *testing.T, channels int) *System {
+	t.Helper()
+	s, err := New(params(), channels, 8, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func drain(t *testing.T, s *System, limit int) {
+	t.Helper()
+	for i := 0; i < limit; i++ {
+		if s.Idle() {
+			return
+		}
+		s.Tick()
+	}
+	t.Fatal("fabric never drained")
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(params(), 0, 8, 1024); err == nil {
+		t.Error("zero channels accepted")
+	}
+	if _, err := New(params(), 1, 0, 1024); err == nil {
+		t.Error("zero queue depth accepted")
+	}
+	if _, err := New(params(), 1, 8, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestRouteInterleavesRows(t *testing.T) {
+	s := newSys(t, 4)
+	rb := uint32(params().RowBytes)
+	for row := uint32(0); row < 16; row++ {
+		for _, off := range []uint32{0, 64, rb - 4} {
+			ch, local := s.Route(row*rb + off)
+			if ch != int(row%4) {
+				t.Fatalf("row %d routed to channel %d", row, ch)
+			}
+			// Dense local renumbering: channel-local row index is row/4,
+			// offset within the row is preserved.
+			if local != (row/4)*rb+off {
+				t.Fatalf("row %d off %d: local addr %#x", row, off, local)
+			}
+		}
+	}
+}
+
+func TestRouteSingleChannelIsIdentity(t *testing.T) {
+	s := newSys(t, 1)
+	for _, a := range []uint32{0, 1, 64, 4096, 1<<16 - 4} {
+		if ch, local := s.Route(a); ch != 0 || local != a {
+			t.Fatalf("Route(%#x) = %d, %#x", a, ch, local)
+		}
+	}
+}
+
+func TestRequestsCompleteOnAllChannels(t *testing.T) {
+	s := newSys(t, 4)
+	rb := uint32(params().RowBytes)
+	done := make([]bool, 8)
+	for i := range done {
+		i := i
+		if !s.Enqueue(Request{Addr: uint32(i) * rb, Bytes: 64,
+			Done: func(int64, bool) { done[i] = true }}) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	drain(t, s, 2000)
+	for i, d := range done {
+		if !d {
+			t.Errorf("request %d never completed", i)
+		}
+	}
+}
+
+func TestRowCrossingPanicsMultiChannel(t *testing.T) {
+	s := newSys(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("row-crossing request accepted")
+		}
+	}()
+	s.Enqueue(Request{Addr: uint32(params().RowBytes) - 4, Bytes: 64})
+}
+
+func TestStatsAggregateAcrossChannels(t *testing.T) {
+	s := newSys(t, 2)
+	rb := uint32(params().RowBytes)
+	for i := 0; i < 4; i++ {
+		s.Enqueue(Request{Addr: uint32(i) * rb, Bytes: 64})
+	}
+	drain(t, s, 2000)
+	ctl := s.CtlStats()
+	if got := s.ChannelCtlStats(0).Issued + s.ChannelCtlStats(1).Issued; ctl.Issued != got {
+		t.Errorf("aggregate issued %d != channel sum %d", ctl.Issued, got)
+	}
+	if ctl.Issued != 4 {
+		t.Errorf("issued = %d, want 4", ctl.Issued)
+	}
+	d := s.DRAMStats()
+	if d.Requests != 4 || d.BytesRead != 4*64 {
+		t.Errorf("dram stats = %+v", d)
+	}
+	if c0 := s.ChannelDRAMStats(0); c0.Requests != 2 {
+		t.Errorf("channel 0 requests = %d, want 2 (even rows)", c0.Requests)
+	}
+	if s.RowMissRate() <= 0 {
+		t.Error("cold accesses reported no row misses")
+	}
+}
+
+func TestFunctionalStoreSharedAcrossChannels(t *testing.T) {
+	s := newSys(t, 4)
+	s.WriteWord(8192, 0xDEADBEEF)
+	if s.ReadWord(8192) != 0xDEADBEEF {
+		t.Error("word store roundtrip failed")
+	}
+	ws := []uint32{1, 2, 3, 4}
+	s.LoadWords(4096, ws)
+	row := make([]uint32, params().RowBytes/4)
+	s.ReadRow(4096, row)
+	for i, w := range ws {
+		if row[i] != w {
+			t.Fatalf("row[%d] = %d, want %d", i, row[i], w)
+		}
+	}
+	if s.CapacityBytes() != 1<<16 {
+		t.Errorf("capacity = %d", s.CapacityBytes())
+	}
+}
+
+func TestJitterDecorrelatedPerChannel(t *testing.T) {
+	// With jitter on, per-channel completion cycles for the same local access
+	// pattern should differ between channels (decorrelated streams).
+	s := newSys(t, 2)
+	s.SetJitter(64, 7)
+	rb := uint32(params().RowBytes)
+	var cyc [2][]int64
+	for i := 0; i < 8; i++ {
+		ch := i % 2
+		s.Enqueue(Request{Addr: uint32(i) * rb, Bytes: 64,
+			Done: func(c int64, _ bool) { cyc[ch] = append(cyc[ch], c) }})
+	}
+	drain(t, s, 10000)
+	same := true
+	for i := range cyc[0] {
+		if i < len(cyc[1]) && cyc[0][i] != cyc[1][i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("jitter streams identical across channels")
+	}
+}
+
+func TestTracerSeesIssueAndRowEvents(t *testing.T) {
+	s := newSys(t, 2)
+	counts := map[TraceEvent]int{}
+	chans := map[int]bool{}
+	s.SetTracer(func(ch int, ev TraceEvent, _ uint32, _ int, _ int64) {
+		counts[ev]++
+		chans[ch] = true
+	})
+	rb := uint32(params().RowBytes)
+	for i := 0; i < 4; i++ {
+		s.Enqueue(Request{Addr: uint32(i) * rb, Bytes: 64})
+	}
+	drain(t, s, 2000)
+	if counts[TraceIssue] != 4 {
+		t.Errorf("issue events = %d, want 4", counts[TraceIssue])
+	}
+	if counts[TraceRowOpen] != 4 {
+		t.Errorf("row-open events = %d, want 4 (all cold)", counts[TraceRowOpen])
+	}
+	if !chans[0] || !chans[1] {
+		t.Errorf("events not seen on both channels: %v", chans)
+	}
+	s.SetTracer(nil)
+	s.Enqueue(Request{Addr: 0, Bytes: 64})
+	drain(t, s, 2000)
+	if counts[TraceIssue] != 4 {
+		t.Error("tracer still firing after uninstall")
+	}
+}
+
+// TestSingleChannelCycleIdentity is the fabric's core guarantee: a 1-channel
+// System produces exactly the same (completion cycle, row hit) sequence as a
+// bare FR-FCFS controller driven identically — the fabric adds no timing.
+func TestSingleChannelCycleIdentity(t *testing.T) {
+	type completion struct {
+		cycle int64
+		hit   bool
+	}
+	run := func(addrs []uint32, enq func(a uint32, done func(int64, bool)) bool, tick func(), idle func() bool) []completion {
+		var out []completion
+		i := 0
+		for cycles := 0; cycles < 100000; cycles++ {
+			for i < len(addrs) && enq(addrs[i], func(c int64, h bool) {
+				out = append(out, completion{c, h})
+			}) {
+				i++
+			}
+			if i == len(addrs) && idle() {
+				break
+			}
+			tick()
+		}
+		return out
+	}
+	f := func(seeds []uint16) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 64 {
+			seeds = seeds[:64]
+		}
+		addrs := make([]uint32, len(seeds))
+		for i, v := range seeds {
+			addrs[i] = (uint32(v) * 64) % (1 << 16) // 64B-aligned, row-contained
+		}
+
+		sys, err := New(params(), 1, 8, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := run(addrs,
+			func(a uint32, done func(int64, bool)) bool {
+				return sys.Enqueue(Request{Addr: a, Bytes: 64, Done: done})
+			},
+			sys.Tick, sys.Idle)
+
+		d, err := dram.New(params(), 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl, err := memctrl.New(d, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := run(addrs,
+			func(a uint32, done func(int64, bool)) bool {
+				return ctl.Enqueue(memctrl.Request{Addr: a, Bytes: 64, Done: done})
+			},
+			ctl.Tick, ctl.Idle)
+
+		if len(got) != len(want) || len(got) != len(addrs) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -8,6 +8,7 @@ package memctrl
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/dram"
 )
@@ -27,6 +28,7 @@ type Request struct {
 // FR-FCFS pick in Tick correct.
 type queued struct {
 	req Request
+	at  int64 // enqueue cycle, for the queue-latency histogram
 }
 
 type inflight struct {
@@ -34,6 +36,10 @@ type inflight struct {
 	hit    bool
 	done   func(int64, bool)
 }
+
+// QueueLatBuckets is the number of power-of-two queue-latency histogram
+// buckets; the last bucket absorbs everything >= 2^(QueueLatBuckets-2).
+const QueueLatBuckets = 16
 
 // Stats aggregates controller-level counters.
 type Stats struct {
@@ -44,6 +50,25 @@ type Stats struct {
 	// StallCycles counts ticks on which requests were waiting but none
 	// could issue (banks busy), a contention indicator.
 	StallCycles uint64
+	// QueueLat is a power-of-two histogram of per-request queue residency:
+	// channel cycles from Enqueue to FR-FCFS issue. Bucket 0 counts
+	// zero-cycle issues, bucket i counts latencies in [2^(i-1), 2^i).
+	QueueLat [QueueLatBuckets]uint64
+}
+
+// Add accumulates o into s, taking the max of MaxOccupancy. It is how a
+// multi-channel memory system folds per-channel counters into an aggregate.
+func (s *Stats) Add(o Stats) {
+	s.Enqueued += o.Enqueued
+	s.Issued += o.Issued
+	s.Rejected += o.Rejected
+	if o.MaxOccupancy > s.MaxOccupancy {
+		s.MaxOccupancy = o.MaxOccupancy
+	}
+	s.StallCycles += o.StallCycles
+	for i := range s.QueueLat {
+		s.QueueLat[i] += o.QueueLat[i]
+	}
 }
 
 // Controller schedules requests onto one DRAM channel. It is driven by
@@ -58,7 +83,22 @@ type Controller struct {
 	// Fault injection: completion jitter (see SetJitter).
 	jitterMax int64
 	jitterRNG uint64
+	tracer    func(ev Event, addr uint32)
 }
+
+// Event identifies a controller-level trace event (see SetTracer).
+type Event uint8
+
+// Controller trace events.
+const (
+	EvIssue  Event = iota // request dispatched to the DRAM channel
+	EvReject              // enqueue attempt found the queue full
+)
+
+// SetTracer installs an observer of controller events. The hook runs inline
+// on the channel clock; pass nil to disable. It must not re-enter the
+// controller.
+func (c *Controller) SetTracer(t func(ev Event, addr uint32)) { c.tracer = t }
 
 // New returns a controller of the given queue depth over d.
 func New(d *dram.DRAM, depth int) (*Controller, error) {
@@ -110,9 +150,12 @@ func (c *Controller) Idle() bool { return len(c.queue) == 0 && len(c.fly) == 0 }
 func (c *Controller) Enqueue(r Request) bool {
 	if len(c.queue) >= c.depth {
 		c.stats.Rejected++
+		if c.tracer != nil {
+			c.tracer(EvReject, r.Addr)
+		}
 		return false
 	}
-	c.queue = append(c.queue, queued{req: r})
+	c.queue = append(c.queue, queued{req: r, at: c.cycle})
 	c.stats.Enqueued++
 	if len(c.queue) > c.stats.MaxOccupancy {
 		c.stats.MaxOccupancy = len(c.queue)
@@ -169,6 +212,14 @@ func (c *Controller) Tick() {
 	}
 	q := c.queue[pick]
 	c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
+	if b := bits.Len64(uint64(c.cycle - q.at)); b < QueueLatBuckets {
+		c.stats.QueueLat[b]++
+	} else {
+		c.stats.QueueLat[QueueLatBuckets-1]++
+	}
+	if c.tracer != nil {
+		c.tracer(EvIssue, q.req.Addr)
+	}
 	done, hit := c.D.Service(c.cycle, q.req.Addr, q.req.Bytes)
 	c.fly = append(c.fly, inflight{doneAt: done + c.jitter(), hit: hit, done: q.req.Done})
 	c.stats.Issued++

@@ -15,14 +15,13 @@ package multicore
 import (
 	"fmt"
 
-	"repro/internal/arch"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/corelet"
 	"repro/internal/dram"
 	"repro/internal/energy"
 	"repro/internal/layout"
-	"repro/internal/memctrl"
+	"repro/internal/mem"
 	"repro/internal/sim"
 )
 
@@ -114,16 +113,29 @@ func (d *delayLine) tick() {
 	d.q = rest
 }
 
-// delayedBacking adds a fixed completion delay to an inner backing.
-type delayedBacking struct {
-	inner cache.Backing
+// delayedPort adds a fixed completion delay to an inner memory port (the L2
+// hit/fill latency on top of the synchronous cache stack).
+type delayedPort struct {
+	inner mem.Port
 	d     *delayLine
 	delay int
 }
 
-func (b delayedBacking) Fetch(addr uint32, bytes int, done func()) bool {
-	return b.inner.Fetch(addr, bytes, func() { b.d.after(b.delay, done) })
+func (b delayedPort) Enqueue(r mem.Request) bool {
+	done := r.Done
+	r.Done = func(cycle int64, hit bool) {
+		b.d.after(b.delay, func() {
+			if done != nil {
+				done(cycle, hit)
+			}
+		})
+	}
+	return b.inner.Enqueue(r)
 }
+
+func (b delayedPort) Tick() { b.inner.Tick() }
+
+func (b delayedPort) Idle() bool { return b.inner.Idle() }
 
 // Result aggregates one run.
 type Result struct {
@@ -132,6 +144,7 @@ type Result struct {
 	Cores         corelet.Stats
 	L1, L2        cache.Stats
 	DRAM          core.DRAMStats
+	Mem           core.MemStats
 	Energy        energy.Breakdown
 }
 
@@ -140,8 +153,7 @@ type System struct {
 	C     Config
 	EP    energy.Params
 	eng   *sim.Engine
-	d     *dram.DRAM
-	ctl   *memctrl.Controller
+	msys  *mem.System
 	cores []*corelet.Corelet
 	// live is the active set of non-halted cores, compacted in registration
 	// order as cores halt (cores never un-halt).
@@ -196,29 +208,25 @@ func New(c Config, ep energy.Params, l core.Launch) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := dram.New(c.DRAM, len(flat)*4)
+	// Conventional off-chip DRAM: one channel (no die-stack vault fan-out).
+	msys, err := mem.New(c.DRAM, 1, c.MemQueueDepth, len(flat)*4)
 	if err != nil {
 		return nil, err
 	}
-	d.LoadWords(0, flat)
-	ctl, err := memctrl.New(d, c.MemQueueDepth)
-	if err != nil {
-		return nil, err
-	}
-	s := &System{C: c, EP: ep, eng: sim.NewEngine(), d: d, ctl: ctl, delay: &delayLine{}, lay: lay}
+	msys.LoadWords(0, flat)
+	s := &System{C: c, EP: ep, eng: sim.NewEngine(), msys: msys, delay: &delayLine{}, lay: lay}
 
-	mem := arch.MemBacking{Ctl: ctl}
-	read := func(addr uint32) uint32 { return d.ReadWord(addr) }
+	read := func(addr uint32) uint32 { return msys.ReadWord(addr) }
 	for i := 0; i < c.Cores; i++ {
 		l2, err := cache.New(cache.Config{
 			SizeBytes: c.L2Bytes, LineBytes: c.LineBytes, Assoc: 8, PrefetchDepth: 2,
-		}, mem, 16)
+		}, msys, 16)
 		if err != nil {
 			return nil, err
 		}
 		l1, err := cache.New(cache.Config{
 			SizeBytes: c.L1Bytes, LineBytes: c.LineBytes, Assoc: 4, PrefetchDepth: 2,
-		}, delayedBacking{inner: l2, d: s.delay, delay: c.L2Latency}, 8)
+		}, delayedPort{inner: l2, d: s.delay, delay: c.L2Latency}, 8)
 		if err != nil {
 			return nil, err
 		}
@@ -236,7 +244,7 @@ func New(c Config, ep energy.Params, l core.Launch) (*System, error) {
 	}
 	s.live = append([]*corelet.Corelet(nil), s.cores...)
 	if _, err := s.eng.AddDomain("mem", sim.PeriodFromHz(c.MemClockHz),
-		sim.TickFunc(func(sim.Time) { ctl.Tick() })); err != nil {
+		sim.TickFunc(func(sim.Time) { msys.Tick() })); err != nil {
 		return nil, err
 	}
 	if _, err := s.eng.AddDomain("cores", sim.PeriodFromHz(c.ClockHz), sim.TickFunc(s.tick)); err != nil {
@@ -296,8 +304,10 @@ func (s *System) Run(limit sim.Time) (Result, error) {
 		r.L2.Hits += b.Hits
 		r.L2.Misses += b.Misses
 	}
-	ds := s.d.Stats()
+	ds := s.msys.DRAMStats()
 	r.DRAM = core.DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
+	cs := s.msys.CtlStats()
+	r.Mem = core.MemStats{StallCycles: cs.StallCycles, MaxOccupancy: cs.MaxOccupancy, Rejected: cs.Rejected}
 	r.Energy = s.energyOf(r, t)
 	return r, nil
 }
@@ -318,7 +328,7 @@ func (s *System) energyOf(r Result, t sim.Time) energy.Breakdown {
 		float64(r.Cores.LocalAccess+r.Cores.GlobalReads)*ep.L1LargePJ +
 		float64(r.L2.Hits+r.L2.Misses)*ep.L2PJ +
 		float64(r.Cores.IdleCycles)*ep.IdlePJ*oooInstFactor
-	b.DRAMPJ = ep.OffChip(s.d.Stats().BytesRead)
+	b.DRAMPJ = ep.OffChip(s.msys.DRAMStats().BytesRead)
 	b.LeakPJ = leakMWPerOoOCore * float64(s.C.Cores) * 1e-3 * (float64(t) / 1e12) * 1e12
 	return b
 }

@@ -35,12 +35,11 @@
 // (flow control deferred a trigger — compute-bound).
 package prefetch
 
-import "fmt"
+import (
+	"fmt"
 
-// FetchFunc issues a read to the memory system; done is called when the
-// last beat arrives. It returns false if the memory controller queue is
-// full, in which case the buffer retries on a later Pump.
-type FetchFunc func(addr uint32, bytes int, done func()) bool
+	"repro/internal/mem"
+)
 
 // Config sizes a Buffer.
 type Config struct {
@@ -131,7 +130,7 @@ type futureRow struct {
 // Buffer is the shared prefetch buffer of one Millipede processor.
 type Buffer struct {
 	cfg     Config
-	fetch   FetchFunc
+	port    mem.Port
 	entries []entry
 	// Input region, in rows.
 	baseRow, rowCount int64
@@ -177,17 +176,18 @@ type Buffer struct {
 	trace func(kind string, row int64)
 }
 
-// New creates a buffer; Start must be called before use.
-func New(cfg Config, fetch FetchFunc) (*Buffer, error) {
+// New creates a buffer reading through the given memory port; Start must be
+// called before use.
+func New(cfg Config, port mem.Port) (*Buffer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if fetch == nil {
-		return nil, fmt.Errorf("prefetch: nil fetch")
+	if port == nil {
+		return nil, fmt.Errorf("prefetch: nil memory port")
 	}
 	b := &Buffer{
 		cfg:      cfg,
-		fetch:    fetch,
+		port:     port,
 		fullMask: uint64(1)<<uint(cfg.SlabWords()) - 1,
 	}
 	b.entries = make([]entry, cfg.Entries)
@@ -356,7 +356,9 @@ func (b *Buffer) issue(row int64, who int) {
 		bytes = b.cfg.SlabWords() * 4
 		addr += uint32(who * bytes)
 	}
-	if !b.fetch(addr, bytes, func() { b.arrive(row, who) }) {
+	ok := b.port.Enqueue(mem.Request{Addr: addr, Bytes: bytes,
+		Done: func(int64, bool) { b.arrive(row, who) }})
+	if !ok {
 		b.stats.FetchRejects++
 		b.pending = append(b.pending, key)
 		return

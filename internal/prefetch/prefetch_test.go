@@ -3,23 +3,30 @@ package prefetch
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/mem"
 )
 
-// fakeMem completes row fetches on demand, optionally with a bounded queue.
+// fakeMem is a stub mem.Port: it completes row fetches on demand, optionally
+// with a bounded queue.
 type fakeMem struct {
-	pending []func()
+	pending []func(int64, bool)
 	addrs   []uint32
 	depth   int // 0 = unbounded
 }
 
-func (m *fakeMem) fetch(addr uint32, bytes int, done func()) bool {
+func (m *fakeMem) Enqueue(r mem.Request) bool {
 	if m.depth > 0 && len(m.pending) >= m.depth {
 		return false
 	}
-	m.addrs = append(m.addrs, addr)
-	m.pending = append(m.pending, done)
+	m.addrs = append(m.addrs, r.Addr)
+	m.pending = append(m.pending, r.Done)
 	return true
 }
+
+func (m *fakeMem) Tick() {}
+
+func (m *fakeMem) Idle() bool { return len(m.pending) == 0 }
 
 // drainOne completes the oldest outstanding fetch.
 func (m *fakeMem) drainOne() bool {
@@ -28,7 +35,7 @@ func (m *fakeMem) drainOne() bool {
 	}
 	f := m.pending[0]
 	m.pending = m.pending[1:]
-	f()
+	f(0, false)
 	return true
 }
 
@@ -44,7 +51,7 @@ func cfg4x4(flow bool) Config {
 
 func newBuf(t *testing.T, cfg Config, m *fakeMem, rows int) *Buffer {
 	t.Helper()
-	b, err := New(cfg, m.fetch)
+	b, err := New(cfg, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +83,7 @@ func TestConfigValidate(t *testing.T) {
 		}
 	}
 	if _, err := New(good, nil); err == nil {
-		t.Error("nil fetch accepted")
+		t.Error("nil memory port accepted")
 	}
 }
 
@@ -106,7 +113,7 @@ func TestStartFewRowsThanEntries(t *testing.T) {
 }
 
 func TestStartRejectsUnalignedBase(t *testing.T) {
-	b, _ := New(cfg4x4(true), (&fakeMem{}).fetch)
+	b, _ := New(cfg4x4(true), &fakeMem{})
 	if err := b.Start(4, 640); err == nil {
 		t.Error("unaligned base accepted")
 	}

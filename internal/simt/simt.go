@@ -189,7 +189,7 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 			RowBytes:    p.DRAM.RowBytes,
 			FlowControl: p.FlowControl,
 		}
-		m.buf, err = prefetch.New(bcfg, arch.MemBacking{Ctl: node.Ctl}.Fetch)
+		m.buf, err = prefetch.New(bcfg, node.Mem)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +203,7 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 			Assoc:         p.CacheAssoc,
 			PrefetchDepth: p.PrefetchDepth,
 		}
-		m.l1, err = cache.New(ccfg, arch.MemBacking{Ctl: node.Ctl}, 16)
+		m.l1, err = cache.New(ccfg, node.Mem, 16)
 		if err != nil {
 			return nil, err
 		}
@@ -587,8 +587,10 @@ func (m *SM) Run(limit sim.Time) (Result, error) {
 		return Result{}, err
 	}
 	r := Result{Time: t, ComputeCycles: m.ticks, SM: m.stats}
-	ds := m.node.DRAM.Stats()
+	ds := m.node.Mem.DRAMStats()
 	r.DRAM = core.DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
+	cs := m.node.Mem.CtlStats()
+	r.Mem = core.MemStats{StallCycles: cs.StallCycles, MaxOccupancy: cs.MaxOccupancy, Rejected: cs.Rejected}
 	if m.l1 != nil {
 		r.Cache = m.l1.Stats()
 	}
@@ -607,6 +609,7 @@ type Result struct {
 	Cache         cache.Stats
 	Prefetch      prefetch.Stats
 	DRAM          core.DRAMStats
+	Mem           core.MemStats
 	Energy        energy.Breakdown
 }
 
@@ -625,7 +628,7 @@ func (m *SM) energy(t sim.Time) energy.Breakdown {
 	} else {
 		b.CorePJ += float64(m.stats.Transactions) * ep.L1LargePJ
 	}
-	ds := m.node.DRAM.Stats()
+	ds := m.node.Mem.DRAMStats()
 	b.DRAMPJ = ep.DRAM(ds.RowMisses, ds.BytesRead)
 	b.LeakPJ = ep.Leakage(m.P.Corelets, float64(t)/1e12)
 	return b

@@ -48,6 +48,7 @@ type Result struct {
 	Cores         corelet.Stats
 	Cache         cache.Stats
 	DRAM          core.DRAMStats
+	Mem           core.MemStats
 	Energy        energy.Breakdown
 }
 
@@ -87,7 +88,7 @@ func NewProcessor(p arch.Params, ep energy.Params, l core.Launch) (*Processor, e
 	node.DRAM.LoadWords(0, flat)
 
 	pr := &Processor{P: p, EP: ep, node: node, lay: lay}
-	backing := arch.MemBacking{Ctl: node.Ctl}
+	backing := node.Mem
 	ccfg := cache.Config{
 		SizeBytes:     p.SSMCL1Bytes,
 		LineBytes:     p.SSMCLineBytes,
@@ -186,8 +187,10 @@ func (pr *Processor) Run(limit sim.Time) (Result, error) {
 		r.Cache.PrefetchHits += s.PrefetchHits
 		r.Cache.Retries += s.Retries
 	}
-	ds := pr.node.DRAM.Stats()
+	ds := pr.node.Mem.DRAMStats()
 	r.DRAM = core.DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
+	cs := pr.node.Mem.CtlStats()
+	r.Mem = core.MemStats{StallCycles: cs.StallCycles, MaxOccupancy: cs.MaxOccupancy, Rejected: cs.Rejected}
 	r.Energy = pr.energy(r, t)
 	return r, nil
 }
@@ -202,7 +205,7 @@ func (pr *Processor) energy(r Result, t sim.Time) energy.Breakdown {
 		float64(r.Cores.LocalAccess)*ep.L1SmallPJ +
 		float64(r.Cores.GlobalReads)*ep.L1SmallPJ +
 		float64(r.Cores.IdleCycles)*ep.IdlePJ
-	ds := pr.node.DRAM.Stats()
+	ds := pr.node.Mem.DRAMStats()
 	b.DRAMPJ = ep.DRAM(ds.RowMisses, ds.BytesRead)
 	b.LeakPJ = ep.Leakage(pr.P.Corelets, float64(t)/1e12)
 	return b

@@ -23,6 +23,14 @@ const (
 	Starve
 	// Evict: a prefetch-buffer entry was re-allocated prematurely.
 	Evict
+	// MemIssue: a memory channel's controller dispatched a request to DRAM.
+	MemIssue
+	// MemReject: an enqueue attempt found a channel's queue full.
+	MemReject
+	// RowOpen: a DRAM bank activated a row.
+	RowOpen
+	// RowClose: a DRAM bank precharged its open row.
+	RowClose
 )
 
 func (k Kind) String() string {
@@ -37,6 +45,14 @@ func (k Kind) String() string {
 		return "starve"
 	case Evict:
 		return "evict"
+	case MemIssue:
+		return "mem-issue"
+	case MemReject:
+		return "mem-reject"
+	case RowOpen:
+		return "row-open"
+	case RowClose:
+		return "row-close"
 	}
 	return "?"
 }

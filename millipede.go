@@ -115,6 +115,12 @@ func Figure6(cfg Config, scale float64) (*Figure, error) { return harness.Fig6(c
 // Figure7 reproduces Figure 7 (speedup vs prefetch buffer count).
 func Figure7(cfg Config, scale float64) (*Figure, error) { return harness.Fig7(cfg, scale) }
 
+// ChannelSweep measures Millipede across 1/2/4 die-stack memory channels on
+// every benchmark, normalized to the single-channel configuration.
+func ChannelSweep(cfg Config, scale float64) (*Figure, error) {
+	return harness.ChannelSweep(cfg, scale)
+}
+
 // TableIV reproduces Table IV (benchmark characteristics).
 func TableIV(cfg Config, scale float64) (*Figure, error) { return harness.TableIV(cfg, scale) }
 
