@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check bench benchjson bench-diff
+.PHONY: all build test check bench benchjson bench-diff trace-demo
 
 all: build
 
@@ -30,6 +30,11 @@ benchjson:
 # bench-diff is the determinism gate: re-measure and fail unless every
 # records/sim_cycles/sim_picos/insts field is bit-identical to the
 # committed baseline. A timing-neutral change must pass this unchanged.
-BENCH_BASE ?= BENCH_1.json
+BENCH_BASE ?= BENCH_2.json
 bench-diff:
 	$(GO) run ./cmd/milliexp -benchdiff $(BENCH_BASE)
+
+# trace-demo writes a Chrome trace-event capture of a bandwidth-contested
+# count run; open trace.json in ui.perfetto.dev or chrome://tracing.
+trace-demo:
+	$(GO) run ./cmd/millisim -arch millipede -bench count -records 2048 -trace-out trace.json

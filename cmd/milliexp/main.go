@@ -1,9 +1,11 @@
 // Command milliexp regenerates every table and figure of the paper's
-// evaluation (Section VI) and prints them as text tables.
+// evaluation (Section VI) and prints them as text tables. The experiment
+// set comes from the millipede.Experiments registry; run with an unknown
+// -only name to see the registered names and descriptions.
 //
 // Usage:
 //
-//	milliexp [-scale 1.0] [-only fig3,fig4,fig5,fig6,fig7,table2,table3,table4,channels]
+//	milliexp [-scale 1.0] [-only fig3,fig4,timeline,...]
 //	milliexp -benchjson BENCH_2.json [-benchbase BENCH_1.json] [-benchscale 0.25]
 //	milliexp -benchdiff BENCH_1.json [-benchjson BENCH_2.json]
 //
@@ -36,7 +38,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	scale := flag.Float64("scale", 1.0, "input-size multiplier")
-	only := flag.String("only", "", "comma-separated subset (fig3..fig7, table2, table3, table4, ablation, characteristics, warpwidth, residency, channels, node)")
+	only := flag.String("only", "", "comma-separated subset of registered experiments (fig3..fig7, table2, table3, table4, ablation, characteristics, warpwidth, residency, channels, node, timeline)")
 	benchJSON := flag.String("benchjson", "", "measure simulator throughput and write a BENCH_*.json report to this path (skips figures)")
 	benchBase := flag.String("benchbase", "", "previous BENCH_*.json to compare the new report against")
 	benchScale := flag.Float64("benchscale", benchreport.DefaultScale, "input scale for -benchjson throughput runs")
@@ -57,54 +59,33 @@ func main() {
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 	cfg := millipede.DefaultConfig()
 
-	if sel("table3") {
-		fmt.Println(millipede.TableIII(cfg))
-	}
-	if sel("table2") {
-		fmt.Println(millipede.TableII())
-	}
-	run := func(name string, f func() (*millipede.Figure, error)) {
-		if !sel(name) {
-			return
+	registered := millipede.Experiments()
+	matched := 0
+	for _, e := range registered {
+		if !sel(e.Name) {
+			continue
 		}
+		matched++
 		t0 := time.Now()
-		fig, err := f()
+		res, err := millipede.RunExperiment(e.Name, cfg, millipede.WithScale(*scale))
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			log.Fatalf("%s: %v", e.Name, err)
 		}
-		fmt.Print(fig.Render())
-		fmt.Printf("(%s wall time: %s)\n\n", name, time.Since(t0).Round(time.Millisecond))
+		fmt.Print(res.Render())
+		switch e.Name {
+		case "table2", "table3":
+			// Tables render instantly; no wall-time footer (historical
+			// output format).
+			fmt.Println()
+		default:
+			fmt.Printf("(%s wall time: %s)\n\n", e.Name, time.Since(t0).Round(time.Millisecond))
+		}
 	}
-	run("table4", func() (*millipede.Figure, error) { return millipede.TableIV(cfg, *scale) })
-	run("fig3", func() (*millipede.Figure, error) { return millipede.Figure3(cfg, *scale) })
-	if sel("fig4") {
-		t0 := time.Now()
-		fig, parts, err := millipede.Figure4(cfg, *scale)
-		if err != nil {
-			log.Fatalf("fig4: %v", err)
+	if matched == 0 {
+		fmt.Printf("no experiment matches -only %q; registered experiments:\n", *only)
+		for _, e := range registered {
+			fmt.Printf("  %-16s %s\n", e.Name, e.Description)
 		}
-		fmt.Print(fig.Render())
-		fmt.Print(parts.Render())
-		fmt.Printf("(fig4 wall time: %s)\n\n", time.Since(t0).Round(time.Millisecond))
-	}
-	run("fig5", func() (*millipede.Figure, error) { return millipede.Figure5(cfg, *scale) })
-	run("fig6", func() (*millipede.Figure, error) { return millipede.Figure6(cfg, *scale) })
-	run("fig7", func() (*millipede.Figure, error) { return millipede.Figure7(cfg, *scale) })
-	run("ablation", func() (*millipede.Figure, error) { return millipede.BarrierAblation(cfg, *scale) })
-	run("characteristics", func() (*millipede.Figure, error) { return millipede.CharacteristicsStudy(cfg, *scale/4) })
-	run("warpwidth", func() (*millipede.Figure, error) { return millipede.WarpWidthSweep(cfg, *scale) })
-	run("channels", func() (*millipede.Figure, error) { return millipede.ChannelSweep(cfg, *scale) })
-	run("residency", func() (*millipede.Figure, error) { return millipede.ResidencyStudy(cfg, 16, *scale) })
-	if sel("node") {
-		t0 := time.Now()
-		r, err := millipede.RunNode("count", cfg, 8, 1024)
-		if err != nil {
-			log.Fatalf("node: %v", err)
-		}
-		fmt.Printf("Measured 8-processor node run (count, 1024 records/thread):\n")
-		fmt.Printf("  makespan %.1f us, load imbalance %.1f%%, energy %.1f uJ\n",
-			float64(r.Time)/1e6, r.Imbalance()*100, r.Energy.TotalPJ()/1e6)
-		fmt.Printf("(node wall time: %s)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
 }
 

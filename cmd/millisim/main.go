@@ -4,6 +4,12 @@
 // Usage:
 //
 //	millisim [-arch millipede] [-bench kmeans] [-records 512] [-corelets 32] [-buffers 16]
+//	millisim -trace-out trace.json [-arch millipede] [-bench count] ...
+//
+// -trace-out records the run's event stream (corelet 0's instructions,
+// prefetch/flow-control/starve/evict events, memory issues and row
+// open/close, DFS clock steps) and writes it as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 //
 // Every run is checked against the golden MapReduce reference; a reported
 // time can never come from a functionally wrong execution.
@@ -13,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	millipede "repro"
@@ -32,6 +39,7 @@ func main() {
 	bench := flag.String("bench", "kmeans", "benchmark: "+strings.Join(millipede.Benchmarks(), ", "))
 	records := flag.Int("records", 0, "records per hardware thread (0 = benchmark default)")
 	traceN := flag.Int("trace", 0, "print the first N trace events (millipede only)")
+	traceOut := flag.String("trace-out", "", "write the run's event stream as Chrome trace-event JSON to this path (millipede family only)")
 	corelets := flag.Int("corelets", 32, "corelets/lanes per processor")
 	buffers := flag.Int("buffers", 16, "prefetch buffer entries")
 	channels := flag.Int("channels", 0, "die-stack memory channels (0 = geometry default)")
@@ -55,9 +63,31 @@ func main() {
 		}
 		return
 	}
-	res, err := millipede.RunBenchmark(*archName, *bench, cfg, n)
+	var opts []millipede.RunOption
+	var traceLog *millipede.TraceLog
+	if *traceOut != "" {
+		switch *archName {
+		case millipede.ArchMillipede, millipede.ArchMillipedeNoFC, millipede.ArchMillipedeRM:
+		default:
+			log.Fatal("-trace-out is only supported for the millipede-family architectures")
+		}
+		traceLog = millipede.NewTraceLog(1 << 20)
+		opts = append(opts, millipede.WithTraceSink(traceLog))
+	}
+	res, err := millipede.RunBenchmark(*archName, *bench, cfg, n, opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if traceLog != nil {
+		data, err := traceLog.ChromeJSON(1e12 / cfg.ComputeHz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events, %d dropped at the %d-event cap)\n",
+			*traceOut, len(traceLog.Events()), traceLog.Dropped(), 1<<20)
 	}
 	fmt.Printf("architecture        %s\n", res.Arch)
 	fmt.Printf("benchmark           %s\n", res.Bench)

@@ -59,6 +59,43 @@ func ExampleAssemble() {
 	// Output: 4 instructions
 }
 
+// The experiment registry is the uniform way to reproduce any table or
+// figure of the paper's evaluation: look the experiment up by name, run it
+// at a chosen scale, and render the result.
+func ExampleRunExperiment() {
+	cfg := millipede.DefaultConfig()
+	res, err := millipede.RunExperiment("timeline", cfg, millipede.WithScale(0.02))
+	if err != nil {
+		panic(err)
+	}
+	found := false
+	for _, e := range millipede.Experiments() {
+		if e.Name == "timeline" {
+			found = true
+		}
+	}
+	fmt.Println(found, len(res.Figures) == 1, len(res.Render()) > 0)
+	// Output: true true true
+}
+
+// Run options layer observability onto a run without touching Config: here
+// a bounded trace sink captures the event stream for Chrome-trace export.
+func ExampleWithTraceSink() {
+	cfg := millipede.DefaultConfig()
+	l := millipede.NewTraceLog(4096)
+	_, err := millipede.RunBenchmark(millipede.ArchMillipede, "count", cfg, 64,
+		millipede.WithTraceSink(l), millipede.WithTraceCorelet(0))
+	if err != nil {
+		panic(err)
+	}
+	data, err := l.ChromeJSON(1e12 / cfg.ComputeHz)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(l.Events()) > 0, len(data) > 0)
+	// Output: true true
+}
+
 // Reproduce a paper figure at reduced scale and render it as a table.
 func ExampleFigure7() {
 	cfg := millipede.DefaultConfig()

@@ -27,4 +27,16 @@ func main() {
 			res.RowMissRate, float64(res.DRAMBytes)/float64(res.Time)*1000)
 	}
 	fmt.Println("\nboth results were verified against the golden MapReduce reference.")
+
+	// Every result also carries a uniform metric snapshot of all component
+	// counters; the same names appear on every architecture that has the
+	// component (see DESIGN.md "Observability layer").
+	res, err := millipede.RunBenchmark(millipede.ArchMillipede, bench, cfg, records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nselected metrics (of %d registered):\n", len(res.Metrics.Samples))
+	for _, name := range []string{"corelet.instructions", "prefetch.prefetches", "dram.requests", "mem.stall_cycles"} {
+		fmt.Printf("  %-24s %.0f\n", name, res.Metrics.Value(name))
+	}
 }

@@ -39,11 +39,11 @@ const SchemaVersion = 1
 type Entry struct {
 	Arch         string  `json:"arch"`
 	Bench        string  `json:"bench"`
-	Records      int     `json:"records"`       // per-thread input records
-	SimCycles    uint64  `json:"sim_cycles"`    // compute-clock cycles simulated
-	SimPicos     int64   `json:"sim_picos"`     // simulated time (ps)
-	Insts        uint64  `json:"insts"`         // instructions executed
-	WallSeconds  float64 `json:"wall_seconds"`  // host wall time of the run
+	Records      int     `json:"records"`      // per-thread input records
+	SimCycles    uint64  `json:"sim_cycles"`   // compute-clock cycles simulated
+	SimPicos     int64   `json:"sim_picos"`    // simulated time (ps)
+	Insts        uint64  `json:"insts"`        // instructions executed
+	WallSeconds  float64 `json:"wall_seconds"` // host wall time of the run
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	InstsPerSec  float64 `json:"insts_per_sec"`
 	// Memory-fabric contention counters (informational — not part of the

@@ -1,0 +1,34 @@
+package cache
+
+import "repro/internal/metrics"
+
+// RegisterStats publishes the cache counters of the Stats returned by get
+// under prefix (e.g. "cache", "l1", "l2"). get is evaluated only at
+// snapshot time, so it may aggregate across a processor's private caches.
+func RegisterStats(r *metrics.Registry, prefix string, get func() Stats) {
+	r.Counter(prefix+".hits", func() uint64 { return get().Hits })
+	r.Counter(prefix+".misses", func() uint64 { return get().Misses })
+	r.Counter(prefix+".mshr_merges", func() uint64 { return get().MSHRMerges })
+	r.Counter(prefix+".prefetch_issue", func() uint64 { return get().PrefetchIssue })
+	r.Counter(prefix+".prefetch_hits", func() uint64 { return get().PrefetchHits })
+	r.Counter(prefix+".retries", func() uint64 { return get().Retries })
+	r.Gauge(prefix+".hit_rate", func() float64 { return get().HitRate() })
+	r.Gauge(prefix+".prefetch_accuracy", func() float64 {
+		s := get()
+		if s.PrefetchIssue == 0 {
+			return 0
+		}
+		return float64(s.PrefetchHits) / float64(s.PrefetchIssue)
+	})
+}
+
+// Add accumulates o into s — how a processor folds per-core cache counters
+// into its aggregate.
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.MSHRMerges += o.MSHRMerges
+	s.PrefetchIssue += o.PrefetchIssue
+	s.PrefetchHits += o.PrefetchHits
+	s.Retries += o.Retries
+}

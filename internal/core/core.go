@@ -21,6 +21,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/layout"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -56,6 +57,12 @@ type Result struct {
 	Mem           MemStats
 	FinalHz       float64
 	Energy        energy.Breakdown
+	// Metrics is the uniform registry snapshot taken at run end; it carries
+	// every counter above plus per-channel and DFS detail under stable names.
+	Metrics metrics.Snapshot
+	// Timeline holds the cycle-sampled gauge series when EnableTimeline was
+	// called before Run; nil otherwise.
+	Timeline *metrics.Timeline
 }
 
 // DRAMStats is re-exported memory-side stats (avoids leaking the dram
@@ -85,17 +92,17 @@ func (d DRAMStats) RowMissRate() float64 {
 
 // Processor is one Millipede processor plus its memory side.
 type Processor struct {
-	P         arch.Params
-	EP        energy.Params
-	node      *arch.Node
-	lay       layout.Layout
-	ownerOf   func(addr uint32) (corelet, slot int)
-	corelets  []*corelet.Corelet
+	P        arch.Params
+	EP       energy.Params
+	node     *arch.Node
+	lay      layout.Layout
+	ownerOf  func(addr uint32) (corelet, slot int)
+	corelets []*corelet.Corelet
 	// live is the active set: corelets that have not yet halted, in
 	// registration order. Corelets never un-halt, so Tick compacts the slice
 	// in place (order-preserving, to keep shared-buffer access order — and
 	// therefore timing — identical to a full scan) and Halted is O(1).
-	live []*corelet.Corelet
+	live      []*corelet.Corelet
 	buf       *prefetch.Buffer
 	rate      *dfs.Controller
 	tableBase uint32 // start of the optional non-compact table region
@@ -108,6 +115,11 @@ type Processor struct {
 	// dfsTrace records (cycle, Hz) at every controller decision when rate
 	// matching is enabled, for convergence analysis.
 	dfsTrace []DFSSample
+	// reg holds lazy getter closures over the component stats; it is only
+	// evaluated at result() time, never on the cycle path.
+	reg      *metrics.Registry
+	timeline *metrics.Timeline
+	traceLog *trace.Log
 }
 
 // NewProcessor builds and loads a Millipede processor for one launch.
@@ -187,6 +199,16 @@ func NewProcessor(p arch.Params, ep energy.Params, l Launch) (*Processor, error)
 			return nil, err
 		}
 	}
+
+	pr.reg = metrics.NewRegistry()
+	pr.reg.Counter("core.cycles", func() uint64 { return pr.ticks })
+	corelet.RegisterStats(pr.reg, "corelet", pr.coreStats)
+	pr.buf.RegisterMetrics(pr.reg, "prefetch")
+	node.Mem.RegisterMetrics(pr.reg)
+	if pr.rate != nil {
+		pr.rate.RegisterMetrics(pr.reg, "dfs")
+	}
+
 	if err := node.AttachCompute(pr); err != nil {
 		return nil, err
 	}
@@ -276,10 +298,17 @@ func (pr *Processor) Tick(now sim.Time) {
 		hz := pr.rate.Update(starved, full)
 		if n := len(pr.dfsTrace); n == 0 || pr.dfsTrace[n-1].Hz != hz {
 			pr.dfsTrace = append(pr.dfsTrace, DFSSample{Cycle: pr.ticks, Hz: hz})
+			if pr.traceLog != nil {
+				pr.traceLog.Add(trace.Event{Cycle: pr.ticks, Corelet: -1, Context: -1,
+					Kind: trace.DFSStep, Detail: fmt.Sprintf("%.0f MHz", hz/1e6)})
+			}
 		}
 		if err := pr.node.Compute.SetPeriod(sim.PeriodFromHz(hz)); err != nil {
 			panic(err) // unreachable: DFS bounds guarantee a valid period
 		}
+	}
+	if pr.timeline != nil {
+		pr.timeline.Tick(pr.ticks)
 	}
 }
 
@@ -308,19 +337,19 @@ func (pr *Processor) Run(limit sim.Time) (Result, error) {
 	return pr.result(t), nil
 }
 
+// coreStats aggregates per-corelet counters; it is the registry's getter
+// for the "corelet.*" metrics and result()'s source for Cores.
+func (pr *Processor) coreStats() corelet.Stats {
+	var agg corelet.Stats
+	for _, c := range pr.corelets {
+		agg.Add(c.Stats())
+	}
+	return agg
+}
+
 func (pr *Processor) result(t sim.Time) Result {
 	r := Result{Time: t, ComputeCycles: pr.ticks, Prefetch: pr.buf.Stats()}
-	for _, c := range pr.corelets {
-		s := c.Stats()
-		r.Cores.Instructions += s.Instructions
-		r.Cores.CondBranches += s.CondBranches
-		r.Cores.TakenCond += s.TakenCond
-		r.Cores.LocalAccess += s.LocalAccess
-		r.Cores.GlobalReads += s.GlobalReads
-		r.Cores.IdleCycles += s.IdleCycles
-		r.Cores.BusyCycles += s.BusyCycles
-		r.Cores.RetryCycles += s.RetryCycles
-	}
+	r.Cores = pr.coreStats()
 	ds := pr.node.Mem.DRAMStats()
 	r.DRAM = DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
 	cs := pr.node.Mem.CtlStats()
@@ -330,6 +359,8 @@ func (pr *Processor) result(t sim.Time) Result {
 		r.FinalHz = pr.rate.Hz()
 	}
 	r.Energy = pr.energy(r, t)
+	r.Metrics = pr.reg.Snapshot()
+	r.Timeline = pr.timeline
 	return r
 }
 
@@ -387,9 +418,35 @@ type DFSSample struct {
 // changes are recorded). Empty unless RateMatch was enabled.
 func (pr *Processor) DFSTrace() []DFSSample { return pr.dfsTrace }
 
+// EnableTimeline samples observability gauges every everyCycles compute
+// cycles into a timeline returned in Result.Timeline. Call before Run. The
+// sampler reads state the cycle loop already maintains, so it does not
+// perturb timing.
+func (pr *Processor) EnableTimeline(everyCycles uint64) {
+	t := metrics.NewTimeline(everyCycles)
+	t.Probe("prefetch-occupancy", func() float64 { return float64(pr.buf.Occupancy()) })
+	t.Probe("row-hit-rate", func() float64 {
+		ds := pr.node.Mem.DRAMStats()
+		total := ds.RowHits + ds.RowMisses
+		if total == 0 {
+			return 0
+		}
+		return float64(ds.RowHits) / float64(total)
+	})
+	t.Probe("queue-depth", func() float64 { return float64(pr.node.Mem.Pending()) })
+	t.Probe("clock-mhz", func() float64 {
+		if pr.rate != nil {
+			return pr.rate.Hz() / 1e6
+		}
+		return pr.P.ComputeHz / 1e6
+	})
+	pr.timeline = t
+}
+
 // EnableTrace records the instruction stream of one corelet and the shared
 // prefetch buffer's events into l. Call before Run.
 func (pr *Processor) EnableTrace(l *trace.Log, coreletID int) {
+	pr.traceLog = l
 	if coreletID < 0 || coreletID >= len(pr.corelets) {
 		coreletID = 0
 	}

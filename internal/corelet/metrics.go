@@ -1,0 +1,38 @@
+package corelet
+
+import "repro/internal/metrics"
+
+// RegisterStats publishes the execution counters of the Stats returned by
+// get under prefix (e.g. "corelet"). get is evaluated only at snapshot
+// time, so processors pass a closure aggregating over their corelets. The
+// issue-class mix is published as a histogram indexed by isa.Class.
+func RegisterStats(r *metrics.Registry, prefix string, get func() Stats) {
+	r.Counter(prefix+".instructions", func() uint64 { return get().Instructions })
+	r.Counter(prefix+".cond_branches", func() uint64 { return get().CondBranches })
+	r.Counter(prefix+".taken_cond", func() uint64 { return get().TakenCond })
+	r.Counter(prefix+".local_access", func() uint64 { return get().LocalAccess })
+	r.Counter(prefix+".global_reads", func() uint64 { return get().GlobalReads })
+	r.Counter(prefix+".idle_cycles", func() uint64 { return get().IdleCycles })
+	r.Counter(prefix+".busy_cycles", func() uint64 { return get().BusyCycles })
+	r.Counter(prefix+".retry_cycles", func() uint64 { return get().RetryCycles })
+	r.Histogram(prefix+".class_mix", func() []uint64 {
+		h := get().ClassCounts
+		return h[:]
+	})
+}
+
+// Add accumulates o into s — how a processor folds per-corelet counters
+// into its aggregate.
+func (s *Stats) Add(o Stats) {
+	s.Instructions += o.Instructions
+	s.CondBranches += o.CondBranches
+	s.TakenCond += o.TakenCond
+	s.LocalAccess += o.LocalAccess
+	s.GlobalReads += o.GlobalReads
+	s.IdleCycles += o.IdleCycles
+	s.BusyCycles += o.BusyCycles
+	s.RetryCycles += o.RetryCycles
+	for i := range s.ClassCounts {
+		s.ClassCounts[i] += o.ClassCounts[i]
+	}
+}

@@ -1,0 +1,11 @@
+package dfs
+
+import "repro/internal/metrics"
+
+// RegisterMetrics publishes the controller's step counters and current
+// clock under prefix (e.g. "dfs").
+func (c *Controller) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.Counter(prefix+".steps_up", func() uint64 { return c.ups })
+	r.Counter(prefix+".steps_down", func() uint64 { return c.downs })
+	r.Gauge(prefix+".clock_hz", func() float64 { return c.hz })
+}

@@ -69,6 +69,10 @@ type Stats struct {
 	BytesRead  uint64
 	// BusyCycles is data-bus occupancy, for bandwidth-utilization reporting.
 	BusyCycles uint64
+	// OpenCycles is accumulated open-page time: channel cycles between a
+	// row's activate and its precharge. Rows still open when the run ends
+	// are not counted (the open-page policy never closes them).
+	OpenCycles uint64
 }
 
 // Add accumulates o into s. A multi-channel memory system folds per-channel
@@ -80,6 +84,7 @@ func (s *Stats) Add(o Stats) {
 	s.Precharges += o.Precharges
 	s.BytesRead += o.BytesRead
 	s.BusyCycles += o.BusyCycles
+	s.OpenCycles += o.OpenCycles
 }
 
 // RowMissRate returns misses/(hits+misses), or 0 before any traffic.
@@ -185,6 +190,7 @@ func (d *DRAM) Service(now int64, addr uint32, bytes int) (done int64, hit bool)
 			}
 			start = preAt + int64(d.P.TRP)
 			d.stats.Precharges++
+			d.stats.OpenCycles += uint64(preAt - bk.actAt)
 			if d.tracer != nil {
 				d.tracer(EvRowClose, d.BankOf(addr), bk.openRow)
 			}

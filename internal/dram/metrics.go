@@ -1,0 +1,17 @@
+package dram
+
+import "repro/internal/metrics"
+
+// RegisterStats publishes the row-buffer and bandwidth counters of the
+// Stats returned by get under prefix (e.g. "dram"). get is evaluated only
+// at snapshot time, so it may aggregate across channels.
+func RegisterStats(r *metrics.Registry, prefix string, get func() Stats) {
+	r.Counter(prefix+".requests", func() uint64 { return get().Requests })
+	r.Counter(prefix+".row_hits", func() uint64 { return get().RowHits })
+	r.Counter(prefix+".row_misses", func() uint64 { return get().RowMisses })
+	r.Counter(prefix+".precharges", func() uint64 { return get().Precharges })
+	r.Counter(prefix+".bytes_read", func() uint64 { return get().BytesRead })
+	r.Counter(prefix+".busy_cycles", func() uint64 { return get().BusyCycles })
+	r.Counter(prefix+".open_cycles", func() uint64 { return get().OpenCycles })
+	r.Gauge(prefix+".row_miss_rate", func() float64 { return get().RowMissRate() })
+}

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/energy"
+	"repro/internal/node"
+	"repro/internal/workloads"
+)
+
+// ExperimentInfo describes one registered experiment.
+type ExperimentInfo struct {
+	Name        string
+	Description string
+}
+
+// ExpOptions tunes an experiment run. The zero value reproduces the
+// historical cmd/milliexp defaults.
+type ExpOptions struct {
+	// Scale multiplies every benchmark's default input size; zero means 1.0.
+	// The characteristics experiment runs at Scale/4 internally (its joins
+	// square the work), matching milliexp's historical default.
+	Scale float64
+	// HostBandwidthGBs is the host-link bandwidth assumed by the residency
+	// study; zero means 16 GB/s (PCIe-class).
+	HostBandwidthGBs float64
+	// TimelineEvery is the sampling period of the timeline experiment in
+	// compute cycles; zero picks DefaultTimelineEvery.
+	TimelineEvery uint64
+}
+
+func (o ExpOptions) withDefaults() ExpOptions {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.HostBandwidthGBs == 0 {
+		o.HostBandwidthGBs = 16
+	}
+	if o.TimelineEvery == 0 {
+		o.TimelineEvery = DefaultTimelineEvery
+	}
+	return o
+}
+
+// ExperimentResult is the uniform output of RunExperiment: zero or more
+// figures plus optional free text (tables and the node study report).
+type ExperimentResult struct {
+	Figures []*Figure
+	Text    string
+}
+
+// Render returns the result as the text milliexp prints: each figure's
+// table, then the free text.
+func (r ExperimentResult) Render() string {
+	var sb strings.Builder
+	for _, f := range r.Figures {
+		sb.WriteString(f.Render())
+	}
+	if r.Text != "" {
+		sb.WriteString(r.Text)
+		if !strings.HasSuffix(r.Text, "\n") {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+type expEntry struct {
+	info ExperimentInfo
+	run  func(p arch.Params, o ExpOptions) (ExperimentResult, error)
+}
+
+// oneFig adapts the harness's (Params, scale) figure functions to the
+// registry's run signature.
+func oneFig(f func(arch.Params, float64) (*Figure, error)) func(arch.Params, ExpOptions) (ExperimentResult, error) {
+	return func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
+		fig, err := f(p, o.Scale)
+		if err != nil {
+			return ExperimentResult{}, err
+		}
+		return ExperimentResult{Figures: []*Figure{fig}}, nil
+	}
+}
+
+// experiments is the registry, in milliexp's presentation order.
+var experiments = []expEntry{
+	{ExperimentInfo{"table3", "simulated configuration parameters (Table III)"},
+		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			return ExperimentResult{Text: TableIII(p)}, nil
+		}},
+	{ExperimentInfo{"table2", "benchmark characteristics (Table II)"},
+		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			return ExperimentResult{Text: TableII()}, nil
+		}},
+	{ExperimentInfo{"table4", "per-benchmark execution profile (Table IV)"}, oneFig(TableIV)},
+	{ExperimentInfo{"fig3", "throughput across PNM architectures (Figure 3)"}, oneFig(Fig3)},
+	{ExperimentInfo{"fig4", "energy totals and breakdown (Figure 4)"},
+		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			fig, parts, err := Fig4(p, o.Scale)
+			if err != nil {
+				return ExperimentResult{}, err
+			}
+			return ExperimentResult{Figures: []*Figure{fig, parts}}, nil
+		}},
+	{ExperimentInfo{"fig5", "node-level comparison vs a conventional multicore (Figure 5)"}, oneFig(Fig5)},
+	{ExperimentInfo{"fig6", "system-size scaling study (Figure 6)"}, oneFig(Fig6)},
+	{ExperimentInfo{"fig7", "rate-matching DFS study (Figure 7)"}, oneFig(Fig7)},
+	{ExperimentInfo{"ablation", "software-barrier interval ablation"}, oneFig(BarrierAblation)},
+	{ExperimentInfo{"characteristics", "join/table characteristics study (runs at Scale/4)"},
+		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			// Historical milliexp default: the characteristics study squares
+			// the work per record, so it runs at a quarter of the scale.
+			fig, err := CharacteristicsStudy(p, o.Scale/4)
+			if err != nil {
+				return ExperimentResult{}, err
+			}
+			return ExperimentResult{Figures: []*Figure{fig}}, nil
+		}},
+	{ExperimentInfo{"warpwidth", "VWS warp-width sweep"}, oneFig(WarpWidthSweep)},
+	{ExperimentInfo{"channels", "die-stacked channel-count sweep"}, oneFig(ChannelSweep)},
+	{ExperimentInfo{"residency", "dataset-residency study vs host-link bandwidth"},
+		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			fig, err := ResidencyStudy(p, o.HostBandwidthGBs, o.Scale)
+			if err != nil {
+				return ExperimentResult{}, err
+			}
+			return ExperimentResult{Figures: []*Figure{fig}}, nil
+		}},
+	{ExperimentInfo{"node", "measured 8-processor node run (count benchmark)"},
+		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			b, err := workloads.ByName("count")
+			if err != nil {
+				return ExperimentResult{}, err
+			}
+			r, err := node.Run(p, energy.Default(), b, 8, 1024, Seed)
+			if err != nil {
+				return ExperimentResult{}, err
+			}
+			text := fmt.Sprintf("Measured 8-processor node run (count, 1024 records/thread):\n"+
+				"  makespan %.1f us, load imbalance %.1f%%, energy %.1f uJ\n",
+				float64(r.Time)/1e6, r.Imbalance()*100, r.Energy.TotalPJ()/1e6)
+			return ExperimentResult{Text: text}, nil
+		}},
+	{ExperimentInfo{"timeline", "cycle-sampled observability timeline (prefetch occupancy, row hit rate, queue depth, DFS clock)"},
+		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			fig, err := TimelineStudy(p, o.Scale, o.TimelineEvery)
+			if err != nil {
+				return ExperimentResult{}, err
+			}
+			return ExperimentResult{Figures: []*Figure{fig}}, nil
+		}},
+}
+
+// Experiments lists every registered experiment in presentation order.
+func Experiments() []ExperimentInfo {
+	infos := make([]ExperimentInfo, len(experiments))
+	for i, e := range experiments {
+		infos[i] = e.info
+	}
+	return infos
+}
+
+// RunExperiment runs the named experiment with the given architecture
+// parameters and options.
+func RunExperiment(name string, p arch.Params, o ExpOptions) (ExperimentResult, error) {
+	for _, e := range experiments {
+		if e.info.Name == name {
+			return e.run(p, o.withDefaults())
+		}
+	}
+	return ExperimentResult{}, fmt.Errorf("harness: unknown experiment %q (see Experiments())", name)
+}

@@ -23,7 +23,7 @@ func TestPrefetchInvariantsUnderJitter(t *testing.T) {
 		b := b
 		t.Run(b.Name(), func(t *testing.T) {
 			records := 16
-			l, lay, sl, streams, err := buildLaunch(b, p, layout.Slab, records, false)
+			l, lay, sl, streams, err := buildLaunch(b, p, layout.Slab, records, Seed, false)
 			if err != nil {
 				t.Fatal(err)
 			}

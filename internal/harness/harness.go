@@ -17,10 +17,12 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/layout"
+	"repro/internal/metrics"
 	"repro/internal/multicore"
 	"repro/internal/sim"
 	"repro/internal/simt"
 	"repro/internal/ssmc"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -65,6 +67,13 @@ type RunResult struct {
 	MemStallCycles  uint64
 	MemMaxOccupancy int
 	MemRejected     uint64
+	// Metrics is the uniform registry snapshot of every component counter,
+	// plus run-level ("run.*") and energy ("energy.*") samples the harness
+	// adds. Populated by every architecture.
+	Metrics metrics.Snapshot
+	// Timeline holds the cycle-sampled gauge series when Options.TimelineEvery
+	// was set (millipede-family architectures only); nil otherwise.
+	Timeline *metrics.Timeline
 }
 
 // setMemStats copies the controller counters out of a processor result.
@@ -77,18 +86,62 @@ func (r *RunResult) setMemStats(m core.MemStats) {
 // Seed is the dataset seed used by all experiments.
 const Seed = 20180521 // IPDPS 2018
 
+// Options tunes one run without changing its architecture configuration.
+// The zero value reproduces the historical behavior exactly.
+type Options struct {
+	// Seed overrides the dataset seed; zero means the canonical Seed.
+	Seed uint64
+	// Trace, when non-nil, receives the event stream of one corelet plus the
+	// prefetch buffer and memory fabric (millipede-family architectures
+	// only). TraceCorelet selects the traced corelet.
+	Trace        *trace.Log
+	TraceCorelet int
+	// TimelineEvery enables the cycle-domain gauge sampler at the given
+	// period (millipede-family architectures only); zero disables it.
+	TimelineEvery uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return Seed
+	}
+	return o.Seed
+}
+
 // Run executes benchmark b on the named architecture with per-thread record
 // count records, verifies the live state against the golden reference, and
 // returns the measurement.
 func Run(archName string, b *workloads.Benchmark, p arch.Params, records int) (RunResult, error) {
-	res, _, err := RunReduced(archName, b, p, records)
+	res, _, err := RunWith(archName, b, p, records, Options{})
 	return res, err
 }
 
 // RunReduced is Run plus the host-side final Reduce over the verified
 // per-thread live states (Section IV-D) — the benchmark's actual output.
 func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records int) (RunResult, []uint32, error) {
+	return RunWith(archName, b, p, records, Options{})
+}
+
+// attachMetrics stores the model's registry snapshot on the result after
+// adding the run-level ("run.*") and energy ("energy.*") samples, so every
+// RunResult carries one uniform snapshot regardless of architecture.
+func (r *RunResult) attachMetrics(m metrics.Snapshot) {
+	m.Put(metrics.Sample{Name: "run.time_ps", Kind: metrics.Counter, Value: float64(r.Time)})
+	m.Put(metrics.Sample{Name: "run.cycles", Kind: metrics.Counter, Value: float64(r.Cycles)})
+	m.Put(metrics.Sample{Name: "run.insts", Kind: metrics.Counter, Value: float64(r.Insts)})
+	m.Put(metrics.Sample{Name: "run.final_hz", Kind: metrics.Gauge, Value: r.FinalHz})
+	m.Put(metrics.Sample{Name: "energy.core_pj", Kind: metrics.Gauge, Value: r.Energy.CorePJ})
+	m.Put(metrics.Sample{Name: "energy.dram_pj", Kind: metrics.Gauge, Value: r.Energy.DRAMPJ})
+	m.Put(metrics.Sample{Name: "energy.leak_pj", Kind: metrics.Gauge, Value: r.Energy.LeakPJ})
+	m.Put(metrics.Sample{Name: "energy.total_pj", Kind: metrics.Gauge, Value: r.Energy.TotalPJ()})
+	r.Metrics = m
+}
+
+// RunWith is RunReduced with explicit Options (seed override, event trace,
+// timeline sampling).
+func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int, o Options) (RunResult, []uint32, error) {
 	ep := energy.Default()
+	seed := o.seed()
 	res := RunResult{Arch: archName, Bench: b.Name()}
 	res.Words = uint64(p.Threads()) * uint64(b.StreamWords(records))
 	var states [][]uint32
@@ -114,13 +167,19 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		q := p
 		q.FlowControl = archName != ArchMillipedeNoFC
 		q.RateMatch = archName == ArchMillipedeRM
-		l, lay, sl, streams, err := buildLaunch(b, q, layout.Slab, records, false)
+		l, lay, sl, streams, err := buildLaunch(b, q, layout.Slab, records, seed, false)
 		if err != nil {
 			return fail(err)
 		}
 		pr, err := core.NewProcessor(q, ep, l)
 		if err != nil {
 			return fail(err)
+		}
+		if o.Trace != nil {
+			pr.EnableTrace(o.Trace, o.TraceCorelet)
+		}
+		if o.TimelineEvery > 0 {
+			pr.EnableTimeline(o.TimelineEvery)
 		}
 		r, err := pr.Run(0)
 		if err != nil {
@@ -136,9 +195,11 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
+		res.Timeline = r.Timeline
+		res.attachMetrics(r.Metrics)
 
 	case ArchSSMC:
-		l, lay, sl, streams, err := buildLaunch(b, p, layout.Slab, records, false)
+		l, lay, sl, streams, err := buildLaunch(b, p, layout.Slab, records, seed, false)
 		if err != nil {
 			return fail(err)
 		}
@@ -160,6 +221,7 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
+		res.attachMetrics(r.Metrics)
 
 	case ArchGPGPU, ArchVWS, ArchVWSRow:
 		v := simt.GPGPU
@@ -168,7 +230,7 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		} else if archName == ArchVWSRow {
 			v = simt.VWSRow
 		}
-		l, lay, sl, streams, err := buildLaunch(b, p, layout.Word, records, true)
+		l, lay, sl, streams, err := buildLaunch(b, p, layout.Word, records, seed, true)
 		if err != nil {
 			return fail(err)
 		}
@@ -190,13 +252,14 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
+		res.attachMetrics(r.Metrics)
 
 	case ArchMulticore:
 		c := multicore.DefaultConfig()
 		// Same total input as a p-geometry PNM run: the node comparison
 		// (Figure 5) scales per-processor results by the processor count.
 		mcRecords := records * p.Threads() / c.Threads()
-		streams := b.Streams(c.Threads(), mcRecords, Seed)
+		streams := b.Streams(c.Threads(), mcRecords, seed)
 		lay := layout.Layout{
 			RowBytes: c.DRAM.RowBytes, Corelets: c.Cores, Contexts: c.SMT,
 			Interleave: layout.Split, StreamWords: b.StreamWords(mcRecords),
@@ -236,6 +299,7 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
 		res.Words = uint64(c.Threads()) * uint64(b.StreamWords(mcRecords))
+		res.attachMetrics(r.Metrics)
 
 	default:
 		return fail(fmt.Errorf("harness: unknown architecture %q", archName))
@@ -245,8 +309,8 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 	return res, b.Reduce(states), nil
 }
 
-func buildLaunch(b *workloads.Benchmark, p arch.Params, il layout.Interleave, records int, shared bool) (core.Launch, layout.Layout, kernels.StateLayout, [][]uint32, error) {
-	streams := b.Streams(p.Threads(), records, Seed)
+func buildLaunch(b *workloads.Benchmark, p arch.Params, il layout.Interleave, records int, seed uint64, shared bool) (core.Launch, layout.Layout, kernels.StateLayout, [][]uint32, error) {
+	streams := b.Streams(p.Threads(), records, seed)
 	lay := layout.Layout{
 		RowBytes: p.DRAM.RowBytes, Corelets: p.Corelets, Contexts: p.Contexts,
 		Interleave: il, StreamWords: b.StreamWords(records),
@@ -311,7 +375,7 @@ func recordsFor(b *workloads.Benchmark, scale float64) int {
 func RateTrace(b *workloads.Benchmark, p arch.Params, records int) ([]core.DFSSample, RunResult, error) {
 	q := p
 	q.RateMatch = true
-	l, lay, sl, streams, err := buildLaunch(b, q, layout.Slab, records, false)
+	l, lay, sl, streams, err := buildLaunch(b, q, layout.Slab, records, Seed, false)
 	if err != nil {
 		return nil, RunResult{}, err
 	}

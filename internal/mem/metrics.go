@@ -1,0 +1,30 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/metrics"
+)
+
+// RegisterMetrics publishes the fabric's counters: the aggregate controller
+// stats under "mem", the aggregate row-buffer/bandwidth stats under "dram",
+// and per-channel issue counters and peak occupancy under "mem.ch<i>". All
+// getters are lazy — nothing is aggregated until snapshot time, so
+// registration never perturbs timing.
+func (s *System) RegisterMetrics(r *metrics.Registry) {
+	memctrl.RegisterStats(r, "mem", s.CtlStats)
+	dram.RegisterStats(r, "dram", s.DRAMStats)
+	r.Gauge("mem.channels", func() float64 { return float64(s.n) })
+	r.Gauge("mem.queue_depth", func() float64 { return float64(s.Pending()) })
+	for i := range s.chans {
+		i := i
+		r.Counter(fmt.Sprintf("mem.ch%d.issued", i), func() uint64 {
+			return s.ChannelCtlStats(i).Issued
+		})
+		r.Gauge(fmt.Sprintf("mem.ch%d.max_occupancy", i), func() float64 {
+			return float64(s.ChannelCtlStats(i).MaxOccupancy)
+		})
+	}
+}

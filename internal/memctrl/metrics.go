@@ -1,0 +1,18 @@
+package memctrl
+
+import "repro/internal/metrics"
+
+// RegisterStats publishes the controller counters of the Stats returned by
+// get under prefix (e.g. "mem"). get is evaluated only at snapshot time, so
+// it may aggregate across channels.
+func RegisterStats(r *metrics.Registry, prefix string, get func() Stats) {
+	r.Counter(prefix+".enqueued", func() uint64 { return get().Enqueued })
+	r.Counter(prefix+".issued", func() uint64 { return get().Issued })
+	r.Counter(prefix+".rejected", func() uint64 { return get().Rejected })
+	r.Counter(prefix+".stall_cycles", func() uint64 { return get().StallCycles })
+	r.Gauge(prefix+".max_occupancy", func() float64 { return float64(get().MaxOccupancy) })
+	r.Histogram(prefix+".queue_lat", func() []uint64 {
+		h := get().QueueLat
+		return h[:]
+	})
+}

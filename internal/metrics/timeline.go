@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultTimelineMax bounds the number of retained samples. When the bound
+// is reached the timeline halves its resolution (keeps every other sample
+// and doubles the interval), so arbitrarily long runs stay covered end to
+// end at bounded memory instead of truncating the tail.
+const DefaultTimelineMax = 1 << 14
+
+// TimelinePoint is one sampled instant: the compute cycle and the probed
+// gauge values, parallel to Timeline.Names.
+type TimelinePoint struct {
+	Cycle  uint64
+	Values []float64
+}
+
+// Timeline samples registered gauges every Every simulated cycles. It is a
+// pure observer: probes only read model state, so an attached timeline
+// cannot perturb timing. Drive it with Tick from the model's cycle loop;
+// when no timeline is attached the model pays one nil check per cycle.
+type Timeline struct {
+	every  uint64
+	max    int
+	names  []string
+	probes []func() float64
+	points []TimelinePoint
+}
+
+// NewTimeline returns a sampler with the given initial interval in cycles
+// (minimum 1) and the default retention bound.
+func NewTimeline(everyCycles uint64) *Timeline {
+	if everyCycles == 0 {
+		everyCycles = 1
+	}
+	return &Timeline{every: everyCycles, max: DefaultTimelineMax}
+}
+
+// Probe registers a named gauge to sample. Call before the run starts.
+func (t *Timeline) Probe(name string, get func() float64) {
+	t.names = append(t.names, name)
+	t.probes = append(t.probes, get)
+}
+
+// Names returns the probe names in registration order.
+func (t *Timeline) Names() []string { return t.names }
+
+// Every returns the current sampling interval (it grows when the retention
+// bound forces decimation).
+func (t *Timeline) Every() uint64 { return t.every }
+
+// Len returns the number of retained samples.
+func (t *Timeline) Len() int { return len(t.points) }
+
+// Points returns the retained samples in cycle order.
+func (t *Timeline) Points() []TimelinePoint { return t.points }
+
+// Tick samples when cycle is a multiple of the current interval.
+func (t *Timeline) Tick(cycle uint64) {
+	if cycle%t.every != 0 {
+		return
+	}
+	vals := make([]float64, len(t.probes))
+	for i, p := range t.probes {
+		vals[i] = p()
+	}
+	t.points = append(t.points, TimelinePoint{Cycle: cycle, Values: vals})
+	if len(t.points) >= t.max {
+		t.decimate()
+	}
+}
+
+// decimate halves resolution: keeps samples aligned to the doubled interval.
+func (t *Timeline) decimate() {
+	t.every *= 2
+	kept := t.points[:0]
+	for _, p := range t.points {
+		if p.Cycle%t.every == 0 {
+			kept = append(kept, p)
+		}
+	}
+	t.points = kept
+}
+
+// Downsample returns at most maxPoints samples, evenly strided across the
+// retained range (always including the last sample when any exist).
+func (t *Timeline) Downsample(maxPoints int) []TimelinePoint {
+	n := len(t.points)
+	if maxPoints <= 0 || n <= maxPoints {
+		return t.points
+	}
+	stride := (n + maxPoints - 1) / maxPoints
+	var out []TimelinePoint
+	for i := 0; i < n; i += stride {
+		out = append(out, t.points[i])
+	}
+	if out[len(out)-1].Cycle != t.points[n-1].Cycle {
+		out = append(out, t.points[n-1])
+	}
+	return out
+}
+
+// Render returns the timeline as an aligned text table: one row per sample.
+func (t *Timeline) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "cycle")
+	for _, n := range t.names {
+		fmt.Fprintf(&b, " %18s", n)
+	}
+	b.WriteString("\n")
+	for _, p := range t.points {
+		fmt.Fprintf(&b, "%-12d", p.Cycle)
+		for _, v := range p.Values {
+			fmt.Fprintf(&b, " %18.3f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/layout"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -146,6 +147,7 @@ type Result struct {
 	DRAM          core.DRAMStats
 	Mem           core.MemStats
 	Energy        energy.Breakdown
+	Metrics       metrics.Snapshot
 }
 
 // System is the 8-core conventional machine.
@@ -163,6 +165,7 @@ type System struct {
 	delay *delayLine
 	lay   layout.Layout
 	ticks uint64
+	reg   *metrics.Registry
 }
 
 type port struct{ c *cache.Cache }
@@ -243,6 +246,14 @@ func New(c Config, ep energy.Params, l core.Launch) (*System, error) {
 		s.l2s = append(s.l2s, l2)
 	}
 	s.live = append([]*corelet.Corelet(nil), s.cores...)
+
+	s.reg = metrics.NewRegistry()
+	s.reg.Counter("core.cycles", func() uint64 { return s.ticks })
+	corelet.RegisterStats(s.reg, "corelet", s.coreStats)
+	cache.RegisterStats(s.reg, "l1", func() cache.Stats { return s.cacheStats(s.l1s) })
+	cache.RegisterStats(s.reg, "l2", func() cache.Stats { return s.cacheStats(s.l2s) })
+	msys.RegisterMetrics(s.reg)
+
 	if _, err := s.eng.AddDomain("mem", sim.PeriodFromHz(c.MemClockHz),
 		sim.TickFunc(func(sim.Time) { msys.Tick() })); err != nil {
 		return nil, err
@@ -288,28 +299,35 @@ func (s *System) Run(limit sim.Time) (Result, error) {
 		return Result{}, err
 	}
 	r := Result{Time: t, ComputeCycles: s.ticks}
-	for _, co := range s.cores {
-		cs := co.Stats()
-		r.Cores.Instructions += cs.Instructions
-		r.Cores.CondBranches += cs.CondBranches
-		r.Cores.LocalAccess += cs.LocalAccess
-		r.Cores.GlobalReads += cs.GlobalReads
-		r.Cores.IdleCycles += cs.IdleCycles
-		r.Cores.BusyCycles += cs.BusyCycles
-	}
-	for i := range s.l1s {
-		a, b := s.l1s[i].Stats(), s.l2s[i].Stats()
-		r.L1.Hits += a.Hits
-		r.L1.Misses += a.Misses
-		r.L2.Hits += b.Hits
-		r.L2.Misses += b.Misses
-	}
+	r.Cores = s.coreStats()
+	r.L1 = s.cacheStats(s.l1s)
+	r.L2 = s.cacheStats(s.l2s)
 	ds := s.msys.DRAMStats()
 	r.DRAM = core.DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
 	cs := s.msys.CtlStats()
 	r.Mem = core.MemStats{StallCycles: cs.StallCycles, MaxOccupancy: cs.MaxOccupancy, Rejected: cs.Rejected}
 	r.Energy = s.energyOf(r, t)
+	r.Metrics = s.reg.Snapshot()
 	return r, nil
+}
+
+// coreStats aggregates per-core execution counters for the registry and the
+// Result.
+func (s *System) coreStats() corelet.Stats {
+	var agg corelet.Stats
+	for _, co := range s.cores {
+		agg.Add(co.Stats())
+	}
+	return agg
+}
+
+// cacheStats aggregates one cache level's counters.
+func (s *System) cacheStats(level []*cache.Cache) cache.Stats {
+	var agg cache.Stats
+	for _, c := range level {
+		agg.Add(c.Stats())
+	}
+	return agg
 }
 
 // ooIInstFactor is the per-instruction energy premium of a 4-wide

@@ -1,0 +1,20 @@
+package prefetch
+
+import "repro/internal/metrics"
+
+// RegisterMetrics publishes the buffer's event counters and occupancy under
+// prefix (e.g. "prefetch"). Registration only stores closures over the
+// buffer's plain stats fields; nothing is read until snapshot time.
+func (b *Buffer) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.Counter(prefix+".prefetches", func() uint64 { return b.stats.Prefetches })
+	r.Counter(prefix+".demand_row_fetches", func() uint64 { return b.stats.DemandRowFetches })
+	r.Counter(prefix+".premature_evicts", func() uint64 { return b.stats.PrematureEvicts })
+	r.Counter(prefix+".flow_blocks", func() uint64 { return b.stats.FlowBlocks })
+	r.Counter(prefix+".starved", func() uint64 { return b.stats.Starved })
+	r.Counter(prefix+".ready_hits", func() uint64 { return b.stats.ReadyHits })
+	r.Counter(prefix+".stash_hits", func() uint64 { return b.stats.StashHits })
+	r.Counter(prefix+".trigger_clears", func() uint64 { return b.stats.TriggerClears })
+	r.Counter(prefix+".fetch_rejects", func() uint64 { return b.stats.FetchRejects })
+	r.Gauge(prefix+".max_df", func() float64 { return float64(b.stats.MaxDF) })
+	r.Gauge(prefix+".occupancy", func() float64 { return float64(b.Occupancy()) })
+}

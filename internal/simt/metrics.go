@@ -1,0 +1,24 @@
+package simt
+
+import "repro/internal/metrics"
+
+// RegisterStats publishes the SIMT execution counters of the Stats returned
+// by get under prefix (e.g. "simt"). get is evaluated only at snapshot time.
+func RegisterStats(r *metrics.Registry, prefix string, get func() Stats) {
+	r.Counter(prefix+".warp_insts", func() uint64 { return get().WarpInsts })
+	r.Counter(prefix+".thread_insts", func() uint64 { return get().ThreadInsts })
+	r.Counter(prefix+".cond_branches", func() uint64 { return get().CondBranches })
+	r.Counter(prefix+".divergences", func() uint64 { return get().Divergences })
+	r.Counter(prefix+".shared_acc", func() uint64 { return get().SharedAcc })
+	r.Counter(prefix+".bank_conflict", func() uint64 { return get().BankConflict })
+	r.Counter(prefix+".transactions", func() uint64 { return get().Transactions })
+	r.Counter(prefix+".lane_idle", func() uint64 { return get().LaneIdle })
+	r.Counter(prefix+".cycles", func() uint64 { return get().Cycles })
+	r.Gauge(prefix+".divergence_rate", func() float64 {
+		s := get()
+		if s.CondBranches == 0 {
+			return 0
+		}
+		return float64(s.Divergences) / float64(s.CondBranches)
+	})
+}

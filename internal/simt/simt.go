@@ -24,6 +24,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/isa"
 	"repro/internal/layout"
+	"repro/internal/metrics"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 )
@@ -113,8 +114,9 @@ type SM struct {
 	// entirely in the common case of no structural stalls.
 	slicePending []int
 	ticks        uint64
-	stats   Stats
-	running int
+	stats        Stats
+	reg          *metrics.Registry
+	running      int
 	// liveSlices holds the indices of slices with at least one non-done
 	// warp, in ascending order (warps never un-halt, so Tick compacts the
 	// list in place); sliceLive counts non-done warps per slice.
@@ -224,6 +226,17 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 		m.liveSlices[s] = s
 		m.sliceLive[s] = p.Contexts
 	}
+	m.reg = metrics.NewRegistry()
+	m.reg.Counter("core.cycles", func() uint64 { return m.ticks })
+	RegisterStats(m.reg, "simt", func() Stats { return m.stats })
+	if m.l1 != nil {
+		cache.RegisterStats(m.reg, "cache", m.l1.Stats)
+	}
+	if m.buf != nil {
+		m.buf.RegisterMetrics(m.reg, "prefetch")
+	}
+	node.Mem.RegisterMetrics(m.reg)
+
 	if err := node.AttachCompute(m); err != nil {
 		return nil, err
 	}
@@ -598,6 +611,7 @@ func (m *SM) Run(limit sim.Time) (Result, error) {
 		r.Prefetch = m.buf.Stats()
 	}
 	r.Energy = m.energy(t)
+	r.Metrics = m.reg.Snapshot()
 	return r, nil
 }
 
@@ -611,6 +625,7 @@ type Result struct {
 	DRAM          core.DRAMStats
 	Mem           core.MemStats
 	Energy        energy.Breakdown
+	Metrics       metrics.Snapshot
 }
 
 // energy: SIMT amortizes instruction fetch over the warp but pays the

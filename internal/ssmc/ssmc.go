@@ -23,6 +23,7 @@ import (
 	"repro/internal/corelet"
 	"repro/internal/energy"
 	"repro/internal/layout"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -38,6 +39,7 @@ type Processor struct {
 	// order as cores halt (cores never un-halt).
 	live  []*corelet.Corelet
 	ticks uint64
+	reg   *metrics.Registry
 }
 
 // Result aliases the Millipede result shape with cache stats in place of
@@ -50,6 +52,7 @@ type Result struct {
 	DRAM          core.DRAMStats
 	Mem           core.MemStats
 	Energy        energy.Breakdown
+	Metrics       metrics.Snapshot
 }
 
 // NewProcessor builds and loads an SSMC processor for one launch.
@@ -120,10 +123,36 @@ func NewProcessor(p arch.Params, ep energy.Params, l core.Launch) (*Processor, e
 		}
 	}
 	pr.live = append([]*corelet.Corelet(nil), pr.cores...)
+
+	pr.reg = metrics.NewRegistry()
+	pr.reg.Counter("core.cycles", func() uint64 { return pr.ticks })
+	corelet.RegisterStats(pr.reg, "corelet", pr.coreStats)
+	cache.RegisterStats(pr.reg, "cache", pr.cacheStats)
+	node.Mem.RegisterMetrics(pr.reg)
+
 	if err := node.AttachCompute(pr); err != nil {
 		return nil, err
 	}
 	return pr, nil
+}
+
+// coreStats aggregates per-core execution counters for the registry and the
+// Result.
+func (pr *Processor) coreStats() corelet.Stats {
+	var agg corelet.Stats
+	for _, c := range pr.cores {
+		agg.Add(c.Stats())
+	}
+	return agg
+}
+
+// cacheStats aggregates the private L1 D-cache counters.
+func (pr *Processor) cacheStats() cache.Stats {
+	var agg cache.Stats
+	for _, ch := range pr.caches {
+		agg.Add(ch.Stats())
+	}
+	return agg
 }
 
 // port adapts a private L1 D-cache to the corelet's GlobalPort.
@@ -167,31 +196,14 @@ func (pr *Processor) Run(limit sim.Time) (Result, error) {
 		return Result{}, err
 	}
 	r := Result{Time: t, ComputeCycles: pr.ticks}
-	for _, c := range pr.cores {
-		s := c.Stats()
-		r.Cores.Instructions += s.Instructions
-		r.Cores.CondBranches += s.CondBranches
-		r.Cores.TakenCond += s.TakenCond
-		r.Cores.LocalAccess += s.LocalAccess
-		r.Cores.GlobalReads += s.GlobalReads
-		r.Cores.IdleCycles += s.IdleCycles
-		r.Cores.BusyCycles += s.BusyCycles
-		r.Cores.RetryCycles += s.RetryCycles
-	}
-	for _, ch := range pr.caches {
-		s := ch.Stats()
-		r.Cache.Hits += s.Hits
-		r.Cache.Misses += s.Misses
-		r.Cache.MSHRMerges += s.MSHRMerges
-		r.Cache.PrefetchIssue += s.PrefetchIssue
-		r.Cache.PrefetchHits += s.PrefetchHits
-		r.Cache.Retries += s.Retries
-	}
+	r.Cores = pr.coreStats()
+	r.Cache = pr.cacheStats()
 	ds := pr.node.Mem.DRAMStats()
 	r.DRAM = core.DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
 	cs := pr.node.Mem.CtlStats()
 	r.Mem = core.MemStats{StallCycles: cs.StallCycles, MaxOccupancy: cs.MaxOccupancy, Rejected: cs.Rejected}
 	r.Energy = pr.energy(r, t)
+	r.Metrics = pr.reg.Snapshot()
 	return r, nil
 }
 

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// chromeEvent is one record of the Chrome trace-event format (JSON object
+// form), loadable in Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TsUS  float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// tid lanes of the exported trace: corelet events go to tid corelet+1, so
+// tid 0 carries the processor-wide memory-system events.
+const memSystemTID = 0
+
+func (k Kind) category() string {
+	switch k {
+	case Exec:
+		return "exec"
+	case Prefetch, FlowBlock, Starve, Evict:
+		return "prefetch"
+	case MemIssue, MemReject, RowOpen, RowClose:
+		return "mem"
+	case DFSStep:
+		return "dfs"
+	}
+	return "other"
+}
+
+// ChromeJSON serializes the captured events in the Chrome trace-event JSON
+// format. psPerCycle converts the events' compute-clock cycle stamps to
+// wall trace time (1e12/computeHz picoseconds per cycle). The output is
+// deterministic: events keep log order and metadata precedes them.
+func (l *Log) ChromeJSON(psPerCycle float64) ([]byte, error) {
+	if psPerCycle <= 0 {
+		return nil, fmt.Errorf("trace: non-positive picoseconds per cycle %g", psPerCycle)
+	}
+	t := chromeTrace{DisplayTimeUnit: "ns"}
+	t.TraceEvents = append(t.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 0, TID: memSystemTID,
+		Args: map[string]any{"name": "millipede-processor"},
+	})
+	named := map[int]bool{}
+	threadName := func(tid int, name string) {
+		if named[tid] {
+			return
+		}
+		named[tid] = true
+		t.TraceEvents = append(t.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 0, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	threadName(memSystemTID, "memory-system")
+	for _, e := range l.Events() {
+		tid := memSystemTID
+		if e.Corelet >= 0 {
+			tid = e.Corelet + 1
+			threadName(tid, fmt.Sprintf("corelet %d", e.Corelet))
+		}
+		ce := chromeEvent{
+			Name:  e.Kind.String(),
+			Phase: "i",
+			Scope: "t",
+			TsUS:  float64(e.Cycle) * psPerCycle / 1e6,
+			PID:   0,
+			TID:   tid,
+			Cat:   e.Kind.category(),
+			Args:  map[string]any{"cycle": e.Cycle, "detail": e.Detail},
+		}
+		if e.Kind == Exec {
+			ce.Args["pc"] = e.PC
+			if e.Context >= 0 {
+				ce.Args["context"] = e.Context
+			}
+		}
+		t.TraceEvents = append(t.TraceEvents, ce)
+	}
+	return json.MarshalIndent(t, "", " ")
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestChromeJSONSchema(t *testing.T) {
+	l := NewLog(16)
+	l.Add(Event{Cycle: 10, Corelet: 0, Context: 2, Kind: Exec, PC: 5, Detail: "add r1, r2"})
+	l.Add(Event{Cycle: 20, Corelet: -1, Context: -1, Kind: MemIssue, Detail: "ch0 row 3"})
+	l.Add(Event{Cycle: 30, Corelet: 1, Context: -1, Kind: Prefetch, Detail: "row 4"})
+	l.Add(Event{Cycle: 40, Corelet: -1, Context: -1, Kind: DFSStep, Detail: "800 MHz"})
+
+	data, err := l.ChromeJSON(1000) // 1 ns/cycle
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TsUS  float64        `json:"ts"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Scope string         `json:"s"`
+			Cat   string         `json:"cat"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	var meta, instants int
+	names := map[string]bool{}
+	cats := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "M":
+			meta++
+			if e.Name != "process_name" && e.Name != "thread_name" {
+				t.Errorf("unexpected metadata event %q", e.Name)
+			}
+		case "i":
+			instants++
+			if e.Scope != "t" {
+				t.Errorf("instant %q has scope %q, want t", e.Name, e.Scope)
+			}
+			if e.Args["cycle"] == nil {
+				t.Errorf("instant %q missing cycle arg", e.Name)
+			}
+			names[e.Name] = true
+			cats[e.Cat] = true
+		default:
+			t.Errorf("unexpected phase %q", e.Phase)
+		}
+	}
+	if instants != 4 {
+		t.Errorf("instants = %d, want 4", instants)
+	}
+	// process_name + thread names for memory-system, corelet 0, corelet 1.
+	if meta != 4 {
+		t.Errorf("metadata events = %d, want 4", meta)
+	}
+	for _, want := range []string{"exec", "mem-issue", "prefetch", "dfs-step"} {
+		if !names[want] {
+			t.Errorf("missing event name %q (have %v)", want, names)
+		}
+	}
+	for _, want := range []string{"exec", "mem", "prefetch", "dfs"} {
+		if !cats[want] {
+			t.Errorf("missing category %q (have %v)", want, cats)
+		}
+	}
+}
+
+func TestChromeJSONTimebaseAndLanes(t *testing.T) {
+	l := NewLog(4)
+	l.Add(Event{Cycle: 1_000_000, Corelet: 3, Context: -1, Kind: Exec, PC: 0, Detail: "halt"})
+	l.Add(Event{Cycle: 8, Corelet: -1, Context: -1, Kind: RowOpen, Detail: "bank 0"})
+	data, err := l.ChromeJSON(1000) // 1000 ps/cycle -> 1e6 cycles = 1000 us
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string  `json:"ph"`
+			TsUS  float64 `json:"ts"`
+			TID   int     `json:"tid"`
+			Name  string  `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "i" {
+			continue
+		}
+		switch e.Name {
+		case "exec":
+			if e.TsUS != 1000 {
+				t.Errorf("exec ts = %v us, want 1000", e.TsUS)
+			}
+			if e.TID != 4 { // corelet 3 -> tid 4
+				t.Errorf("exec tid = %d, want 4", e.TID)
+			}
+		case "row-open":
+			if e.TID != 0 { // processor-wide events share the tid-0 lane
+				t.Errorf("row-open tid = %d, want 0", e.TID)
+			}
+		}
+	}
+}
+
+func TestChromeJSONRejectsBadTimebase(t *testing.T) {
+	l := NewLog(1)
+	if _, err := l.ChromeJSON(0); err == nil {
+		t.Error("psPerCycle 0 accepted")
+	}
+	if _, err := l.ChromeJSON(-1); err == nil {
+		t.Error("negative psPerCycle accepted")
+	}
+}

@@ -31,6 +31,8 @@ const (
 	RowOpen
 	// RowClose: a DRAM bank precharged its open row.
 	RowClose
+	// DFSStep: the rate-matching controller changed the compute clock.
+	DFSStep
 )
 
 func (k Kind) String() string {
@@ -53,6 +55,8 @@ func (k Kind) String() string {
 		return "row-open"
 	case RowClose:
 		return "row-close"
+	case DFSStep:
+		return "dfs-step"
 	}
 	return "?"
 }

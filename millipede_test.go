@@ -101,6 +101,81 @@ func TestPublicRateTrace(t *testing.T) {
 	}
 }
 
+func TestBenchmarksCachedCopy(t *testing.T) {
+	a := Benchmarks()
+	b := Benchmarks()
+	if len(a) == 0 || len(b) != len(a) {
+		t.Fatalf("benchmark lists: %v vs %v", a, b)
+	}
+	a[0] = "mutated"
+	if c := Benchmarks(); c[0] == "mutated" {
+		t.Error("Benchmarks returns an aliased slice; callers can corrupt the cache")
+	}
+}
+
+func TestExperimentRegistryPublic(t *testing.T) {
+	infos := Experiments()
+	names := map[string]bool{}
+	for _, e := range infos {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table2", "table3",
+		"table4", "ablation", "characteristics", "warpwidth", "channels", "residency", "node", "timeline"} {
+		if !names[want] {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+	if _, err := RunExperiment("no-such-experiment", DefaultConfig()); err == nil {
+		t.Error("unknown experiment name accepted")
+	}
+	res, err := RunExperiment("table3", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text == "" || res.Render() == "" {
+		t.Error("table3 experiment rendered empty")
+	}
+	if res.Text != TableIII(DefaultConfig()) {
+		t.Error("registry table3 differs from the TableIII wrapper")
+	}
+}
+
+func TestRunOptionsPublic(t *testing.T) {
+	cfg := DefaultConfig()
+	// Observability options must not perturb measurements.
+	base, err := RunBenchmark(ArchMillipedeRM, "count", cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewTraceLog(1024)
+	traced, err := RunBenchmark(ArchMillipedeRM, "count", cfg, 64,
+		WithTraceSink(l), WithTimeline(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Time != base.Time || traced.Insts != base.Insts {
+		t.Errorf("options changed the simulation: %d/%d vs %d/%d",
+			traced.Time, traced.Insts, base.Time, base.Insts)
+	}
+	if traced.Timeline == nil || traced.Timeline.Len() == 0 {
+		t.Error("WithTimeline attached no sampler")
+	}
+	if base.Timeline != nil {
+		t.Error("timeline present without the option")
+	}
+	if len(traced.Metrics.Samples) == 0 || len(base.Metrics.Samples) == 0 {
+		t.Error("metrics snapshot missing")
+	}
+	// A different seed is a different workload instance.
+	seeded, err := RunBenchmark(ArchMillipede, "count", cfg, 64, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Insts == 0 {
+		t.Error("seeded run empty")
+	}
+}
+
 func TestPublicBarrierAblationAndCharacteristics(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
