@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check bench benchjson bench-diff trace-demo
+.PHONY: all build test check bench benchjson bench-diff trace-demo serve-demo
 
 all: build
 
@@ -33,6 +33,13 @@ benchjson:
 BENCH_BASE ?= BENCH_2.json
 bench-diff:
 	$(GO) run ./cmd/milliexp -benchdiff $(BENCH_BASE)
+
+# serve-demo smoke-tests the millid simulation service end to end over real
+# HTTP: start the daemon, list the registry, run a count-kernel job twice
+# (the repeat must be a cache hit with no second simulation), and drain it
+# with SIGTERM. CI runs this alongside bench-diff.
+serve-demo:
+	bash scripts/serve_demo.sh
 
 # trace-demo writes a Chrome trace-event capture of a bandwidth-contested
 # count run; open trace.json in ui.perfetto.dev or chrome://tracing.

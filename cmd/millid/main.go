@@ -1,0 +1,86 @@
+// Command millid serves the experiment registry over HTTP: a job-queued,
+// result-cached simulation service. Every experiment milliexp can run is
+// reachable as a POST /v1/jobs request; deterministic simulation makes the
+// SHA-256 of the canonical request both the job id and the result-cache key,
+// so repeated or concurrent identical requests simulate once and share
+// byte-identical result bodies.
+//
+// Usage:
+//
+//	millid [-addr :8177] [-workers 0] [-queue 0] [-cache 256]
+//	       [-timeout 15m] [-drain-timeout 1m]
+//
+// Quick start:
+//
+//	millid &
+//	curl localhost:8177/v1/experiments
+//	curl -d '{"experiment":"ablation","scale":0.25}' localhost:8177/v1/jobs
+//	curl localhost:8177/v1/jobs/<id>          # poll until "done"
+//	curl localhost:8177/v1/jobs/<id>/result
+//	curl localhost:8177/metrics               # queue depth, cache hit rate
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: intake stops (POST returns
+// 503, /healthz degrades), queued and in-flight jobs run to completion while
+// GET routes keep serving, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8177", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "job queue capacity (0 = 4x workers)")
+	cacheEntries := flag.Int("cache", 256, "result cache entries (LRU)")
+	timeout := flag.Duration("timeout", 15*time.Minute, "default per-job timeout (0 = none; requests may set timeout_ms)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long to wait for in-flight jobs on shutdown")
+	flag.Parse()
+
+	srv := server.New(arch.Default(), server.Options{
+		Workers:        *workers,
+		QueueCapacity:  *queue,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("millid: signal received; draining (intake closed, waiting up to %s for jobs)", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			log.Printf("millid: drain incomplete: %v", err)
+		} else {
+			log.Printf("millid: drained cleanly")
+		}
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		hs.Shutdown(sctx)
+	}()
+
+	log.Printf("millid: serving the experiment registry on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("millid: %v", err)
+	}
+	<-drained
+	log.Print(srv.Metrics().Render())
+}

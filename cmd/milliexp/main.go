@@ -1,10 +1,13 @@
 // Command milliexp regenerates every table and figure of the paper's
 // evaluation (Section VI) and prints them as text tables. The experiment
-// set comes from the millipede.Experiments registry; run with an unknown
-// -only name to see the registered names and descriptions.
+// set comes from the millipede.Experiments registry; -list prints the
+// registered names and descriptions, and an unknown -only name exits
+// nonzero with the same listing. Ctrl-C (or SIGTERM) cancels the sweep
+// in flight.
 //
 // Usage:
 //
+//	milliexp -list
 //	milliexp [-scale 1.0] [-only fig3,fig4,timeline,...]
 //	milliexp -benchjson BENCH_2.json [-benchbase BENCH_1.json] [-benchscale 0.25]
 //	milliexp -benchdiff BENCH_1.json [-benchjson BENCH_2.json]
@@ -25,50 +28,83 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	millipede "repro"
 	"repro/internal/benchreport"
 )
 
+// printRegistry writes one line per registered experiment.
+func printRegistry() {
+	for _, e := range millipede.Experiments() {
+		fmt.Printf("  %-16s %s\n", e.Name, e.Description)
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	scale := flag.Float64("scale", 1.0, "input-size multiplier")
-	only := flag.String("only", "", "comma-separated subset of registered experiments (fig3..fig7, table2, table3, table4, ablation, characteristics, warpwidth, residency, channels, node, timeline)")
+	list := flag.Bool("list", false, "print the experiment registry (names and descriptions) and exit")
+	only := flag.String("only", "", "comma-separated subset of registered experiments (see -list)")
 	benchJSON := flag.String("benchjson", "", "measure simulator throughput and write a BENCH_*.json report to this path (skips figures)")
 	benchBase := flag.String("benchbase", "", "previous BENCH_*.json to compare the new report against")
 	benchScale := flag.Float64("benchscale", benchreport.DefaultScale, "input scale for -benchjson throughput runs")
 	benchDiff := flag.String("benchdiff", "", "determinism gate: collect a fresh report and exit nonzero unless its records/sim_cycles/sim_picos/insts are bit-identical to this baseline BENCH_*.json (skips figures)")
 	flag.Parse()
 
+	if *list {
+		printRegistry()
+		return
+	}
 	if *benchJSON != "" || *benchDiff != "" {
 		runBenchReport(*benchJSON, *benchBase, *benchDiff, *benchScale)
 		return
 	}
 
+	registered := millipede.Experiments()
+	names := map[string]bool{}
+	for _, e := range registered {
+		names[e.Name] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, s := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(s)] = true
+			name := strings.TrimSpace(s)
+			if !names[name] {
+				fmt.Printf("unknown experiment %q; registered experiments:\n", name)
+				printRegistry()
+				os.Exit(1)
+			}
+			want[name] = true
 		}
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 	cfg := millipede.DefaultConfig()
 
-	registered := millipede.Experiments()
-	matched := 0
+	// Ctrl-C / SIGTERM cancels the sweep in flight: the context reaches
+	// every figure's worker pool through RunExperimentContext.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	for _, e := range registered {
 		if !sel(e.Name) {
 			continue
 		}
-		matched++
 		t0 := time.Now()
-		res, err := millipede.RunExperiment(e.Name, cfg, millipede.WithScale(*scale))
+		res, err := millipede.RunExperimentContext(ctx, e.Name, cfg, millipede.WithScale(*scale))
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Fatalf("%s: interrupted", e.Name)
+			}
 			log.Fatalf("%s: %v", e.Name, err)
 		}
 		fmt.Print(res.Render())
@@ -79,12 +115,6 @@ func main() {
 			fmt.Println()
 		default:
 			fmt.Printf("(%s wall time: %s)\n\n", e.Name, time.Since(t0).Round(time.Millisecond))
-		}
-	}
-	if matched == 0 {
-		fmt.Printf("no experiment matches -only %q; registered experiments:\n", *only)
-		for _, e := range registered {
-			fmt.Printf("  %-16s %s\n", e.Name, e.Description)
 		}
 	}
 }

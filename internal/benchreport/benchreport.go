@@ -13,6 +13,7 @@
 package benchreport
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -160,7 +161,7 @@ func Collect(p arch.Params, archs []string, scale float64) (*Report, error) {
 		}
 	}
 	t0 := time.Now()
-	if _, err := harness.Fig3(p, scale); err != nil {
+	if _, err := harness.Fig3(context.Background(), p, scale); err != nil {
 		return nil, fmt.Errorf("benchreport: fig3 timing run: %w", err)
 	}
 	r.Fig3WallSeconds = time.Since(t0).Seconds()

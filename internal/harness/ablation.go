@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -24,7 +25,7 @@ import (
 //     behaving like no-flow-control
 //
 // Values are performance normalized to Millipede (higher is better).
-func BarrierAblation(p arch.Params, scale float64) (*Figure, error) {
+func BarrierAblation(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 	b := workloads.CountBench()
 	records := recordsFor(b, scale)
 	f := &Figure{
@@ -33,11 +34,17 @@ func BarrierAblation(p arch.Params, scale float64) (*Figure, error) {
 	}
 	row := Row{Bench: "count", Values: map[string]float64{}}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	base, err := Run(ArchMillipede, b, p, records)
 	if err != nil {
 		return nil, err
 	}
 	row.Values["millipede"] = 1.0
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nofc, err := Run(ArchMillipedeNoFC, b, p, records)
 	if err != nil {
 		return nil, err
@@ -45,6 +52,9 @@ func BarrierAblation(p arch.Params, scale float64) (*Figure, error) {
 	row.Values["no-flow-control"] = float64(base.Time) / float64(nofc.Time)
 
 	for _, iv := range []int{1, 512} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t, err := runBarrierVariant(p, b, iv, records)
 		if err != nil {
 			return nil, err
@@ -103,7 +113,7 @@ func runBarrierVariant(p arch.Params, b *workloads.Benchmark, interval, records 
 // threads agree. The sweep runs the VWS organization at warp widths 4, 8,
 // 16, and 32 (32 = one slice, the plain GPGPU front-end) on the branchy
 // benchmarks and reports performance normalized to width 32.
-func WarpWidthSweep(p arch.Params, scale float64) (*Figure, error) {
+func WarpWidthSweep(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 	widths := []int{4, 8, 16, 32}
 	f := &Figure{Name: "VWS warp-width sweep: performance normalized to 32-wide (plain GPGPU front-end)"}
 	for _, w := range widths {
@@ -118,6 +128,9 @@ func WarpWidthSweep(p arch.Params, scale float64) (*Figure, error) {
 		row := Row{Bench: name, Values: map[string]float64{}}
 		times := map[int]float64{}
 		for _, w := range widths {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			q := p
 			q.VWSWarpWidth = w
 			r, err := Run(ArchVWS, b, q, records)
@@ -143,7 +156,7 @@ func WarpWidthSweep(p arch.Params, scale float64) (*Figure, error) {
 // and reports the break-even reuse count — how many (chained) MapReductions
 // must touch resident data before the copy-in amortizes to under 10% —
 // the Spark-like residency the paper assumes.
-func ResidencyStudy(p arch.Params, hostBandwidthGBs float64, scale float64) (*Figure, error) {
+func ResidencyStudy(ctx context.Context, p arch.Params, hostBandwidthGBs float64, scale float64) (*Figure, error) {
 	if hostBandwidthGBs <= 0 {
 		return nil, fmt.Errorf("harness: bad host bandwidth %g", hostBandwidthGBs)
 	}
@@ -152,6 +165,9 @@ func ResidencyStudy(p arch.Params, hostBandwidthGBs float64, scale float64) (*Fi
 		Series: []string{"kernel-us", "copyin-us", "copyin/kernel", "reuses-for-10pct"},
 	}
 	for _, name := range []string{"count", "nbayes", "gda"} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -25,7 +26,7 @@ func TestMultiChannelGoldenEquivalence(t *testing.T) {
 			jobs = append(jobs, job{a, b})
 		}
 	}
-	err := runJobs(len(jobs), func(i int) error {
+	err := runJobs(context.Background(), len(jobs), func(i int) error {
 		j := jobs[i]
 		records := recordsFor(j.b, testScale)
 		var baseline []uint32
@@ -62,7 +63,7 @@ func TestMultiChannelGoldenEquivalence(t *testing.T) {
 }
 
 func TestChannelSweepShape(t *testing.T) {
-	f, err := ChannelSweep(arch.Default(), testScale)
+	f, err := ChannelSweep(context.Background(), arch.Default(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -27,13 +28,16 @@ import (
 // byte). Join's amplification grows with the table size and its input
 // throughput collapses — the paper's argument that such workloads
 // "underutilize PNM's bandwidth" irrespective of the architecture.
-func CharacteristicsStudy(p arch.Params, scale float64) (*Figure, error) {
+func CharacteristicsStudy(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 	f := &Figure{
 		Name:   "Characteristics study (Sec. III-D): compact (count) vs non-compact (join) on Millipede",
 		Series: []string{"input-words/us", "dram-amplification"},
 	}
 
 	// Compact baseline.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cb := workloads.CountBench()
 	records := recordsFor(cb, scale)
 	cr, err := Run(ArchMillipede, cb, p, records)
@@ -46,6 +50,9 @@ func CharacteristicsStudy(p arch.Params, scale float64) (*Figure, error) {
 	}})
 
 	// Non-compact join: table of 2x the corelet-local memory.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tableWords := 2 * p.LocalBytes / 4
 	jr, jWords, err := RunJoin(p, tableWords, records/8)
 	if err != nil {

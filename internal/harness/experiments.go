@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -69,14 +70,14 @@ func (r ExperimentResult) Render() string {
 
 type expEntry struct {
 	info ExperimentInfo
-	run  func(p arch.Params, o ExpOptions) (ExperimentResult, error)
+	run  func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error)
 }
 
 // oneFig adapts the harness's (Params, scale) figure functions to the
 // registry's run signature.
-func oneFig(f func(arch.Params, float64) (*Figure, error)) func(arch.Params, ExpOptions) (ExperimentResult, error) {
-	return func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
-		fig, err := f(p, o.Scale)
+func oneFig(f func(context.Context, arch.Params, float64) (*Figure, error)) func(context.Context, arch.Params, ExpOptions) (ExperimentResult, error) {
+	return func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
+		fig, err := f(ctx, p, o.Scale)
 		if err != nil {
 			return ExperimentResult{}, err
 		}
@@ -87,18 +88,18 @@ func oneFig(f func(arch.Params, float64) (*Figure, error)) func(arch.Params, Exp
 // experiments is the registry, in milliexp's presentation order.
 var experiments = []expEntry{
 	{ExperimentInfo{"table3", "simulated configuration parameters (Table III)"},
-		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
+		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			return ExperimentResult{Text: TableIII(p)}, nil
 		}},
 	{ExperimentInfo{"table2", "benchmark characteristics (Table II)"},
-		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
+		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			return ExperimentResult{Text: TableII()}, nil
 		}},
 	{ExperimentInfo{"table4", "per-benchmark execution profile (Table IV)"}, oneFig(TableIV)},
 	{ExperimentInfo{"fig3", "throughput across PNM architectures (Figure 3)"}, oneFig(Fig3)},
 	{ExperimentInfo{"fig4", "energy totals and breakdown (Figure 4)"},
-		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
-			fig, parts, err := Fig4(p, o.Scale)
+		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			fig, parts, err := Fig4(ctx, p, o.Scale)
 			if err != nil {
 				return ExperimentResult{}, err
 			}
@@ -109,10 +110,10 @@ var experiments = []expEntry{
 	{ExperimentInfo{"fig7", "rate-matching DFS study (Figure 7)"}, oneFig(Fig7)},
 	{ExperimentInfo{"ablation", "software-barrier interval ablation"}, oneFig(BarrierAblation)},
 	{ExperimentInfo{"characteristics", "join/table characteristics study (runs at Scale/4)"},
-		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
+		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			// Historical milliexp default: the characteristics study squares
 			// the work per record, so it runs at a quarter of the scale.
-			fig, err := CharacteristicsStudy(p, o.Scale/4)
+			fig, err := CharacteristicsStudy(ctx, p, o.Scale/4)
 			if err != nil {
 				return ExperimentResult{}, err
 			}
@@ -121,15 +122,18 @@ var experiments = []expEntry{
 	{ExperimentInfo{"warpwidth", "VWS warp-width sweep"}, oneFig(WarpWidthSweep)},
 	{ExperimentInfo{"channels", "die-stacked channel-count sweep"}, oneFig(ChannelSweep)},
 	{ExperimentInfo{"residency", "dataset-residency study vs host-link bandwidth"},
-		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
-			fig, err := ResidencyStudy(p, o.HostBandwidthGBs, o.Scale)
+		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			fig, err := ResidencyStudy(ctx, p, o.HostBandwidthGBs, o.Scale)
 			if err != nil {
 				return ExperimentResult{}, err
 			}
 			return ExperimentResult{Figures: []*Figure{fig}}, nil
 		}},
 	{ExperimentInfo{"node", "measured 8-processor node run (count benchmark)"},
-		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
+		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			if err := ctx.Err(); err != nil {
+				return ExperimentResult{}, err
+			}
 			b, err := workloads.ByName("count")
 			if err != nil {
 				return ExperimentResult{}, err
@@ -144,8 +148,8 @@ var experiments = []expEntry{
 			return ExperimentResult{Text: text}, nil
 		}},
 	{ExperimentInfo{"timeline", "cycle-sampled observability timeline (prefetch occupancy, row hit rate, queue depth, DFS clock)"},
-		func(p arch.Params, o ExpOptions) (ExperimentResult, error) {
-			fig, err := TimelineStudy(p, o.Scale, o.TimelineEvery)
+		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			fig, err := TimelineStudy(ctx, p, o.Scale, o.TimelineEvery)
 			if err != nil {
 				return ExperimentResult{}, err
 			}
@@ -163,11 +167,17 @@ func Experiments() []ExperimentInfo {
 }
 
 // RunExperiment runs the named experiment with the given architecture
-// parameters and options.
-func RunExperiment(name string, p arch.Params, o ExpOptions) (ExperimentResult, error) {
+// parameters and options. Cancelling ctx makes the experiment return
+// ctx.Err() instead of running its remaining simulations to completion
+// (in-flight cycle loops still finish — cancellation is checked between
+// runs, never inside the deterministic hot path).
+func RunExperiment(ctx context.Context, name string, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 	for _, e := range experiments {
 		if e.info.Name == name {
-			return e.run(p, o.withDefaults())
+			if err := ctx.Err(); err != nil {
+				return ExperimentResult{}, err
+			}
+			return e.run(ctx, p, o.withDefaults())
 		}
 	}
 	return ExperimentResult{}, fmt.Errorf("harness: unknown experiment %q (see Experiments())", name)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -83,7 +84,11 @@ func (f *Figure) geomeans() {
 // each simulation holds a full node (DRAM backing store included), so the
 // pool bounds peak memory and scheduler pressure by the host's parallelism
 // instead of the job count (a figure can fan out 48+ runs).
-func runJobs(n int, fn func(i int) error) error {
+//
+// Cancelling ctx stops workers from claiming further jobs; in-flight
+// simulations finish (the cycle loop is not interruptible) and the sweep
+// returns ctx.Err() instead of a complete figure.
+func runJobs(ctx context.Context, n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -95,7 +100,7 @@ func runJobs(n int, fn func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
@@ -105,6 +110,9 @@ func runJobs(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -115,7 +123,7 @@ func runJobs(n int, fn func(i int) error) error {
 
 // runAll executes the given architectures over all benchmarks at the given
 // record scale, returning results[arch][bench].
-func runAll(p arch.Params, archs []string, scale float64) (map[string]map[string]RunResult, error) {
+func runAll(ctx context.Context, p arch.Params, archs []string, scale float64) (map[string]map[string]RunResult, error) {
 	type job struct {
 		a string
 		b *workloads.Benchmark
@@ -127,7 +135,7 @@ func runAll(p arch.Params, archs []string, scale float64) (map[string]map[string
 		}
 	}
 	res := make([]RunResult, len(jobs))
-	err := runJobs(len(jobs), func(i int) error {
+	err := runJobs(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
 		r, err := Run(j.a, j.b, p, recordsFor(j.b, scale))
 		if err != nil {
@@ -151,9 +159,9 @@ func runAll(p arch.Params, archs []string, scale float64) (map[string]map[string
 
 // Fig3 reproduces Figure 3: performance of each PNM architecture normalized
 // to GPGPU-with-prefetch, benchmarks in the paper's order.
-func Fig3(p arch.Params, scale float64) (*Figure, error) {
+func Fig3(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 	archs := []string{ArchGPGPU, ArchVWS, ArchSSMC, ArchMillipedeNoFC, ArchVWSRow, ArchMillipede}
-	res, err := runAll(p, archs, scale)
+	res, err := runAll(ctx, p, archs, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -173,9 +181,9 @@ func Fig3(p arch.Params, scale float64) (*Figure, error) {
 // Fig4 reproduces Figure 4: total energy normalized to GPGPU (lower is
 // better), including the rate-matched Millipede variant. Component
 // breakdowns are exposed via Fig4Breakdown.
-func Fig4(p arch.Params, scale float64) (*Figure, *Figure, error) {
+func Fig4(ctx context.Context, p arch.Params, scale float64) (*Figure, *Figure, error) {
 	archs := []string{ArchGPGPU, ArchVWS, ArchSSMC, ArchVWSRow, ArchMillipede, ArchMillipedeRM}
-	res, err := runAll(p, archs, scale)
+	res, err := runAll(ctx, p, archs, scale)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -211,13 +219,13 @@ const NodeProcessors = 32
 
 // Fig5 reproduces Figure 5: full-node Millipede speedup and energy
 // improvement over the conventional multicore.
-func Fig5(p arch.Params, scale float64) (*Figure, error) {
+func Fig5(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 	f := &Figure{Name: "Figure 5: 32-processor Millipede node vs conventional 8-core multicore",
 		Series: []string{"speedup", "energy-improvement"}}
 	benches := workloads.All()
 	mps := make([]RunResult, len(benches))
 	mcs := make([]RunResult, len(benches))
-	err := runJobs(2*len(benches), func(i int) error {
+	err := runJobs(ctx, 2*len(benches), func(i int) error {
 		b := benches[i/2]
 		records := recordsFor(b, scale)
 		if i%2 == 0 {
@@ -256,7 +264,7 @@ func Fig5(p arch.Params, scale float64) (*Figure, error) {
 // second die-stack channel — and each also gets a "-wide" cross-check
 // column that doubles the single channel's clock instead, the pre-fabric
 // approximation; the two should land close together.
-func Fig6(p arch.Params, scale float64) (*Figure, error) {
+func Fig6(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 	sizes := []int{32, 64}
 	archs := []string{ArchGPGPU, ArchSSMC, ArchMillipede}
 	f := &Figure{Name: "Figure 6: speedup vs system size (normalized to 32-lane GPGPU)"}
@@ -290,7 +298,7 @@ func Fig6(p arch.Params, scale float64) (*Figure, error) {
 		}
 	}
 	res := make([]RunResult, len(jobs))
-	err := runJobs(len(jobs), func(i int) error {
+	err := runJobs(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
 		r, err := Run(j.a, j.b, j.params, j.records)
 		res[i] = r
@@ -334,7 +342,7 @@ const ChannelSweepChannelHz = 150e6
 // benchmark, normalized to the single-channel run. Memory-bound kernels
 // (count, sample) gain the most from extra channels; compute-bound ones
 // (kmeans, gda) barely move.
-func ChannelSweep(p arch.Params, scale float64) (*Figure, error) {
+func ChannelSweep(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 	channels := []int{1, 2, 4}
 	f := &Figure{Name: "Channel sweep: Millipede speedup vs die-stack channel count (150 MHz vault channels, normalized to 1 channel)"}
 	for _, n := range channels {
@@ -342,7 +350,7 @@ func ChannelSweep(p arch.Params, scale float64) (*Figure, error) {
 	}
 	benches := workloads.All()
 	res := make([]RunResult, len(benches)*len(channels))
-	err := runJobs(len(res), func(i int) error {
+	err := runJobs(ctx, len(res), func(i int) error {
 		b := benches[i/len(channels)]
 		q := p
 		q.ChannelHz = ChannelSweepChannelHz
@@ -368,7 +376,7 @@ func ChannelSweep(p arch.Params, scale float64) (*Figure, error) {
 
 // Fig7 reproduces Figure 7: Millipede speedup versus prefetch-buffer entry
 // count (2, 4, 8, 16, 32), normalized to 2 entries.
-func Fig7(p arch.Params, scale float64) (*Figure, error) {
+func Fig7(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 	counts := []int{2, 4, 8, 16, 32}
 	f := &Figure{Name: "Figure 7: Millipede speedup vs prefetch buffer count (normalized to 2 buffers)"}
 	for _, n := range counts {
@@ -376,7 +384,7 @@ func Fig7(p arch.Params, scale float64) (*Figure, error) {
 	}
 	benches := workloads.All()
 	res := make([]RunResult, len(benches)*len(counts))
-	err := runJobs(len(res), func(i int) error {
+	err := runJobs(ctx, len(res), func(i int) error {
 		b := benches[i/len(counts)]
 		q := p
 		q.PrefetchEntries = counts[i%len(counts)]
@@ -402,13 +410,13 @@ func Fig7(p arch.Params, scale float64) (*Figure, error) {
 // TableIV reproduces Table IV: per-benchmark instructions per input word,
 // branches per instruction, SSMC's DRAM row miss rate, and Millipede's
 // rate-matched clock.
-func TableIV(p arch.Params, scale float64) (*Figure, error) {
+func TableIV(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 	f := &Figure{Name: "Table IV: benchmark parameters and characteristics",
 		Series: []string{"insts/word", "branches/inst", "ssmc-row-miss", "rate-clock-MHz"}}
 	benches := workloads.All()
 	mps := make([]RunResult, len(benches))
 	scs := make([]RunResult, len(benches))
-	err := runJobs(2*len(benches), func(i int) error {
+	err := runJobs(ctx, 2*len(benches), func(i int) error {
 		b := benches[i/2]
 		records := recordsFor(b, scale)
 		if i%2 == 0 {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -132,7 +133,7 @@ func TestRunWithTimeline(t *testing.T) {
 // TestTimelineStudyRenders exercises the registered timeline experiment
 // end to end at a tiny scale.
 func TestTimelineStudyRenders(t *testing.T) {
-	fig, err := TimelineStudy(arch.Default(), 0.02, 256)
+	fig, err := TimelineStudy(context.Background(), arch.Default(), 0.02, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,10 +170,10 @@ func TestRunExperimentRegistry(t *testing.T) {
 			t.Errorf("experiment %q not registered", want)
 		}
 	}
-	if _, err := RunExperiment("nope", arch.Default(), ExpOptions{}); err == nil {
+	if _, err := RunExperiment(context.Background(), "nope", arch.Default(), ExpOptions{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	res, err := RunExperiment("table2", arch.Default(), ExpOptions{})
+	res, err := RunExperiment(context.Background(), "table2", arch.Default(), ExpOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

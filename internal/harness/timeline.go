@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -23,7 +24,10 @@ const timelineRows = 32
 // the simulator-side counterpart of the paper's Figure 2 motivation: row
 // prefetch keeps the buffer occupied while rate matching walks the clock to
 // the memory-bound operating point.
-func TimelineStudy(p arch.Params, scale float64, everyCycles uint64) (*Figure, error) {
+func TimelineStudy(ctx context.Context, p arch.Params, scale float64, everyCycles uint64) (*Figure, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if everyCycles == 0 {
 		everyCycles = DefaultTimelineEvery
 	}

@@ -1,0 +1,218 @@
+// Package jobs is the execution engine of the millid simulation service: a
+// bounded FIFO job queue drained by a fixed worker pool. The pool applies
+// the same discipline the figure harness uses for its sweeps — at most
+// GOMAXPROCS concurrent simulations, because each one holds a full node
+// (DRAM backing store included) — but adds the service-side concerns:
+// backpressure (Submit rejects instead of blocking when the queue is full),
+// per-job context timeouts, and a graceful drain that finishes every
+// accepted job before shutdown.
+//
+// The pool never drops an accepted job: Submit either enqueues or returns
+// ErrQueueFull immediately, so callers can map backpressure straight to an
+// HTTP 429.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity — the service's backpressure signal.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed is returned by Submit after Close/Drain began.
+	ErrClosed = errors.New("jobs: pool closed")
+)
+
+// Job is one unit of queued work.
+type Job struct {
+	// ID identifies the job in logs and stats; the pool treats it as opaque.
+	ID string
+	// Timeout bounds the job's execution from the moment a worker picks it
+	// up; zero means no per-job timeout.
+	Timeout time.Duration
+	// Run executes the job. ctx carries the per-job timeout (and is already
+	// expired if the pool is unwinding); Run is responsible for observing
+	// it between units of work.
+	Run func(ctx context.Context)
+}
+
+type queued struct {
+	job      Job
+	enqueued time.Time
+}
+
+// LatencyBuckets is the shared latency histogram layout: bucket i counts
+// observations in [2^(i-1), 2^i) milliseconds (bucket 0 is <1 ms), and the
+// last bucket is the overflow. Indexed like the memory controller's
+// queue-latency histogram so renderers can treat them uniformly.
+const LatencyBuckets = 16
+
+type latencyHist struct {
+	mu      sync.Mutex
+	buckets [LatencyBuckets]uint64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ms := d.Milliseconds()
+	b := 0
+	if ms > 0 {
+		b = bits.Len64(uint64(ms))
+	}
+	if b >= LatencyBuckets {
+		b = LatencyBuckets - 1
+	}
+	h.mu.Lock()
+	h.buckets[b]++
+	h.mu.Unlock()
+}
+
+func (h *latencyHist) snapshot() []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]uint64, LatencyBuckets)
+	copy(out, h.buckets[:])
+	return out
+}
+
+// Pool is a bounded FIFO job queue with a fixed worker pool.
+type Pool struct {
+	ch      chan queued
+	workers int
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	submitted atomic.Uint64
+	rejected  atomic.Uint64
+	completed atomic.Uint64
+	running   atomic.Int64
+
+	waitHist latencyHist // enqueue -> worker pickup
+	runHist  latencyHist // worker pickup -> Run return
+}
+
+// New starts a pool with the given worker count and queue capacity.
+// workers <= 0 sizes the pool off GOMAXPROCS (the harness's bound: one
+// simulation per host thread); capacity <= 0 defaults to 4x the worker
+// count, enough to keep workers busy without letting latency under
+// backpressure grow unbounded.
+func New(workers, capacity int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if capacity <= 0 {
+		capacity = 4 * workers
+	}
+	p := &Pool{ch: make(chan queued, capacity), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for q := range p.ch {
+		p.waitHist.observe(time.Since(q.enqueued))
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if q.job.Timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, q.job.Timeout)
+		}
+		p.running.Add(1)
+		t0 := time.Now()
+		q.job.Run(ctx)
+		cancel()
+		p.runHist.observe(time.Since(t0))
+		p.running.Add(-1)
+		p.completed.Add(1)
+	}
+}
+
+// Submit enqueues j. It never blocks: a full queue returns ErrQueueFull and
+// a closed pool returns ErrClosed.
+func (p *Pool) Submit(j Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.rejected.Add(1)
+		return ErrClosed
+	}
+	select {
+	case p.ch <- queued{job: j, enqueued: time.Now()}:
+		p.submitted.Add(1)
+		return nil
+	default:
+		p.rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Close stops intake. Queued and in-flight jobs still run to completion;
+// use Drain to wait for them.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.ch)
+	}
+}
+
+// Drain closes the pool and waits until every accepted job has finished, or
+// until ctx is done (in which case jobs keep running in the background and
+// ctx.Err() is returned).
+func (p *Pool) Drain(ctx context.Context) error {
+	p.Close()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Capacity returns the queue's bound.
+func (p *Pool) Capacity() int { return cap(p.ch) }
+
+// Depth returns the number of jobs waiting in the queue (excluding the ones
+// a worker is already running).
+func (p *Pool) Depth() int { return len(p.ch) }
+
+// Running returns the number of jobs currently executing on a worker.
+func (p *Pool) Running() int { return int(p.running.Load()) }
+
+// Submitted returns the number of jobs accepted by Submit.
+func (p *Pool) Submitted() uint64 { return p.submitted.Load() }
+
+// Rejected returns the number of Submit calls bounced by backpressure or
+// shutdown.
+func (p *Pool) Rejected() uint64 { return p.rejected.Load() }
+
+// Completed returns the number of jobs whose Run has returned.
+func (p *Pool) Completed() uint64 { return p.completed.Load() }
+
+// WaitHistogram returns the enqueue-to-pickup latency histogram (bucket i
+// counts waits in [2^(i-1), 2^i) ms; bucket 0 is <1 ms).
+func (p *Pool) WaitHistogram() []uint64 { return p.waitHist.snapshot() }
+
+// RunHistogram returns the pickup-to-completion latency histogram, bucketed
+// like WaitHistogram.
+func (p *Pool) RunHistogram() []uint64 { return p.runHist.snapshot() }

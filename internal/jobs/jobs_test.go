@@ -1,0 +1,184 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDefaults: workers sized off GOMAXPROCS, capacity off the worker count.
+func TestDefaults(t *testing.T) {
+	p := New(0, 0)
+	defer p.Close()
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers() = %d, want GOMAXPROCS = %d", got, want)
+	}
+	if got, want := p.Capacity(), 4*p.Workers(); got != want {
+		t.Errorf("Capacity() = %d, want %d", got, want)
+	}
+}
+
+// TestFIFOOrder: with one worker, jobs complete in submission order.
+func TestFIFOOrder(t *testing.T) {
+	p := New(1, 16)
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []int
+
+	// First job blocks the only worker so the rest queue up in order.
+	if err := p.Submit(Job{ID: "gate", Run: func(context.Context) { <-gate }}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		i := i
+		if err := p.Submit(Job{Run: func(context.Context) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("completion order %v is not FIFO", order)
+		}
+	}
+}
+
+// TestBackpressure: a full queue rejects with ErrQueueFull and counts the
+// rejection; accepted jobs all complete.
+func TestBackpressure(t *testing.T) {
+	p := New(1, 2)
+	gate := make(chan struct{})
+	submit := func() error { return p.Submit(Job{Run: func(context.Context) { <-gate }}) }
+
+	if err := submit(); err != nil { // runs on the worker
+		t.Fatal(err)
+	}
+	// Wait until the worker picked the first job up, so the queue's two
+	// slots are genuinely free.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Running() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up first job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := submit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := submit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := submit(); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("4th submit: got %v, want ErrQueueFull", err)
+	}
+	if p.Rejected() != 1 {
+		t.Fatalf("Rejected() = %d, want 1", p.Rejected())
+	}
+	close(gate)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Completed() != 3 {
+		t.Fatalf("Completed() = %d, want 3", p.Completed())
+	}
+}
+
+// TestPerJobTimeout: the ctx handed to Run expires after Job.Timeout.
+func TestPerJobTimeout(t *testing.T) {
+	p := New(1, 1)
+	errc := make(chan error, 1)
+	err := p.Submit(Job{Timeout: 10 * time.Millisecond, Run: func(ctx context.Context) {
+		<-ctx.Done()
+		errc <- ctx.Err()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("job ctx error = %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("job timeout never fired")
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainFinishesQueued: Drain completes every accepted job, and Submit
+// after Close reports ErrClosed.
+func TestDrainFinishesQueued(t *testing.T) {
+	p := New(2, 32)
+	var done sync.WaitGroup
+	const n = 16
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		if err := p.Submit(Job{Run: func(context.Context) {
+			time.Sleep(time.Millisecond)
+			done.Done()
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done.Wait() // Drain returning implies all Done() calls happened
+	if p.Completed() != n {
+		t.Fatalf("Completed() = %d, want %d", p.Completed(), n)
+	}
+	if err := p.Submit(Job{Run: func(context.Context) {}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after drain: got %v, want ErrClosed", err)
+	}
+}
+
+// TestDrainDeadline: a Drain bounded by an already-expired context returns
+// the context error while the stuck job keeps running.
+func TestDrainDeadline(t *testing.T) {
+	p := New(1, 1)
+	gate := make(chan struct{})
+	defer close(gate)
+	if err := p.Submit(Job{Run: func(context.Context) { <-gate }}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain: got %v, want context.Canceled", err)
+	}
+}
+
+// TestLatencyHistograms: completed jobs land in the wait and run histograms.
+func TestLatencyHistograms(t *testing.T) {
+	p := New(1, 4)
+	if err := p.Submit(Job{Run: func(context.Context) { time.Sleep(2 * time.Millisecond) }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sum := func(h []uint64) (n uint64) {
+		for _, v := range h {
+			n += v
+		}
+		return
+	}
+	if got := sum(p.WaitHistogram()); got != 1 {
+		t.Errorf("wait histogram total = %d, want 1", got)
+	}
+	if got := sum(p.RunHistogram()); got != 1 {
+		t.Errorf("run histogram total = %d, want 1", got)
+	}
+}

@@ -1,0 +1,171 @@
+// Package rescache is the content-addressed result cache of the millid
+// simulation service. Every simulation in this repository is deterministic —
+// the harness verifies each run against a golden reference and the BENCH
+// determinism gate pins its cycle counts bit-for-bit — so a result is fully
+// determined by its request: experiment name, architecture parameters,
+// input scale, and dataset seed. That makes results perfectly cacheable:
+// the cache keys entries by the SHA-256 of the canonical JSON encoding of
+// the request and stores the rendered result bytes in a bounded LRU.
+//
+// Concurrent identical requests are deduplicated singleflight-style: the
+// first Do for a key runs the computation, later callers for the same key
+// block and share the one result, so an in-flight simulation never runs
+// twice no matter how many clients ask for it.
+package rescache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Key returns the content address of a request: the SHA-256 hex digest of
+// its canonical JSON encoding. Canonical means the request must marshal
+// deterministically — encoding/json emits struct fields in declaration
+// order, so any fixed struct (not a map) qualifies.
+func Key(req any) (string, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return "", fmt.Errorf("rescache: marshal request: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+type entry struct {
+	key   string
+	value []byte
+}
+
+type call struct {
+	done  chan struct{}
+	value []byte
+	err   error
+}
+
+// Cache is a bounded LRU of computed results with singleflight deduplication
+// of in-flight computations. The zero value is not usable; call New.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*call
+
+	hits, misses, evictions uint64
+}
+
+// New returns a cache bounded to max entries (max <= 0 defaults to 128).
+func New(max int) *Cache {
+	if max <= 0 {
+		max = 128
+	}
+	return &Cache{
+		max:      max,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Get returns the cached bytes for key, marking the entry most recently
+// used. The returned slice is shared — callers must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts under c.mu.
+func (c *Cache) put(key string, value []byte) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).value = value
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, value: value})
+	for c.ll.Len() > c.max {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.items, old.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Put stores value under key, evicting the least recently used entries
+// beyond the bound.
+func (c *Cache) Put(key string, value []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, value)
+}
+
+// Do returns the cached bytes for key, or computes them with fn. Identical
+// concurrent Do calls run fn exactly once — the rest block on the leader and
+// share its outcome (dedup counts as a hit). Errors are not cached: a failed
+// computation releases the key so a later Do may retry.
+func (c *Cache) Do(key string, fn func() ([]byte, error)) (value []byte, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		v := el.Value.(*entry).value
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		// Dedup against the in-flight leader: the simulation runs once.
+		c.hits++
+		c.mu.Unlock()
+		<-cl.done
+		return cl.value, true, cl.err
+	}
+	c.misses++
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	cl.value, cl.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if cl.err == nil {
+		c.put(key, cl.value)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.value, false, cl.err
+}
+
+// Stats is a point-in-time view of the cache's counters.
+type Stats struct {
+	Entries   int
+	Hits      uint64 // includes singleflight dedup joins
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Entries: c.ll.Len(), Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}

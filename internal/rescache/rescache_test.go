@@ -1,0 +1,164 @@
+package rescache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestKeyDeterministic: same request value, same digest; different values,
+// different digests.
+func TestKeyDeterministic(t *testing.T) {
+	type req struct {
+		Experiment string  `json:"experiment"`
+		Scale      float64 `json:"scale"`
+		Seed       uint64  `json:"seed"`
+	}
+	a1, err := Key(req{"fig3", 1, 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Key(req{"fig3", 1, 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatalf("identical requests hashed differently: %s vs %s", a1, a2)
+	}
+	if len(a1) != 64 {
+		t.Fatalf("key %q is not a SHA-256 hex digest", a1)
+	}
+	b, err := Key(req{"fig3", 2, 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == b {
+		t.Fatal("different requests collided")
+	}
+}
+
+// TestLRUEviction: the cache holds at most max entries and evicts least
+// recently used first.
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a (recently used) was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries and 1 eviction", st)
+	}
+}
+
+// TestDoSingleflight: N concurrent Do calls for one key run fn exactly once
+// and all see the same bytes.
+func TestDoSingleflight(t *testing.T) {
+	c := New(8)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const n = 16
+	results := make([][]byte, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Do("k", func() ([]byte, error) {
+				calls.Add(1)
+				<-gate // hold the leader so the others pile up in-flight
+				return []byte("result"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}()
+	}
+	// Let the leader start and the followers enqueue; the gate guarantees
+	// nobody can finish before all Do calls are issued.
+	for c.Stats().Misses == 0 {
+	}
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if string(v) != "result" {
+			t.Fatalf("caller %d saw %q", i, v)
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (leader only)", st.Misses)
+	}
+}
+
+// TestDoErrorNotCached: a failing computation is retried by the next Do.
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(8)
+	boom := errors.New("boom")
+	_, _, err := c.Do("k", func() ([]byte, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	v, cached, err := c.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || cached || string(v) != "ok" {
+		t.Fatalf("retry: v=%q cached=%v err=%v", v, cached, err)
+	}
+	if _, cached, _ := c.Do("k", nil); !cached {
+		t.Fatal("successful result was not cached")
+	}
+}
+
+// TestDoCachedHit: a completed Do satisfies later calls from the cache
+// without invoking fn.
+func TestDoCachedHit(t *testing.T) {
+	c := New(8)
+	if _, _, err := c.Do("k", func() ([]byte, error) { return []byte("v"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	v, cached, err := c.Do("k", func() ([]byte, error) {
+		t.Fatal("fn ran despite cached entry")
+		return nil, nil
+	})
+	if err != nil || !cached || string(v) != "v" {
+		t.Fatalf("v=%q cached=%v err=%v", v, cached, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %g, want 0.5", got)
+	}
+}
+
+// TestManyKeys exercises eviction and lookups across a larger key space.
+func TestManyKeys(t *testing.T) {
+	c := New(16)
+	for i := 0; i < 64; i++ {
+		k, err := Key(struct{ I int }{i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Put(k, []byte(fmt.Sprint(i)))
+	}
+	if st := c.Stats(); st.Entries != 16 || st.Evictions != 48 {
+		t.Fatalf("stats = %+v, want 16 entries / 48 evictions", st)
+	}
+}

@@ -43,6 +43,7 @@
 package millipede
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/arch"
@@ -213,8 +214,17 @@ func Experiments() []ExperimentInfo { return harness.Experiments() }
 // Options: WithScale, WithHostBandwidth (residency), WithTimeline
 // (timeline).
 func RunExperiment(name string, cfg Config, opts ...RunOption) (ExperimentResult, error) {
+	return RunExperimentContext(context.Background(), name, cfg, opts...)
+}
+
+// RunExperimentContext is RunExperiment with explicit cancellation: when ctx
+// is cancelled (or its deadline passes) the experiment's sweep stops claiming
+// further simulations and returns ctx.Err() instead of running to
+// completion. In-flight cycle loops still finish — cancellation is checked
+// between runs, never inside the deterministic hot path.
+func RunExperimentContext(ctx context.Context, name string, cfg Config, opts ...RunOption) (ExperimentResult, error) {
 	rc := applyOptions(opts)
-	return harness.RunExperiment(name, cfg, harness.ExpOptions{
+	return harness.RunExperiment(ctx, name, cfg, harness.ExpOptions{
 		Scale:            rc.scale,
 		HostBandwidthGBs: rc.hostBW,
 		TimelineEvery:    rc.timelineEvery,
@@ -318,7 +328,7 @@ func BarrierAblation(cfg Config, scale float64) (*Figure, error) {
 // scale here is applied as given; the registry's "characteristics"
 // experiment divides its scale by 4 first (milliexp's historical default).
 func CharacteristicsStudy(cfg Config, scale float64) (*Figure, error) {
-	return harness.CharacteristicsStudy(cfg, scale)
+	return harness.CharacteristicsStudy(context.Background(), cfg, scale)
 }
 
 // WarpWidthSweep examines the VWS design space: performance at warp widths

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# serve_demo.sh — end-to-end smoke of the millid simulation service.
+#
+# Builds millid, starts it on a scratch port, lists the registry, submits a
+# count-kernel job (the barrier ablation) twice — the second POST must be a
+# cache hit that triggers no new simulation — fetches the result, checks the
+# server metrics, and drains the daemon with SIGTERM. Exits nonzero on any
+# deviation. Used by `make serve-demo` and the CI smoke step.
+set -euo pipefail
+
+PORT="${MILLID_PORT:-18177}"
+BASE="http://localhost:$PORT"
+BIN="$(mktemp -d)/millid"
+LOG="$(mktemp)"
+
+cleanup() {
+  if [[ -n "${MILLID_PID:-}" ]] && kill -0 "$MILLID_PID" 2>/dev/null; then
+    kill -9 "$MILLID_PID" 2>/dev/null || true
+  fi
+  rm -rf "$(dirname "$BIN")" "$LOG"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-demo: FAIL: $*" >&2; echo "--- millid log ---" >&2; cat "$LOG" >&2; exit 1; }
+
+go build -o "$BIN" ./cmd/millid
+"$BIN" -addr ":$PORT" >"$LOG" 2>&1 &
+MILLID_PID=$!
+
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  kill -0 "$MILLID_PID" 2>/dev/null || fail "millid exited during startup"
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null || fail "millid never became healthy on $BASE"
+
+echo "serve-demo: registry:"
+LISTING="$(curl -fsS "$BASE/v1/experiments")"
+echo "$LISTING" | grep -q '"ablation"' || fail "registry listing is missing the ablation experiment"
+N_EXP="$(echo "$LISTING" | grep -c '"name"')"
+echo "serve-demo: $N_EXP experiments registered"
+
+REQ='{"experiment":"ablation","scale":0.25}'
+SUBMIT="$(curl -fsS -d "$REQ" "$BASE/v1/jobs")"
+ID="$(echo "$SUBMIT" | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p')"
+[[ -n "$ID" ]] || fail "POST /v1/jobs returned no id: $SUBMIT"
+echo "serve-demo: submitted job $ID"
+
+STATUS=""
+for _ in $(seq 1 600); do
+  STATUS="$(curl -fsS "$BASE/v1/jobs/$ID" | sed -n 's/.*"status": "\([a-z]*\)".*/\1/p')"
+  [[ "$STATUS" == "done" || "$STATUS" == "failed" ]] && break
+  sleep 0.2
+done
+[[ "$STATUS" == "done" ]] || fail "job $ID ended in status '$STATUS'"
+
+RESULT1="$(curl -fsS "$BASE/v1/jobs/$ID/result")"
+echo "$RESULT1" | grep -q 'Barrier ablation' || fail "result body lacks the ablation figure"
+
+# The identical request again: must dedup onto the same id, hit the cache,
+# and run no second simulation.
+curl -fsS -d "$REQ" "$BASE/v1/jobs" | grep -q "\"id\": \"$ID\"" || fail "repeat POST got a different job id"
+RESULT2="$(curl -fsS "$BASE/v1/jobs/$ID/result")"
+[[ "$RESULT1" == "$RESULT2" ]] || fail "result bodies differ between fetches"
+
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | tr -d ' \n' | grep -q '"name":"server.sims_run","kind":"counter","value":1' \
+  || fail "expected exactly one simulation; metrics: $METRICS"
+echo "$METRICS" | tr -d ' \n' | grep -Eq '"name":"server.cache_hits","kind":"counter","value":[1-9]' \
+  || fail "repeat POST did not count as a cache hit; metrics: $METRICS"
+echo "serve-demo: repeat POST was a cache hit (1 simulation, byte-identical bodies)"
+
+kill -TERM "$MILLID_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$MILLID_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$MILLID_PID" 2>/dev/null && fail "millid did not exit after SIGTERM"
+MILLID_PID=""
+grep -q "drained cleanly" "$LOG" || fail "millid log lacks the graceful-drain line"
+
+echo "serve-demo: PASS"
