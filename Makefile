@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check bench benchjson bench-diff trace-demo serve-demo
+.PHONY: all build test check bench benchjson bench-diff trace-demo serve-demo cluster-demo
 
 all: build
 
@@ -14,10 +14,13 @@ test:
 
 # check is the pre-merge gate: static analysis plus the race detector over
 # the concurrent packages (the figure harness fans runs out over a worker
-# pool; sim and prefetch carry the determinism-critical hot paths).
+# pool; sim and prefetch carry the determinism-critical hot paths; the
+# serving layer — jobs, rescache, server, router, sla — is concurrent by
+# construction).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/harness ./internal/sim ./internal/prefetch
+	$(GO) test -race ./internal/harness ./internal/sim ./internal/prefetch \
+		./internal/jobs ./internal/rescache ./internal/server ./internal/router ./internal/sla
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -40,6 +43,14 @@ bench-diff:
 # with SIGTERM. CI runs this alongside bench-diff.
 serve-demo:
 	bash scripts/serve_demo.sh
+
+# cluster-demo smoke-tests the cluster topology: a shared result store, two
+# worker nodes mounting it, and the consistent-hash router in front. It
+# verifies the cluster-wide caching guarantee (an identical request POSTed
+# to both workers simulates exactly once — the second node hits the store
+# tier) and runs a short milliload SLA report through the router.
+cluster-demo:
+	bash scripts/cluster_demo.sh
 
 # trace-demo writes a Chrome trace-event capture of a bandwidth-contested
 # count run; open trace.json in ui.perfetto.dev or chrome://tracing.

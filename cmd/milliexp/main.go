@@ -41,6 +41,7 @@ import (
 
 	millipede "repro"
 	"repro/internal/benchreport"
+	_ "repro/internal/sla" // registers the serving-layer "sla" experiment
 )
 
 // printRegistry writes one line per registered experiment.

@@ -157,6 +157,22 @@ var experiments = []expEntry{
 		}},
 }
 
+// Register appends an experiment to the registry. It exists so packages
+// layered above the harness (the serving-layer SLA study, future policy
+// sweeps) can appear in Experiments()/RunExperiment alongside the
+// built-ins. Call it from an init() — the registry is read without locking
+// once the program is serving — and pick a name that is not taken: a
+// duplicate panics at startup, when it is a programming error rather than
+// a runtime condition.
+func Register(info ExperimentInfo, run func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error)) {
+	for _, e := range experiments {
+		if e.info.Name == info.Name {
+			panic(fmt.Sprintf("harness: duplicate experiment %q", info.Name))
+		}
+	}
+	experiments = append(experiments, expEntry{info: info, run: run})
+}
+
 // Experiments lists every registered experiment in presentation order.
 func Experiments() []ExperimentInfo {
 	infos := make([]ExperimentInfo, len(experiments))

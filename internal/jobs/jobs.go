@@ -86,6 +86,12 @@ type Pool struct {
 	ch      chan queued
 	workers int
 
+	// baseCtx parents every per-job context; Drain cancels it when its own
+	// deadline expires, so a bounded drain can actually interrupt jobs
+	// instead of abandoning them.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
@@ -93,6 +99,7 @@ type Pool struct {
 	submitted atomic.Uint64
 	rejected  atomic.Uint64
 	completed atomic.Uint64
+	panicked  atomic.Uint64
 	running   atomic.Int64
 
 	waitHist latencyHist // enqueue -> worker pickup
@@ -112,6 +119,7 @@ func New(workers, capacity int) *Pool {
 		capacity = 4 * workers
 	}
 	p := &Pool{ch: make(chan queued, capacity), workers: workers}
+	p.baseCtx, p.baseCancel = context.WithCancel(context.Background())
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -123,19 +131,35 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	for q := range p.ch {
 		p.waitHist.observe(time.Since(q.enqueued))
-		ctx := context.Background()
+		// Per-job contexts derive from the pool context so a timed-out
+		// Drain cancels every job still executing (and pre-expires the
+		// contexts of jobs still queued).
+		ctx := p.baseCtx
 		cancel := context.CancelFunc(func() {})
 		if q.job.Timeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, q.job.Timeout)
 		}
 		p.running.Add(1)
 		t0 := time.Now()
-		q.job.Run(ctx)
+		p.runJob(ctx, q.job)
 		cancel()
 		p.runHist.observe(time.Since(t0))
 		p.running.Add(-1)
 		p.completed.Add(1)
 	}
+}
+
+// runJob executes one job, containing any panic so the worker survives and
+// the pool's gauges stay balanced. A panicking job still counts as
+// completed (with the panic recorded in Panicked) — the pool must never
+// silently shrink because one simulation blew up.
+func (p *Pool) runJob(ctx context.Context, j Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicked.Add(1)
+		}
+	}()
+	j.Run(ctx)
 }
 
 // Submit enqueues j. It never blocks: a full queue returns ErrQueueFull and
@@ -168,9 +192,11 @@ func (p *Pool) Close() {
 	}
 }
 
-// Drain closes the pool and waits until every accepted job has finished, or
-// until ctx is done (in which case jobs keep running in the background and
-// ctx.Err() is returned).
+// Drain closes the pool and waits until every accepted job has finished.
+// If ctx ends first, Drain cancels the pool-level context — expiring the
+// ctx of every running and still-queued job, so context-observing jobs wind
+// down promptly — and returns ctx.Err() without waiting for them (a job
+// that ignores its context keeps running in the background).
 func (p *Pool) Drain(ctx context.Context) error {
 	p.Close()
 	done := make(chan struct{})
@@ -182,6 +208,7 @@ func (p *Pool) Drain(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
+		p.baseCancel()
 		return ctx.Err()
 	}
 }
@@ -206,8 +233,13 @@ func (p *Pool) Submitted() uint64 { return p.submitted.Load() }
 // shutdown.
 func (p *Pool) Rejected() uint64 { return p.rejected.Load() }
 
-// Completed returns the number of jobs whose Run has returned.
+// Completed returns the number of jobs whose Run has returned (including
+// panicked ones).
 func (p *Pool) Completed() uint64 { return p.completed.Load() }
+
+// Panicked returns the number of jobs whose Run panicked; each was
+// recovered, counted as completed, and left its worker alive.
+func (p *Pool) Panicked() uint64 { return p.panicked.Load() }
 
 // WaitHistogram returns the enqueue-to-pickup latency histogram (bucket i
 // counts waits in [2^(i-1), 2^i) ms; bucket 0 is <1 ms).

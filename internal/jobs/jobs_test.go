@@ -160,6 +160,73 @@ func TestDrainDeadline(t *testing.T) {
 	}
 }
 
+// TestPanicSurvival: a panicking job is recovered, counted, and leaves its
+// worker alive to run everything behind it.
+func TestPanicSurvival(t *testing.T) {
+	p := New(1, 16) // one worker: if the panic killed it, nothing else runs
+	if err := p.Submit(Job{ID: "bomb", Run: func(context.Context) { panic("simulated blowup") }}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var ran sync.WaitGroup
+	ran.Add(n)
+	for i := 0; i < n; i++ {
+		if err := p.Submit(Job{Run: func(context.Context) { ran.Done() }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatalf("drain after panic: %v (worker died?)", err)
+	}
+	ran.Wait()
+	if got := p.Panicked(); got != 1 {
+		t.Errorf("Panicked() = %d, want 1", got)
+	}
+	if got := p.Completed(); got != n+1 {
+		t.Errorf("Completed() = %d, want %d (panicked job still counts)", got, n+1)
+	}
+	if got := p.Running(); got != 0 {
+		t.Errorf("Running() = %d after drain, want 0", got)
+	}
+}
+
+// TestDrainTimeoutCancelsJobs: a Drain whose context expires cancels the
+// pool-level context, so a context-observing job is interrupted and actually
+// finishes (instead of running on in the background forever).
+func TestDrainTimeoutCancelsJobs(t *testing.T) {
+	p := New(1, 2)
+	jobErr := make(chan error, 1)
+	if err := p.Submit(Job{Run: func(ctx context.Context) {
+		<-ctx.Done() // a well-behaved job: winds down when told
+		jobErr <- ctx.Err()
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain: got %v, want DeadlineExceeded", err)
+	}
+	select {
+	case err := <-jobErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("job ctx error = %v, want Canceled (pool-level cancellation)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("job was never interrupted by the drain timeout")
+	}
+	// The interrupted job still completes through the normal path.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Completed() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Completed() = %d, want 1", p.Completed())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestLatencyHistograms: completed jobs land in the wait and run histograms.
 func TestLatencyHistograms(t *testing.T) {
 	p := New(1, 4)

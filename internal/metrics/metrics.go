@@ -19,6 +19,7 @@ package metrics
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -183,6 +184,44 @@ func Diff(after, before Snapshot) Snapshot {
 		out.Samples = append(out.Samples, d)
 	}
 	return out
+}
+
+// Pow2BucketPercentile estimates the q-quantile (0 < q <= 1) of a
+// power-of-two-millisecond latency histogram laid out like the jobs pool
+// and memory controller histograms: bucket 0 counts observations under
+// 1 ms, bucket i counts [2^(i-1), 2^i) ms, and the last bucket is the
+// overflow. The estimate is the containing bucket's upper edge in
+// milliseconds — a deliberate over-estimate, which is the conservative
+// side for an SLA report — so any nonempty histogram yields >= 1. An empty
+// histogram returns 0.
+func Pow2BucketPercentile(buckets []uint64, q float64) float64 {
+	var total uint64
+	for _, b := range buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the quantile observation (nearest-rank,
+	// rounded up — the conservative side, like the bucket upper edge).
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, b := range buckets {
+		seen += b
+		if seen >= rank {
+			return float64(uint64(1) << i)
+		}
+	}
+	return float64(uint64(1) << (len(buckets) - 1))
 }
 
 func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -114,6 +114,32 @@ func TestDiff(t *testing.T) {
 	}
 }
 
+// TestPow2BucketPercentile: upper-edge estimates over the power-of-two-ms
+// layout, nearest-rank rounded up.
+func TestPow2BucketPercentile(t *testing.T) {
+	cases := []struct {
+		buckets []uint64
+		q       float64
+		want    float64
+	}{
+		{nil, 0.99, 0},                      // empty histogram
+		{[]uint64{0, 0, 0}, 0.5, 0},         // all-zero histogram
+		{[]uint64{5}, 0.5, 1},               // sub-ms observations report the 1 ms edge
+		{[]uint64{0, 7}, 0.5, 2},            // bucket 1 = [1,2) ms -> upper edge 2
+		{[]uint64{1, 0, 0, 1}, 0.5, 1},      // rank 1 of 2 -> first bucket
+		{[]uint64{1, 0, 0, 1}, 0.99, 8},     // rank 2 of 2 -> bucket 3 -> 2^3
+		{[]uint64{10, 10, 10, 10}, 0.25, 1}, // rank 10 -> bucket 0
+		{[]uint64{10, 10, 10, 10}, 0.26, 2}, // rank 11 -> bucket 1
+		{[]uint64{0, 0, 0, 0, 3}, 1.0, 16},  // everything in the overflow
+		{[]uint64{2, 0}, 1.0, 1},            // trailing empty buckets ignored
+	}
+	for _, c := range cases {
+		if got := Pow2BucketPercentile(c.buckets, c.q); got != c.want {
+			t.Errorf("Pow2BucketPercentile(%v, %g) = %g, want %g", c.buckets, c.q, got, c.want)
+		}
+	}
+}
+
 func TestRenderStableAndJSONValid(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("dram.requests", func() uint64 { return 42 })

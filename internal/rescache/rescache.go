@@ -10,16 +10,24 @@
 // Concurrent identical requests are deduplicated singleflight-style: the
 // first Do for a key runs the computation, later callers for the same key
 // block and share the one result, so an in-flight simulation never runs
-// twice no matter how many clients ask for it.
+// twice no matter how many clients ask for it. DoContext lets a joining
+// caller detach when its context ends (the leader keeps computing).
+//
+// The cache is optionally two-tier: behind the in-process LRU sits a
+// SharedTier — the cluster-wide memcache-style result store (see Store and
+// HTTPTier) — so a result computed on any millid node is a hit everywhere
+// and a node restart does not cold-start the cache.
 package rescache
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Key returns the content address of a request: the SHA-256 hex digest of
@@ -35,6 +43,16 @@ func Key(req any) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// SharedTier is the cluster-wide result store behind the local LRU. Get
+// returns the stored bytes, or on a miss may grant a fill lease: a token
+// the caller presents with Put so the store can tell the designated filler
+// from stragglers (memcache-style leases). An empty lease on a miss means
+// another node already holds the fill lease.
+type SharedTier interface {
+	Get(ctx context.Context, key string) (value []byte, lease string, ok bool, err error)
+	Put(ctx context.Context, key string, value []byte, lease string) error
+}
+
 type entry struct {
 	key   string
 	value []byte
@@ -42,20 +60,23 @@ type entry struct {
 
 type call struct {
 	done  chan struct{}
+	joins uint64 // followers that joined; accounted on the leader's outcome
 	value []byte
 	err   error
 }
 
 // Cache is a bounded LRU of computed results with singleflight deduplication
-// of in-flight computations. The zero value is not usable; call New.
+// of in-flight computations and an optional shared second tier. The zero
+// value is not usable; call New.
 type Cache struct {
 	mu       sync.Mutex
 	max      int
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 	inflight map[string]*call
+	shared   SharedTier
 
-	hits, misses, evictions uint64
+	hits, sharedHits, misses, evictions uint64
 }
 
 // New returns a cache bounded to max entries (max <= 0 defaults to 128).
@@ -71,8 +92,18 @@ func New(max int) *Cache {
 	}
 }
 
-// Get returns the cached bytes for key, marking the entry most recently
-// used. The returned slice is shared — callers must not mutate it.
+// SetShared attaches the cluster-wide second tier. Call before serving; the
+// tier is consulted by cache-missing Do leaders and filled after successful
+// computations.
+func (c *Cache) SetShared(t SharedTier) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shared = t
+}
+
+// Get returns the locally cached bytes for key, marking the entry most
+// recently used. The returned slice is shared — callers must not mutate it.
+// Get never consults the shared tier (that is Do's job, under singleflight).
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -109,11 +140,27 @@ func (c *Cache) Put(key string, value []byte) {
 	c.put(key, value)
 }
 
-// Do returns the cached bytes for key, or computes them with fn. Identical
-// concurrent Do calls run fn exactly once — the rest block on the leader and
-// share its outcome (dedup counts as a hit). Errors are not cached: a failed
-// computation releases the key so a later Do may retry.
+// Do is DoContext with a background context: joiners block until the leader
+// finishes.
 func (c *Cache) Do(key string, fn func() ([]byte, error)) (value []byte, cached bool, err error) {
+	return c.DoContext(context.Background(), key, fn)
+}
+
+// DoContext returns the cached bytes for key, or computes them with fn.
+// Identical concurrent calls run fn exactly once — the rest join the leader
+// and share its outcome. A joining caller whose ctx ends before the leader
+// finishes detaches and returns ctx.Err(); the leader keeps computing, so
+// the result still lands in the cache for everyone else.
+//
+// With a shared tier attached, a cache-missing leader first consults the
+// tier (a hit there counts as cached) and publishes successful computations
+// back to it, so identical requests hit cluster-wide.
+//
+// Stats: joins are accounted when the leader finishes — a join shares a hit
+// only if the leader actually produced a result; a failed leader counts its
+// joins as misses. Errors are not cached: a failed computation releases the
+// key so a later call may retry.
+func (c *Cache) DoContext(ctx context.Context, key string, fn func() ([]byte, error)) (value []byte, cached bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -123,49 +170,143 @@ func (c *Cache) Do(key string, fn func() ([]byte, error)) (value []byte, cached 
 		return v, true, nil
 	}
 	if cl, ok := c.inflight[key]; ok {
-		// Dedup against the in-flight leader: the simulation runs once.
-		c.hits++
+		// Join the in-flight leader: the simulation runs once. The join is
+		// accounted as hit or miss by the leader's completion.
+		cl.joins++
 		c.mu.Unlock()
-		<-cl.done
-		return cl.value, true, cl.err
+		select {
+		case <-cl.done:
+			return cl.value, true, cl.err
+		case <-ctx.Done():
+			// Detach: the leader keeps running and will cache the result.
+			return nil, false, ctx.Err()
+		}
 	}
-	c.misses++
 	cl := &call{done: make(chan struct{})}
 	c.inflight[key] = cl
 	c.mu.Unlock()
+	return c.lead(ctx, key, cl, fn)
+}
+
+// errPanicked is what followers of a panicking leader observe. The panic
+// itself propagates out of the leader's DoContext after cleanup.
+var errPanicked = fmt.Errorf("rescache: computation panicked")
+
+// lead runs the singleflight leader: shared-tier lookup, the computation,
+// publication, and stats settlement. Completion is deferred so a panicking
+// fn still releases the key and unblocks joiners (with errPanicked) before
+// the panic propagates.
+func (c *Cache) lead(ctx context.Context, key string, cl *call, fn func() ([]byte, error)) (value []byte, cached bool, err error) {
+	completed := false
+	sharedHit := false
+	defer func() {
+		if !completed {
+			cl.value, cl.err = nil, errPanicked
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if cl.err == nil {
+			c.put(key, cl.value)
+			c.hits += cl.joins // joins shared the leader's result
+		} else {
+			c.misses += cl.joins // joins shared the leader's failure
+		}
+		// The leader itself: a shared-tier hit, or a miss that computed.
+		if sharedHit {
+			c.sharedHits++
+		} else {
+			c.misses++
+		}
+		c.mu.Unlock()
+		close(cl.done)
+	}()
+
+	var lease string
+	if c.shared != nil {
+		var v []byte
+		var ok bool
+		v, lease, ok, _ = c.shared.Get(ctx, key) // tier errors degrade to a miss
+		if ok {
+			cl.value, cl.err = v, nil
+			completed, sharedHit = true, true
+			return v, true, nil
+		}
+		if lease == "" {
+			// Another node holds the fill lease: give it a bounded chance to
+			// publish before simulating the same thing here. Duplicated work
+			// is only wasted cycles — results are deterministic — so after
+			// the grace window we compute anyway.
+			for i := 0; i < leaseWaitRetries; i++ {
+				select {
+				case <-ctx.Done():
+					cl.err = ctx.Err()
+					completed = true
+					return nil, false, cl.err
+				case <-time.After(leaseWaitStep):
+				}
+				v, lease, ok, _ = c.shared.Get(ctx, key)
+				if ok {
+					cl.value, cl.err = v, nil
+					completed, sharedHit = true, true
+					return v, true, nil
+				}
+				if lease != "" {
+					break
+				}
+			}
+		}
+	}
 
 	cl.value, cl.err = fn()
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if cl.err == nil {
-		c.put(key, cl.value)
+	completed = true
+	if cl.err == nil && c.shared != nil {
+		// Best-effort publish: a store outage must not fail the job.
+		_ = c.shared.Put(ctx, key, cl.value, lease)
 	}
-	c.mu.Unlock()
-	close(cl.done)
 	return cl.value, false, cl.err
 }
 
+// Lease-wait tuning: how long a leader waits on another node's fill lease
+// before duplicating the computation locally.
+const (
+	leaseWaitRetries = 3
+	leaseWaitStep    = 50 * time.Millisecond
+)
+
 // Stats is a point-in-time view of the cache's counters.
 type Stats struct {
-	Entries   int
-	Hits      uint64 // includes singleflight dedup joins
+	Entries int
+	// Hits counts local LRU hits plus singleflight joins whose leader
+	// succeeded.
+	Hits uint64
+	// SharedHits counts results served from the shared tier (cluster-wide
+	// hits that missed the local LRU).
+	SharedHits uint64
+	// Misses counts lookups that found nothing anywhere: computing leaders
+	// (successful or not) and joins whose leader failed.
 	Misses    uint64
 	Evictions uint64
 }
 
-// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+// HitRate returns the fraction of lookups satisfied by either tier, or 0
+// before any lookup.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Misses
+	total := s.Hits + s.SharedHits + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(total)
+	return float64(s.Hits+s.SharedHits) / float64(total)
 }
 
 // Stats returns the current counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Entries: c.ll.Len(), Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+	return Stats{
+		Entries:    c.ll.Len(),
+		Hits:       c.hits,
+		SharedHits: c.sharedHits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+	}
 }

@@ -1,11 +1,14 @@
 package rescache
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestKeyDeterministic: same request value, same digest; different values,
@@ -90,8 +93,11 @@ func TestDoSingleflight(t *testing.T) {
 		}()
 	}
 	// Let the leader start and the followers enqueue; the gate guarantees
-	// nobody can finish before all Do calls are issued.
-	for c.Stats().Misses == 0 {
+	// nobody can finish before all Do calls are issued. (Stats settle at
+	// leader completion, so the observable for "the leader is leading" is
+	// fn having been entered.)
+	for calls.Load() == 0 {
+		runtime.Gosched()
 	}
 	close(gate)
 	wg.Wait()
@@ -145,6 +151,211 @@ func TestDoCachedHit(t *testing.T) {
 	}
 	if got := st.HitRate(); got != 0.5 {
 		t.Fatalf("hit rate = %g, want 0.5", got)
+	}
+}
+
+// joinCount reads the in-flight join counter for key (white-box: the tests
+// need to know a follower has actually parked before acting on it).
+func joinCount(c *Cache, key string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.inflight[key]; ok {
+		return cl.joins
+	}
+	return 0
+}
+
+// TestDoContextCancelledJoin: a joiner whose context ends detaches with
+// ctx.Err() while the leader keeps computing and still caches the result.
+func TestDoContextCancelledJoin(t *testing.T) {
+	c := New(8)
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, _, err := c.Do("k", func() ([]byte, error) {
+			calls.Add(1)
+			<-gate
+			return []byte("v"), nil
+		})
+		if err != nil || string(v) != "v" {
+			t.Errorf("leader: v=%q err=%v", v, err)
+		}
+	}()
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	joinErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoContext(ctx, "k", func() ([]byte, error) {
+			t.Error("joiner ran fn despite in-flight leader")
+			return nil, nil
+		})
+		joinErr <- err
+	}()
+	for joinCount(c, "k") == 0 { // the joiner is parked in its select
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-joinErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled join: got %v, want context.Canceled", err)
+	}
+
+	close(gate)
+	<-leaderDone
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	if _, cached, _ := c.Do("k", nil); !cached {
+		t.Fatal("leader's result did not land in the cache")
+	}
+	// The detached join is settled on the leader's success: 1 join-hit plus
+	// the final Get hit; the leader itself is the one miss.
+	if st := c.Stats(); st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+}
+
+// TestDoFailedLeaderJoinStats: joins of a failing leader share its error and
+// are accounted as misses, not hits.
+func TestDoFailedLeaderJoinStats(t *testing.T) {
+	c := New(8)
+	gate := make(chan struct{})
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do("k", func() ([]byte, error) {
+			calls.Add(1)
+			<-gate
+			return nil, boom
+		})
+		leaderErr <- err
+	}()
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	joinRes := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do("k", nil) // fn is never consulted by a joiner
+		joinRes <- err
+	}()
+	for joinCount(c, "k") == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	if err := <-leaderErr; !errors.Is(err, boom) {
+		t.Fatalf("leader: got %v, want boom", err)
+	}
+	if err := <-joinRes; !errors.Is(err, boom) {
+		t.Fatalf("join: got %v, want boom", err)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 0 hits / 2 misses (leader + failed join)", st)
+	}
+}
+
+// fakeTier is a scriptable SharedTier for two-tier unit tests.
+type fakeTier struct {
+	mu     sync.Mutex
+	values map[string][]byte
+	lease  string // granted on every miss
+	gets   int
+	puts   map[string]string // key -> lease the Put presented
+}
+
+func newFakeTier(lease string) *fakeTier {
+	return &fakeTier{values: map[string][]byte{}, lease: lease, puts: map[string]string{}}
+}
+
+func (f *fakeTier) Get(ctx context.Context, key string) ([]byte, string, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gets++
+	if v, ok := f.values[key]; ok {
+		return v, "", true, nil
+	}
+	return nil, f.lease, false, nil
+}
+
+func (f *fakeTier) Put(ctx context.Context, key string, value []byte, lease string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.values[key] = value
+	f.puts[key] = lease
+	return nil
+}
+
+// TestTwoTierSharedHit: a local miss that the shared tier satisfies counts
+// as a SharedHit, caches locally, and never invokes fn.
+func TestTwoTierSharedHit(t *testing.T) {
+	tier := newFakeTier("L")
+	tier.values["k"] = []byte("remote")
+	c := New(8)
+	c.SetShared(tier)
+	v, cached, err := c.Do("k", func() ([]byte, error) {
+		t.Fatal("fn ran despite shared-tier hit")
+		return nil, nil
+	})
+	if err != nil || !cached || string(v) != "remote" {
+		t.Fatalf("v=%q cached=%v err=%v", v, cached, err)
+	}
+	if st := c.Stats(); st.SharedHits != 1 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want exactly 1 shared hit", st)
+	}
+	// The value is now in the local LRU: the next Do is a plain local hit.
+	if _, cached, _ := c.Do("k", nil); !cached {
+		t.Fatal("shared-tier result was not cached locally")
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 local hit after tier fill", st)
+	}
+}
+
+// TestTwoTierMissComputesAndPublishes: a cluster-wide miss computes locally
+// and publishes the result back under the granted lease.
+func TestTwoTierMissComputesAndPublishes(t *testing.T) {
+	tier := newFakeTier("L1")
+	c := New(8)
+	c.SetShared(tier)
+	v, cached, err := c.Do("k", func() ([]byte, error) { return []byte("computed"), nil })
+	if err != nil || cached || string(v) != "computed" {
+		t.Fatalf("v=%q cached=%v err=%v", v, cached, err)
+	}
+	tier.mu.Lock()
+	stored, lease := string(tier.values["k"]), tier.puts["k"]
+	tier.mu.Unlock()
+	if stored != "computed" || lease != "L1" {
+		t.Fatalf("tier got %q under lease %q, want computed under L1", stored, lease)
+	}
+	if st := c.Stats(); st.Misses != 1 || st.SharedHits != 0 {
+		t.Fatalf("stats = %+v, want 1 miss", st)
+	}
+}
+
+// TestTwoTierLeaseWait: with the fill lease held elsewhere, the leader backs
+// off and picks up the value the other node publishes instead of recomputing.
+func TestTwoTierLeaseWait(t *testing.T) {
+	tier := newFakeTier("") // empty lease = fill in flight elsewhere
+	c := New(8)
+	c.SetShared(tier)
+	go func() {
+		// "The other node" publishes during the leader's grace window.
+		time.Sleep(leaseWaitStep / 2)
+		tier.Put(context.Background(), "k", []byte("theirs"), "")
+	}()
+	v, cached, err := c.Do("k", func() ([]byte, error) {
+		t.Error("fn ran: the leader should have waited out the lease")
+		return nil, nil
+	})
+	if err != nil || !cached || string(v) != "theirs" {
+		t.Fatalf("v=%q cached=%v err=%v", v, cached, err)
+	}
+	if st := c.Stats(); st.SharedHits != 1 {
+		t.Fatalf("stats = %+v, want 1 shared hit", st)
 	}
 }
 

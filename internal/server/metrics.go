@@ -14,8 +14,10 @@ func (s *Server) registerMetrics() {
 	r.Counter("server.jobs_rejected", s.pool.Rejected)
 	r.Counter("server.jobs_done", s.done.Load)
 	r.Counter("server.jobs_failed", s.failed.Load)
+	r.Counter("server.jobs_panicked", s.pool.Panicked)
 	r.Counter("server.sims_run", s.sims.Load)
 	r.Counter("server.cache_hits", func() uint64 { return s.cache.Stats().Hits })
+	r.Counter("server.cache_shared_hits", func() uint64 { return s.cache.Stats().SharedHits })
 	r.Counter("server.cache_misses", func() uint64 { return s.cache.Stats().Misses })
 	r.Counter("server.cache_evictions", func() uint64 { return s.cache.Stats().Evictions })
 	r.Gauge("server.cache_entries", func() float64 { return float64(s.cache.Stats().Entries) })

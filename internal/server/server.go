@@ -20,6 +20,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -80,6 +81,10 @@ type Options struct {
 	// DefaultTimeout bounds jobs that do not set timeout_ms; 0 means no
 	// default bound.
 	DefaultTimeout time.Duration
+	// Shared mounts the cluster-wide result tier behind the local LRU (the
+	// millid store daemon, via rescache.NewHTTPTier, or an in-process
+	// rescache.Store); nil keeps the cache single-tier.
+	Shared rescache.SharedTier
 	// Runner overrides the simulation backend (tests); nil runs the real
 	// experiment registry.
 	Runner Runner
@@ -149,6 +154,9 @@ func New(base arch.Params, o Options) *Server {
 		jobsByID: map[string]*jobRecord{},
 		mux:      http.NewServeMux(),
 	}
+	if o.Shared != nil {
+		s.cache.SetShared(o.Shared)
+	}
 	if s.run == nil {
 		s.run = func(ctx context.Context, req Request) (harness.ExperimentResult, error) {
 			return harness.RunExperiment(ctx, req.Experiment, req.Params, harness.ExpOptions{
@@ -205,7 +213,42 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 // normalize validates the wire request and produces its canonical form.
 func (s *Server) normalize(jr jobRequest) (Request, time.Duration, error) {
-	if !s.expNames[jr.Experiment] {
+	return canonicalize(s.base, s.expNames, s.timeout, jr)
+}
+
+// CanonicalID returns the deterministic job id a millid node would assign to
+// this POST /v1/jobs body over the given base parameters. The cluster router
+// uses it as the consistent-hashing key, so a request lands on the same node
+// that keys its job record and cache entry by it.
+func CanonicalID(base arch.Params, body []byte) (string, error) {
+	canonOnce.Do(func() {
+		canonNames = map[string]bool{}
+		for _, e := range harness.Experiments() {
+			canonNames[e.Name] = true
+		}
+	})
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var jr jobRequest
+	if err := dec.Decode(&jr); err != nil {
+		return "", fmt.Errorf("bad request body: %w", err)
+	}
+	req, _, err := canonicalize(base, canonNames, 0, jr)
+	if err != nil {
+		return "", err
+	}
+	return rescache.Key(req)
+}
+
+var (
+	canonOnce  sync.Once
+	canonNames map[string]bool
+)
+
+// canonicalize validates one wire request against the experiment set and
+// produces its canonical form over the base configuration.
+func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Duration, jr jobRequest) (Request, time.Duration, error) {
+	if !expNames[jr.Experiment] {
 		return Request{}, 0, fmt.Errorf("unknown experiment %q (see GET /v1/experiments)", jr.Experiment)
 	}
 	if jr.Scale < 0 || math.IsInf(jr.Scale, 0) {
@@ -217,7 +260,7 @@ func (s *Server) normalize(jr jobRequest) (Request, time.Duration, error) {
 	if jr.HostBandwidthGBs < 0 {
 		return Request{}, 0, fmt.Errorf("bad host_bandwidth_gbs %g", jr.HostBandwidthGBs)
 	}
-	p := s.base
+	p := base
 	if len(jr.Params) > 0 {
 		if err := json.Unmarshal(jr.Params, &p); err != nil {
 			return Request{}, 0, fmt.Errorf("bad params: %v", err)
@@ -253,7 +296,7 @@ func (s *Server) normalize(jr jobRequest) (Request, time.Duration, error) {
 	if req.TimelineEvery == 0 {
 		req.TimelineEvery = harness.DefaultTimelineEvery
 	}
-	timeout := s.timeout
+	timeout := defTimeout
 	if jr.TimeoutMS > 0 {
 		timeout = time.Duration(jr.TimeoutMS) * time.Millisecond
 	}
@@ -387,7 +430,17 @@ func (s *Server) execute(ctx context.Context, id string) {
 	req := rec.Req
 	s.mu.Unlock()
 
-	body, cached, err := s.cache.Do(id, func() ([]byte, error) {
+	// DoContext: if this job's ctx ends while an identical computation is in
+	// flight (a resubmitted id joining its predecessor), the join detaches
+	// instead of blocking past its deadline; the leader keeps simulating.
+	// A panicking simulation is converted to a job failure here so the
+	// record reaches a terminal state — the pool's recover is the backstop.
+	body, cached, err := s.cache.DoContext(ctx, id, func() (out []byte, rerr error) {
+		defer func() {
+			if r := recover(); r != nil {
+				out, rerr = nil, fmt.Errorf("simulation panicked: %v", r)
+			}
+		}()
 		s.sims.Add(1)
 		res, err := s.run(ctx, req)
 		if err != nil {

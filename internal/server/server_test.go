@@ -15,11 +15,13 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/harness"
+	"repro/internal/rescache"
 	"repro/internal/server"
 )
 
@@ -457,5 +459,83 @@ func TestDrainTimeout(t *testing.T) {
 	cancel()
 	if err := s.Drain(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Drain: %v, want context.Canceled", err)
+	}
+}
+
+// TestSharedTierClusterHit: two servers ("nodes") mounting one in-process
+// store simulate an identical request exactly once — the second node serves
+// it from the shared tier (sims_run 0, cache_shared_hits 1) with a
+// byte-identical result body.
+func TestSharedTierClusterHit(t *testing.T) {
+	store := rescache.NewStore(16, time.Minute)
+	var sims atomic.Int64
+	runner := func(ctx context.Context, req server.Request) (harness.ExperimentResult, error) {
+		sims.Add(1)
+		return harness.ExperimentResult{Text: fmt.Sprintf("computed scale=%g", req.Scale)}, nil
+	}
+	_, tsA := newTestServer(t, server.Options{Workers: 1, Shared: store, Runner: runner})
+	_, tsB := newTestServer(t, server.Options{Workers: 1, Shared: store, Runner: runner})
+
+	req := map[string]any{"experiment": "ablation", "scale": 0.04}
+	code, sb := postJob(t, tsA, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST to node A: HTTP %d", code)
+	}
+	if st := waitStatus(t, tsA, sb.ID); st.Status != "done" {
+		t.Fatalf("node A job: %+v", st)
+	}
+	_, bodyA := doJSON(t, "GET", tsA.URL+"/v1/jobs/"+sb.ID+"/result", nil)
+
+	code, sb2 := postJob(t, tsB, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST to node B: HTTP %d", code)
+	}
+	if sb2.ID != sb.ID {
+		t.Fatalf("nodes disagree on the job id: %s vs %s", sb.ID, sb2.ID)
+	}
+	if st := waitStatus(t, tsB, sb2.ID); st.Status != "done" {
+		t.Fatalf("node B job: %+v", st)
+	}
+	_, bodyB := doJSON(t, "GET", tsB.URL+"/v1/jobs/"+sb2.ID+"/result", nil)
+
+	if got := sims.Load(); got != 1 {
+		t.Fatalf("cluster simulated %d times, want exactly once", got)
+	}
+	if v := metricValue(t, tsB, "server.sims_run"); v != 0 {
+		t.Errorf("node B server.sims_run = %g, want 0", v)
+	}
+	if v := metricValue(t, tsB, "server.cache_shared_hits"); v != 1 {
+		t.Errorf("node B server.cache_shared_hits = %g, want 1", v)
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Error("result bodies differ across nodes for one job id")
+	}
+}
+
+// TestPanickingSimulationFailsJob: a panic inside the simulation becomes a
+// failed job record, and the server (its worker recovered) keeps serving.
+func TestPanickingSimulationFailsJob(t *testing.T) {
+	boom := func(ctx context.Context, req server.Request) (harness.ExperimentResult, error) {
+		if req.Experiment == "fig3" {
+			panic("simulated blowup")
+		}
+		return harness.ExperimentResult{Text: "ok"}, nil
+	}
+	_, ts := newTestServer(t, server.Options{Workers: 1, Runner: boom})
+	code, sb := postJob(t, ts, map[string]any{"experiment": "fig3"})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: HTTP %d", code)
+	}
+	st := waitStatus(t, ts, sb.ID)
+	if st.Status != "failed" || !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("job after panic: %+v, want failed with panic message", st)
+	}
+	// The worker survived: the next job runs normally.
+	code, sb = postJob(t, ts, map[string]any{"experiment": "ablation", "scale": 0.04})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST after panic: HTTP %d", code)
+	}
+	if st := waitStatus(t, ts, sb.ID); st.Status != "done" {
+		t.Fatalf("job after panic: %+v, want done", st)
 	}
 }

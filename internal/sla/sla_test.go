@@ -1,0 +1,55 @@
+package sla
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/harness"
+)
+
+// TestSLAExperimentSmoke: the registered "sla" experiment assembles the
+// in-process cluster and produces one well-formed row per offered-load step,
+// with the cluster-wide invariant intact — each distinct request variant
+// simulated at most once across both nodes and all steps.
+func TestSLAExperimentSmoke(t *testing.T) {
+	// Shrink the study so the smoke test stays fast; the package-level shape
+	// is what milliexp runs.
+	oldC, oldR := concurrencies, requestsPer
+	concurrencies, requestsPer = []int{1, 2}, 6
+	defer func() { concurrencies, requestsPer = oldC, oldR }()
+
+	res, err := harness.RunExperiment(context.Background(), "sla", arch.Default(), harness.ExpOptions{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Figures) != 1 {
+		t.Fatalf("got %d figures, want 1", len(res.Figures))
+	}
+	fig := res.Figures[0]
+	if len(fig.Rows) != len(concurrencies) {
+		t.Fatalf("got %d rows, want %d", len(fig.Rows), len(concurrencies))
+	}
+	var totalSims float64
+	for _, row := range fig.Rows {
+		if row.Values["achieved_rps"] <= 0 {
+			t.Errorf("row %s: achieved_rps = %g, want > 0", row.Bench, row.Values["achieved_rps"])
+		}
+		if row.Values["p50_ms"] <= 0 || row.Values["p99_ms"] < row.Values["p50_ms"] {
+			t.Errorf("row %s: p50=%g p99=%g, want 0 < p50 <= p99", row.Bench, row.Values["p50_ms"], row.Values["p99_ms"])
+		}
+		if hr := row.Values["hit_rate"]; hr < 0 || hr > 1 {
+			t.Errorf("row %s: hit_rate = %g outside [0,1]", row.Bench, hr)
+		}
+		totalSims += row.Values["sims"]
+	}
+	if totalSims < 1 || totalSims > float64(variants) {
+		t.Errorf("total sims = %g, want within [1, %d] (each variant computed at most once)", totalSims, variants)
+	}
+	// Later steps mostly replay the working set: the cache must be doing
+	// real work by the last step (repeats of 6 requests over <= 3 variants).
+	last := fig.Rows[len(fig.Rows)-1]
+	if last.Values["hit_rate"] <= 0 {
+		t.Errorf("last step: hit_rate = %g, want > 0 (repeated variants must hit)", last.Values["hit_rate"])
+	}
+}
