@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check bench benchjson bench-diff trace-demo serve-demo cluster-demo
+.PHONY: all build test check bench benchjson bench-diff bench-diff-par trace-demo serve-demo cluster-demo
 
 all: build
 
@@ -14,12 +14,21 @@ test:
 
 # check is the pre-merge gate: static analysis plus the race detector over
 # the concurrent packages (the figure harness fans runs out over a worker
-# pool; sim and prefetch carry the determinism-critical hot paths; the
-# serving layer — jobs, rescache, server, router, sla — is concurrent by
-# construction).
+# pool; sim, prefetch, corelet, mem, and memctrl carry the
+# determinism-critical hot paths, now including the barrier-batched parallel
+# cycle engine; the serving layer — jobs, rescache, server, router, sla — is
+# concurrent by construction). The harness run includes the two standing
+# engine gates:
+#   TestParallelismBitIdentical — every worker count must produce
+#     byte-identical metric snapshots and reduces (the parallel engine is a
+#     speed knob, never a model change);
+#   TestCycleLoopAllocFree — the steady-state cycle loop must make zero heap
+#     allocations on every architecture (allocs_per_run/bytes_per_run in
+#     BENCH_*.json track the same number per entry).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/harness ./internal/sim ./internal/prefetch \
+		./internal/corelet ./internal/mem ./internal/memctrl \
 		./internal/jobs ./internal/rescache ./internal/server ./internal/router ./internal/sla
 
 bench:
@@ -28,14 +37,21 @@ bench:
 # benchjson regenerates the benchmark-trajectory snapshot (see
 # EXPERIMENTS.md, "Benchmark trajectory").
 benchjson:
-	$(GO) run ./cmd/milliexp -benchjson BENCH_2.json
+	$(GO) run ./cmd/milliexp -benchjson BENCH_3.json
 
 # bench-diff is the determinism gate: re-measure and fail unless every
 # records/sim_cycles/sim_picos/insts field is bit-identical to the
 # committed baseline. A timing-neutral change must pass this unchanged.
-BENCH_BASE ?= BENCH_2.json
+BENCH_BASE ?= BENCH_3.json
 bench-diff:
 	$(GO) run ./cmd/milliexp -benchdiff $(BENCH_BASE)
+
+# bench-diff-par re-runs the same gate through the parallel cycle engine:
+# the determinism fields must be bit-identical to the serial baseline at any
+# worker count, or a cross-shard effect escaped the batch barrier.
+PAR ?= 4
+bench-diff-par:
+	$(GO) run ./cmd/milliexp -benchdiff $(BENCH_BASE) -parallelism $(PAR)
 
 # serve-demo smoke-tests the millid simulation service end to end over real
 # HTTP: start the daemon, list the registry, run a count-kernel job twice

@@ -48,6 +48,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // debug mux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"strings"
@@ -70,6 +71,7 @@ func main() {
 	cacheEntries := flag.Int("cache", 256, "worker: local result cache entries (LRU)")
 	storeURL := flag.String("store", "", "worker: base URL of the shared result store (millid -role=store); empty = local cache only")
 	timeout := flag.Duration("timeout", 15*time.Minute, "worker: default per-job timeout (0 = none; requests may set timeout_ms)")
+	parallelism := flag.Int("parallelism", 1, "worker: default cycle-engine worker count per simulation (1 = serial; jobs may set \"parallelism\"; any value is bit-identical)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "worker: how long to wait for in-flight jobs on shutdown before cancelling them")
 	// Store flags.
 	storeEntries := flag.Int("store-entries", 4096, "store: result entries (LRU)")
@@ -78,11 +80,24 @@ func main() {
 	nodes := flag.String("nodes", "", "router: comma-separated worker base URLs")
 	replicas := flag.Int("replicas", 64, "router: consistent-hash virtual replicas per node")
 	healthEvery := flag.Duration("health-interval", 2*time.Second, "router: node health-check period")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on the
+		// default mux, which nothing else in millid uses; expose it only on
+		// the operator-chosen address, separate from the API listener.
+		go func() {
+			log.Printf("millid: pprof debug server on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("millid: pprof server: %v", err)
+			}
+		}()
+	}
 
 	switch *role {
 	case "worker":
-		runWorker(*addr, *workers, *queue, *cacheEntries, *storeURL, *timeout, *drainTimeout)
+		runWorker(*addr, *workers, *queue, *cacheEntries, *storeURL, *timeout, *drainTimeout, *parallelism)
 	case "store":
 		runStore(*addr, *storeEntries, *leaseTTL)
 	case "router":
@@ -112,12 +127,13 @@ func serve(hs *http.Server, what string, shutdown func(ctx context.Context)) {
 	<-finished
 }
 
-func runWorker(addr string, workers, queue, cacheEntries int, storeURL string, timeout, drainTimeout time.Duration) {
+func runWorker(addr string, workers, queue, cacheEntries int, storeURL string, timeout, drainTimeout time.Duration, parallelism int) {
 	o := server.Options{
 		Workers:        workers,
 		QueueCapacity:  queue,
 		CacheEntries:   cacheEntries,
 		DefaultTimeout: timeout,
+		Parallelism:    parallelism,
 	}
 	if storeURL != "" {
 		o.Shared = rescache.NewHTTPTier(storeURL, nil)

@@ -35,6 +35,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -60,14 +62,41 @@ func main() {
 	benchBase := flag.String("benchbase", "", "previous BENCH_*.json to compare the new report against")
 	benchScale := flag.Float64("benchscale", benchreport.DefaultScale, "input scale for -benchjson throughput runs")
 	benchDiff := flag.String("benchdiff", "", "determinism gate: collect a fresh report and exit nonzero unless its records/sim_cycles/sim_picos/insts are bit-identical to this baseline BENCH_*.json (skips figures)")
+	parallelism := flag.Int("parallelism", 1, "intra-run worker count for the deterministic parallel cycle engine (1 = serial; any value is bit-identical)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *list {
 		printRegistry()
 		return
 	}
 	if *benchJSON != "" || *benchDiff != "" {
-		runBenchReport(*benchJSON, *benchBase, *benchDiff, *benchScale)
+		runBenchReport(*benchJSON, *benchBase, *benchDiff, *benchScale, *parallelism)
 		return
 	}
 
@@ -90,6 +119,7 @@ func main() {
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 	cfg := millipede.DefaultConfig()
+	cfg.Parallelism = *parallelism
 
 	// Ctrl-C / SIGTERM cancels the sweep in flight: the context reaches
 	// every figure's worker pool through RunExperimentContext.
@@ -123,8 +153,9 @@ func main() {
 // runBenchReport measures simulator throughput over Figure 3's workload set
 // and writes the BENCH_*.json trajectory point and/or runs the determinism
 // gate against a baseline report.
-func runBenchReport(path, basePath, diffPath string, scale float64) {
+func runBenchReport(path, basePath, diffPath string, scale float64, parallelism int) {
 	cfg := millipede.DefaultConfig()
+	cfg.Parallelism = parallelism
 	if diffPath != "" {
 		base, err := benchreport.Read(diffPath)
 		if err != nil {

@@ -2,6 +2,7 @@ package arch
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/dram"
 	"repro/internal/mem"
@@ -26,6 +27,20 @@ type Node struct {
 	DRAM      *dram.DRAM // functional backing store (Mem.Store())
 	Compute   *sim.Domain
 	MemDomain *sim.Domain
+	// Pool is the worker set of the barrier-batched parallel cycle engine,
+	// non-nil when Params.Parallelism > 1. Processor models shard their
+	// per-cycle sweep across it (corelet.Cluster.SetWorkers); the memory
+	// fabric shards its multi-channel harvest. Run closes it on return,
+	// after which any further ticks fall back to inline execution with
+	// identical results.
+	Pool *sim.Pool
+	// RunAllocs and RunBytes are the heap allocations (count and bytes, from
+	// runtime.MemStats, all goroutines) made inside the last Run's cycle
+	// loop. The interpreter is designed to allocate nothing in steady state;
+	// benchreport records these per run so a regression is visible in the
+	// benchmark trajectory.
+	RunAllocs uint64
+	RunBytes  uint64
 	unit      ComputeUnit
 }
 
@@ -39,6 +54,10 @@ func NewNode(p Params, capacityBytes int) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{Params: p, Engine: sim.NewEngine(), Mem: m, DRAM: m.Store()}
+	if p.Parallelism > 1 {
+		n.Pool = sim.NewPool(p.Parallelism)
+		m.SetWorkers(n.Pool)
+	}
 	n.MemDomain, err = n.Engine.AddDomain("mem", sim.PeriodFromHz(p.ChannelHz),
 		sim.TickFunc(func(sim.Time) { m.Tick() }))
 	if err != nil {
@@ -76,5 +95,16 @@ func (n *Node) Run(limit sim.Time) (sim.Time, error) {
 	if limit == 0 {
 		limit = 10 * sim.Second
 	}
-	return n.Engine.Run(limit, n.unit.Halted)
+	if n.Pool != nil {
+		// Release the workers when the run ends; post-Close ticks (e.g. a
+		// host-side drain) execute inline with identical results.
+		defer n.Pool.Close()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m0, b0 := ms.Mallocs, ms.TotalAlloc
+	t, err := n.Engine.Run(limit, n.unit.Halted)
+	runtime.ReadMemStats(&ms)
+	n.RunAllocs, n.RunBytes = ms.Mallocs-m0, ms.TotalAlloc-b0
+	return t, err
 }

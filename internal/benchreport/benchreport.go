@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"time"
 
@@ -53,6 +54,13 @@ type Entry struct {
 	MemStallCycles  uint64 `json:"mem_stall_cycles,omitempty"`
 	MemMaxOccupancy int    `json:"mem_max_occupancy,omitempty"`
 	MemRejected     uint64 `json:"mem_rejected,omitempty"`
+	// Heap allocations made inside the run's cycle loop (count and bytes).
+	// The interpreter is designed to be allocation-free in steady state —
+	// TestCycleLoopAllocFree gates it at zero — so a nonzero value here flags
+	// a hot-path allocation that crept in. Informational, like the
+	// mem_* counters: excluded from the determinism gate.
+	AllocsPerRun uint64 `json:"allocs_per_run,omitempty"`
+	BytesPerRun  uint64 `json:"bytes_per_run,omitempty"`
 }
 
 // DeterminismFields are the Entry fields that must be bit-identical between
@@ -106,6 +114,10 @@ type Report struct {
 	GOARCH    string  `json:"goarch"`
 	NumCPU    int     `json:"num_cpu"`
 	Scale     float64 `json:"scale"`
+	// Parallelism is the worker count the runs were collected at (0 or 1 =
+	// serial). Any value must produce bit-identical determinism fields; the
+	// field records which configuration produced the wall-clock numbers.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Fig3WallSeconds is the wall time of a full harness.Fig3 reproduction
 	// at Scale — the end-to-end number a future PR has to beat.
 	Fig3WallSeconds float64 `json:"fig3_wall_seconds"`
@@ -129,29 +141,41 @@ func Fig3Archs() []string {
 // benchmarks at the given scale, then times one full Fig3 reproduction.
 func Collect(p arch.Params, archs []string, scale float64) (*Report, error) {
 	r := &Report{
-		Schema:    SchemaVersion,
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Scale:     scale,
+		Schema:      SchemaVersion,
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Scale:       scale,
+		Parallelism: p.Parallelism,
 	}
 	for _, a := range archs {
 		for _, b := range workloads.All() {
 			records := harness.RecordsFor(b, scale)
+			// The cycle loop is allocation-free (TestCycleLoopAllocFree), so
+			// GC has nothing productive to do during the timed run; pausing
+			// it keeps runtime background work out of both the wall clock
+			// and the allocs_per_run ledger. The blocking runtime.GC() also
+			// drains any concurrent cycle already in flight — pausing alone
+			// doesn't stop one, and its mark workers would otherwise charge
+			// a few stray allocations to whichever entry they finish under.
+			gc := debug.SetGCPercent(-1)
+			runtime.GC()
 			t0 := time.Now()
 			res, err := harness.Run(a, b, p, records)
+			wall := time.Since(t0).Seconds()
+			debug.SetGCPercent(gc)
 			if err != nil {
 				return nil, fmt.Errorf("benchreport: %s/%s: %w", a, b.Name(), err)
 			}
-			wall := time.Since(t0).Seconds()
 			e := Entry{
 				Arch: a, Bench: b.Name(), Records: records,
 				SimCycles: res.Cycles, SimPicos: int64(res.Time), Insts: res.Insts,
 				WallSeconds:    wall,
 				MemStallCycles: res.MemStallCycles, MemMaxOccupancy: res.MemMaxOccupancy,
-				MemRejected: res.MemRejected,
+				MemRejected:  res.MemRejected,
+				AllocsPerRun: res.CycleAllocs, BytesPerRun: res.CycleBytes,
 			}
 			if wall > 0 {
 				e.CyclesPerSec = float64(res.Cycles) / wall

@@ -89,14 +89,86 @@ type Cache struct {
 	nsets   int
 	backing mem.Port
 	useTick uint64
-	// mshr maps block id -> waiters for an in-flight fill.
-	mshr map[int64][]func()
+	// mshr holds the in-flight fills (block id -> waiters). A linear-scan
+	// slice, not a map: mshrMax is single-digit, and a map's delete/insert
+	// churn allocates overflow buckets in the steady state.
+	mshr []mshrEntry
 	// limit of distinct in-flight fills (simple MSHR count).
 	mshrMax int
 	stats   Stats
 	// nextPrefetch remembers a prefetch that bounced off a full backing
 	// queue, retried on the next access.
 	pendingPrefetch int64 // block id, -1 none
+	// fillFree and wlistFree recycle the per-fill Done context and the MSHR
+	// waiter lists so the steady-state access path allocates nothing.
+	fillFree  []*fillCtx
+	wlistFree [][]func()
+	relayFree []*relayCtx
+}
+
+// mshrEntry is one in-flight fill and the demand accesses merged into it.
+type mshrEntry struct {
+	block   int64
+	waiters []func()
+}
+
+// mshrFind returns the index of block's in-flight fill, or -1.
+func (c *Cache) mshrFind(block int64) int {
+	for i := range c.mshr {
+		if c.mshr[i].block == block {
+			return i
+		}
+	}
+	return -1
+}
+
+// mshrDelete swap-removes entry i (no behavior depends on entry order).
+func (c *Cache) mshrDelete(i int) {
+	last := len(c.mshr) - 1
+	c.mshr[i] = c.mshr[last]
+	c.mshr[last] = mshrEntry{}
+	c.mshr = c.mshr[:last]
+}
+
+// fillCtx carries one in-flight fill's completion state. Its done closure is
+// built once and reused for every fill the context serves.
+type fillCtx struct {
+	c          *Cache
+	block      int64
+	prefetched bool
+	done       func(int64, bool)
+}
+
+func (c *Cache) newFillCtx() *fillCtx {
+	ctx := &fillCtx{c: c}
+	ctx.done = func(int64, bool) {
+		ctx.c.fill(ctx.block, ctx.prefetched)
+		ctx.c.fillFree = append(ctx.c.fillFree, ctx)
+	}
+	return ctx
+}
+
+func (c *Cache) getFillCtx(block int64, prefetched bool) *fillCtx {
+	n := len(c.fillFree)
+	if n == 0 {
+		c.fillFree = append(c.fillFree, c.newFillCtx())
+		n = 1
+	}
+	ctx := c.fillFree[n-1]
+	c.fillFree = c.fillFree[:n-1]
+	ctx.block, ctx.prefetched = block, prefetched
+	return ctx
+}
+
+// getWlist pops a recycled waiter list (fill returns them emptied).
+func (c *Cache) getWlist() []func() {
+	n := len(c.wlistFree)
+	if n == 0 {
+		return make([]func(), 0, 8)
+	}
+	w := c.wlistFree[n-1]
+	c.wlistFree = c.wlistFree[:n-1]
+	return w
 }
 
 // New builds a cache over the given backing memory port — the memory fabric
@@ -117,9 +189,24 @@ func New(cfg Config, backing mem.Port, mshrMax int) (*Cache, error) {
 		cfg:             cfg,
 		nsets:           nsets,
 		backing:         backing,
-		mshr:            make(map[int64][]func()),
+		mshr:            make([]mshrEntry, 0, mshrMax),
 		mshrMax:         mshrMax,
 		pendingPrefetch: -1,
+	}
+	c.fillFree = make([]*fillCtx, 0, mshrMax+1)
+	for i := 0; i < mshrMax; i++ {
+		c.fillFree = append(c.fillFree, c.newFillCtx())
+	}
+	c.wlistFree = make([][]func(), 0, mshrMax+1)
+	for i := 0; i < mshrMax; i++ {
+		c.wlistFree = append(c.wlistFree, make([]func(), 0, 8))
+	}
+	// Relay contexts are only used when this cache backs another cache
+	// (mem.Port Enqueue); outstanding relays are bounded by the upstream
+	// cache's MSHR count, for which our own mshrMax is a fair proxy.
+	c.relayFree = make([]*relayCtx, 0, 4*mshrMax)
+	for i := 0; i < 2*mshrMax; i++ {
+		c.relayFree = append(c.relayFree, c.newRelayCtx())
 	}
 	c.sets = make([][]line, nsets)
 	for i := range c.sets {
@@ -203,8 +290,8 @@ func (c *Cache) Access(addr uint32, onFill func()) Result {
 		return Hit
 	}
 	// In-flight fill for this block: merge.
-	if waiters, ok := c.mshr[block]; ok {
-		c.mshr[block] = append(waiters, onFill)
+	if i := c.mshrFind(block); i >= 0 {
+		c.mshr[i].waiters = append(c.mshr[i].waiters, onFill)
 		c.stats.MSHRMerges++
 		return Miss
 	}
@@ -224,13 +311,18 @@ func (c *Cache) Access(addr uint32, onFill func()) Result {
 	ln.inFlight = true
 	ln.prefetched = false
 	ln.lastUse = c.useTick
-	c.mshr[block] = []func(){onFill}
+	wl := append(c.getWlist(), onFill)
+	c.mshr = append(c.mshr, mshrEntry{block: block, waiters: wl})
+	ctx := c.getFillCtx(block, false)
 	fillAddr := uint32(block) * uint32(c.cfg.LineBytes)
-	ok := c.backing.Enqueue(mem.Request{Addr: fillAddr, Bytes: c.cfg.LineBytes,
-		Done: func(int64, bool) { c.fill(block, false) }})
+	ok := c.backing.Enqueue(mem.Request{Addr: fillAddr, Bytes: c.cfg.LineBytes, Done: ctx.done})
 	if !ok {
 		*ln = saved
-		delete(c.mshr, block)
+		if i := c.mshrFind(block); i >= 0 {
+			c.mshrDelete(i)
+		}
+		c.wlistFree = append(c.wlistFree, wl[:0])
+		c.fillFree = append(c.fillFree, ctx)
 		c.stats.Retries++
 		return Retry
 	}
@@ -245,13 +337,18 @@ func (c *Cache) fill(block int64, prefetched bool) {
 		ln.inFlight = false
 		ln.prefetched = prefetched
 	}
-	waiters := c.mshr[block]
-	delete(c.mshr, block)
+	i := c.mshrFind(block)
+	if i < 0 {
+		return
+	}
+	waiters := c.mshr[i].waiters
+	c.mshrDelete(i)
 	for _, w := range waiters {
 		if w != nil {
 			w()
 		}
 	}
+	c.wlistFree = append(c.wlistFree, waiters[:0])
 }
 
 // maybePrefetch issues sequential next-block prefetches after a demand
@@ -278,7 +375,7 @@ func (c *Cache) issuePrefetch(block int64) {
 	if c.find(block) != nil {
 		return // present or already in flight
 	}
-	if _, ok := c.mshr[block]; ok {
+	if c.mshrFind(block) >= 0 {
 		return
 	}
 	if len(c.mshr) >= c.mshrMax {
@@ -295,13 +392,18 @@ func (c *Cache) issuePrefetch(block int64) {
 	ln.inFlight = true
 	ln.prefetched = false
 	ln.lastUse = c.useTick
-	c.mshr[block] = []func(){}
+	wl := c.getWlist()
+	c.mshr = append(c.mshr, mshrEntry{block: block, waiters: wl})
+	ctx := c.getFillCtx(block, true)
 	fillAddr := uint32(block) * uint32(c.cfg.LineBytes)
-	ok := c.backing.Enqueue(mem.Request{Addr: fillAddr, Bytes: c.cfg.LineBytes,
-		Done: func(int64, bool) { c.fill(block, true) }})
+	ok := c.backing.Enqueue(mem.Request{Addr: fillAddr, Bytes: c.cfg.LineBytes, Done: ctx.done})
 	if !ok {
 		*ln = saved
-		delete(c.mshr, block)
+		if i := c.mshrFind(block); i >= 0 {
+			c.mshrDelete(i)
+		}
+		c.wlistFree = append(c.wlistFree, wl[:0])
+		c.fillFree = append(c.fillFree, ctx)
 		c.pendingPrefetch = block
 		return
 	}
@@ -315,26 +417,58 @@ func (c *Cache) Contains(addr uint32) bool {
 	return ln != nil && !ln.inFlight
 }
 
+// relayCtx adapts one upstream mem.Request Done to this cache's onFill
+// callback shape without allocating a fresh closure per request.
+type relayCtx struct {
+	c    *Cache
+	done func(int64, bool)
+	fn   func()
+}
+
+func (c *Cache) newRelayCtx() *relayCtx {
+	ctx := &relayCtx{c: c}
+	ctx.fn = func() {
+		if ctx.done != nil {
+			ctx.done(0, false)
+		}
+		ctx.done = nil
+		ctx.c.relayFree = append(ctx.c.relayFree, ctx)
+	}
+	return ctx
+}
+
+func (c *Cache) getRelayCtx(done func(int64, bool)) *relayCtx {
+	n := len(c.relayFree)
+	if n == 0 {
+		c.relayFree = append(c.relayFree, c.newRelayCtx())
+		n = 1
+	}
+	ctx := c.relayFree[n-1]
+	c.relayFree = c.relayFree[:n-1]
+	ctx.done = done
+	return ctx
+}
+
 // Enqueue implements mem.Port, allowing a Cache to back another Cache (the
 // multicore's L1 -> L2). A hit returns data "immediately" (Done called
 // synchronously with cycle 0 and rowHit true; the L1 model adds the L2 hit
 // latency itself). A Retry maps to false, as a full controller queue would.
 func (c *Cache) Enqueue(r mem.Request) bool {
-	done := r.Done
-	res := c.Access(r.Addr, func() {
-		if done != nil {
-			done(0, false)
-		}
-	})
+	ctx := c.getRelayCtx(r.Done)
+	res := c.Access(r.Addr, ctx.fn)
 	switch res {
 	case Hit:
-		if done != nil {
-			done(0, true)
+		ctx.done = nil
+		c.relayFree = append(c.relayFree, ctx)
+		if r.Done != nil {
+			r.Done(0, true)
 		}
 		return true
 	case Miss:
 		return true
 	default:
+		ctx.done = nil
+		c.relayFree = append(c.relayFree, ctx)
 		return false
 	}
 }

@@ -63,6 +63,10 @@ type Result struct {
 	// Timeline holds the cycle-sampled gauge series when EnableTimeline was
 	// called before Run; nil otherwise.
 	Timeline *metrics.Timeline
+	// Allocs and AllocBytes count heap allocations made inside the run's
+	// cycle loop (zero in steady state by design; see benchreport).
+	Allocs     uint64
+	AllocBytes uint64
 }
 
 // DRAMStats is re-exported memory-side stats (avoids leaking the dram
@@ -92,17 +96,16 @@ func (d DRAMStats) RowMissRate() float64 {
 
 // Processor is one Millipede processor plus its memory side.
 type Processor struct {
-	P        arch.Params
-	EP       energy.Params
-	node     *arch.Node
-	lay      layout.Layout
-	ownerOf  func(addr uint32) (corelet, slot int)
-	corelets []*corelet.Corelet
-	// live is the active set: corelets that have not yet halted, in
-	// registration order. Corelets never un-halt, so Tick compacts the slice
-	// in place (order-preserving, to keep shared-buffer access order — and
-	// therefore timing — identical to a full scan) and Halted is O(1).
-	live      []*corelet.Corelet
+	P       arch.Params
+	EP      energy.Params
+	node    *arch.Node
+	lay     layout.Layout
+	ownerOf func(addr uint32) (corelet, slot int)
+	// cluster holds every corelet's hot state in one structure-of-arrays
+	// image; its Tick sweeps live corelets in registration order, which keeps
+	// shared-buffer access order — and therefore timing — identical to the
+	// per-corelet object model.
+	cluster   *corelet.Cluster
 	buf       *prefetch.Buffer
 	rate      *dfs.Controller
 	tableBase uint32 // start of the optional non-compact table region
@@ -168,6 +171,7 @@ func NewProcessor(p arch.Params, ep energy.Params, l Launch) (*Processor, error)
 		Corelets:    p.Corelets,
 		RowBytes:    p.DRAM.RowBytes,
 		FlowControl: p.FlowControl,
+		MaxWaiters:  p.Corelets * p.Contexts,
 	}
 	pr.buf, err = prefetch.New(bcfg, node.Mem)
 	if err != nil {
@@ -175,26 +179,45 @@ func NewProcessor(p arch.Params, ep energy.Params, l Launch) (*Processor, error)
 	}
 
 	read := func(addr uint32) uint32 { return node.DRAM.ReadWord(addr) }
-	pr.corelets = make([]*corelet.Corelet, p.Corelets)
+	code, err := corelet.Decode(l.Prog, p.Latencies)
+	if err != nil {
+		return nil, err
+	}
+	ports := make([]corelet.GlobalPort, p.Corelets)
 	for c := 0; c < p.Corelets; c++ {
-		ids := corelet.IDs{Corelet: c, NumCorelets: p.Corelets, NumContexts: p.Contexts}
-		pr.corelets[c], err = corelet.New(ids, l.Prog, p.LocalBytes, p.Latencies, &port{pr: pr, corelet: c}, read)
-		if err != nil {
-			return nil, err
-		}
+		ports[c] = &port{pr: pr, corelet: c}
+	}
+	ccfg := corelet.Config{
+		Corelets:   p.Corelets,
+		Contexts:   p.Contexts,
+		LocalBytes: p.LocalBytes,
+		Latencies:  p.Latencies,
+	}
+	if node.Pool != nil {
+		ccfg.Shards = node.Pool.Workers()
+	}
+	pr.cluster, err = corelet.NewCluster(ccfg, code, ports, read)
+	if err != nil {
+		return nil, err
+	}
+	if node.Pool != nil {
+		pr.cluster.SetWorkers(node.Pool)
+	}
+	for c := 0; c < p.Corelets; c++ {
 		for i, w := range l.Args {
-			pr.corelets[c].WriteLocal(uint32(i*4), w)
+			pr.cluster.WriteLocal(c, uint32(i*4), w)
 		}
 	}
 
 	pr.barTarget = p.Corelets * p.Contexts
-	for _, c := range pr.corelets {
-		c.SetBarrier(pr.barrierArrive)
-	}
-	pr.live = append([]*corelet.Corelet(nil), pr.corelets...)
+	pr.cluster.SetBarrier(pr.barrierArrive)
 
 	if p.RateMatch {
 		pr.rate, err = dfs.New(p.ComputeHz, p.DFSStepPct, p.DFSMinHz, p.DFSMaxHz)
+		// Pre-size the decision trace so recording clock steps does not
+		// allocate inside the cycle loop (it only grows past this for
+		// pathologically oscillating runs).
+		pr.dfsTrace = make([]DFSSample, 0, 64)
 		if err != nil {
 			return nil, err
 		}
@@ -265,18 +288,7 @@ func (pt *port) Read(ctx int, addr uint32, ready func()) corelet.Status {
 // controller at its sampling interval.
 func (pr *Processor) Tick(now sim.Time) {
 	pr.ticks++
-	live := pr.live
-	n := 0
-	for i, c := range live {
-		c.Tick()
-		if !c.Halted() {
-			if n != i {
-				live[n] = c // only move on an actual halt: skips the write barrier
-			}
-			n++
-		}
-	}
-	pr.live = live[:n]
+	pr.cluster.Tick()
 	pr.buf.Pump()
 	if pr.rate != nil && pr.P.DFSIntervalCycles > 0 && pr.ticks%uint64(pr.P.DFSIntervalCycles) == 0 {
 		// Section IV-F: the controller reacts to the leading corelet
@@ -326,7 +338,7 @@ func (pr *Processor) barrierArrive(release func()) {
 }
 
 // Halted reports whether every corelet has finished.
-func (pr *Processor) Halted() bool { return len(pr.live) == 0 }
+func (pr *Processor) Halted() bool { return pr.cluster.Halted() }
 
 // Run executes to completion and returns aggregated results.
 func (pr *Processor) Run(limit sim.Time) (Result, error) {
@@ -337,15 +349,9 @@ func (pr *Processor) Run(limit sim.Time) (Result, error) {
 	return pr.result(t), nil
 }
 
-// coreStats aggregates per-corelet counters; it is the registry's getter
-// for the "corelet.*" metrics and result()'s source for Cores.
-func (pr *Processor) coreStats() corelet.Stats {
-	var agg corelet.Stats
-	for _, c := range pr.corelets {
-		agg.Add(c.Stats())
-	}
-	return agg
-}
+// coreStats is the registry's getter for the "corelet.*" metrics and
+// result()'s source for Cores.
+func (pr *Processor) coreStats() corelet.Stats { return pr.cluster.Stats() }
 
 func (pr *Processor) result(t sim.Time) Result {
 	r := Result{Time: t, ComputeCycles: pr.ticks, Prefetch: pr.buf.Stats()}
@@ -361,6 +367,7 @@ func (pr *Processor) result(t sim.Time) Result {
 	r.Energy = pr.energy(r, t)
 	r.Metrics = pr.reg.Snapshot()
 	r.Timeline = pr.timeline
+	r.Allocs, r.AllocBytes = pr.node.RunAllocs, pr.node.RunBytes
 	return r
 }
 
@@ -390,12 +397,7 @@ func (pr *Processor) InjectMemoryJitter(max int64, seed uint64) {
 // ReadState reads a word of a corelet's local memory after the run — the
 // host-side access the final Reduce uses (Section IV-D).
 func (pr *Processor) ReadState(coreletID int, addr uint32) uint32 {
-	return pr.corelets[coreletID].ReadLocal(addr)
-}
-
-// CoreletStats exposes one corelet's counters (for tests and diagnostics).
-func (pr *Processor) CoreletStats(coreletID int) corelet.Stats {
-	return pr.corelets[coreletID].Stats()
+	return pr.cluster.ReadLocal(coreletID, addr)
 }
 
 // PrefetchBuffer exposes the shared row buffer, so invariant tests can check
@@ -447,10 +449,10 @@ func (pr *Processor) EnableTimeline(everyCycles uint64) {
 // prefetch buffer's events into l. Call before Run.
 func (pr *Processor) EnableTrace(l *trace.Log, coreletID int) {
 	pr.traceLog = l
-	if coreletID < 0 || coreletID >= len(pr.corelets) {
+	if coreletID < 0 || coreletID >= pr.cluster.Corelets() {
 		coreletID = 0
 	}
-	pr.corelets[coreletID].SetTracer(func(cycle int64, ctx, pc int, in isa.Inst) {
+	pr.cluster.SetTracer(coreletID, func(cycle int64, ctx, pc int, in isa.Inst) {
 		l.Add(trace.Event{Cycle: uint64(cycle), Corelet: coreletID, Context: ctx,
 			Kind: trace.Exec, PC: pc, Detail: in.String()})
 	})

@@ -9,12 +9,25 @@
 // prefetch buffer and the SSMC processor backs with a per-core L1 D-cache.
 // Functional data always comes from the Reader (the DRAM word store), so
 // results are identical across architectures by construction.
+//
+// A processor's corelets live together in a Cluster: every hot word of
+// per-corelet state (PCs, register files, ready bitmaps, issue cooldowns,
+// local memories) is an entry in a structure-of-arrays image indexed by
+// (corelet, context), swept in corelet order once per cycle. The interpreter
+// runs over a predecoded Code image shared read-only by the whole cluster
+// (the paper's one-time code broadcast): each instruction carries its class
+// and issue latency resolved at decode time and the datapath is evaluated in
+// a single dispatch switch, so the steady-state cycle loop performs no table
+// lookups, no per-corelet virtual calls, and no allocations.
 package corelet
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"repro/internal/isa"
+	"repro/internal/sim"
 )
 
 // Status of a timing access to the global memory system.
@@ -74,101 +87,76 @@ type Stats struct {
 	ClassCounts  [10]uint64
 }
 
-type ctxState int
-
-const (
-	ctxReady ctxState = iota
-	ctxWaitMem
-	ctxHalted
-)
-
-type context struct {
-	pc   int
-	regs [isa.NumRegs]uint32
-	// wake marks the context ready; built once at construction so the hot
-	// global-load path hands the memory system a callback without
-	// allocating a closure per access.
-	wake func()
+// dinst is one predecoded instruction: the hot fields of isa.Inst plus the
+// class and issue latency resolved at decode time, packed to 16 bytes so the
+// fetch is a single shift-indexed load with no dependent table lookups.
+type dinst struct {
+	op           isa.Op
+	class        isa.Class
+	rd, rs1, rs2 uint8
+	_            uint8
+	lat          uint16
+	imm          int32
+	_            uint32 // pad to 16 bytes: power-of-two stride for ops[pc]
 }
 
-// sched is the scheduler-visible state of one context. It lives in a compact
-// array parallel to contexts so the round-robin issue scan touches one cache
-// line per corelet instead of one line per (much larger) context.
-type sched struct {
-	state   ctxState
-	readyAt int64 // cycle at which the context may issue again
+// Code is a program predecoded against one latency configuration. A
+// processor decodes its kernel once and shares the image read-only across
+// all its corelets (the paper's one-time code broadcast), keeping the
+// interpreter's instruction fetches within one small array.
+type Code struct {
+	prog *isa.Program
+	ops  []dinst
+	// takenLat and hitLat are the two latencies the decoded lat field cannot
+	// carry (they depend on the dynamic outcome, not the opcode).
+	takenLat int64
+	hitLat   int64
+	// hasBAR records whether the program contains a barrier. A barrier
+	// release can wake contexts of corelets later in the same sweep, an
+	// effect the phase-split parallel tick cannot reproduce, so clusters
+	// running a BAR program always tick serially (see Tick).
+	hasBAR bool
 }
 
-// IDs carries the CSR-visible identity of a corelet within its processor.
-type IDs struct {
-	Corelet, NumCorelets, NumContexts int
-}
-
-// Corelet is one simple MIMD core.
-type Corelet struct {
-	ids      IDs
-	prog     *isa.Program
-	insts    []isa.Inst // == prog.Insts, cached to skip a dependent load per fetch
-	local    []uint32
-	lat      Latencies
-	port     GlobalPort
-	read     Reader
-	contexts []context
-	sched    []sched
-	barrier  BarrierFunc
-	tracer   Tracer
-	rr       int // round-robin pointer
-	cycle    int64
-	halted   int
-	// ready counts contexts in ctxReady state (regardless of readyAt), so a
-	// fully stalled or drained corelet ticks without scanning its contexts.
-	ready int
-	// latTab maps isa.Class to issue latency (built from lat at New), so
-	// the per-instruction latency pick is one indexed load.
-	latTab [10]int
-	stats  Stats
-}
-
-// New builds a corelet with the given local memory size in bytes. Kernel
-// arguments should be written into local memory via WriteLocal before Start.
-func New(ids IDs, prog *isa.Program, localBytes int, lat Latencies, port GlobalPort, read Reader) (*Corelet, error) {
-	switch {
-	case prog == nil || len(prog.Insts) == 0:
+// Decode predecodes prog against lat. The result is immutable and safe to
+// share across corelets and worker goroutines.
+func Decode(prog *isa.Program, lat Latencies) (*Code, error) {
+	if prog == nil || len(prog.Insts) == 0 {
 		return nil, fmt.Errorf("corelet: empty program")
-	case localBytes <= 0 || localBytes%4 != 0:
-		return nil, fmt.Errorf("corelet: bad local memory size %d", localBytes)
-	case ids.NumContexts <= 0:
-		return nil, fmt.Errorf("corelet: bad context count %d", ids.NumContexts)
-	case port == nil || read == nil:
-		return nil, fmt.Errorf("corelet: nil port or reader")
 	}
-	c := &Corelet{
-		ids:      ids,
+	code := &Code{
 		prog:     prog,
-		insts:    prog.Insts,
-		local:    make([]uint32, localBytes/4),
-		lat:      lat,
-		port:     port,
-		read:     read,
-		contexts: make([]context, ids.NumContexts),
-		sched:    make([]sched, ids.NumContexts),
+		ops:      make([]dinst, len(prog.Insts)),
+		takenLat: int64(lat.TakenBranch),
+		hitLat:   int64(lat.GlobalHit),
 	}
-	c.ready = len(c.contexts)
-	for i := range c.contexts {
-		s := &c.sched[i]
-		c.contexts[i].wake = func() {
-			if s.state != ctxReady {
-				s.state = ctxReady
-				c.ready++
-			}
-			s.readyAt = 0 // wakes in the memory domain; issue at next corelet tick
+	for i, in := range prog.Insts {
+		class := isa.Classify(in.Op)
+		l := latencyFor(lat, class)
+		if in.Op == isa.LDG || in.Op == isa.LDS {
+			l = lat.GlobalHit
+		}
+		if l < 0 || l > math.MaxUint16 {
+			return nil, fmt.Errorf("corelet: latency %d for %v out of range", l, in.Op)
+		}
+		if in.Op == isa.BAR {
+			code.hasBAR = true
+		}
+		code.ops[i] = dinst{
+			op:    in.Op,
+			class: class,
+			rd:    in.Rd & (isa.NumRegs - 1),
+			rs1:   in.Rs1 & (isa.NumRegs - 1),
+			rs2:   in.Rs2 & (isa.NumRegs - 1),
+			lat:   uint16(l),
+			imm:   in.Imm,
 		}
 	}
-	for cl := range c.latTab {
-		c.latTab[cl] = latencyFor(lat, isa.Class(cl))
-	}
-	return c, nil
+	return code, nil
 }
+
+// Program returns the source program the code was decoded from.
+func (cd *Code) Program() *isa.Program { return cd.prog }
 
 func latencyFor(l Latencies, class isa.Class) int {
 	switch class {
@@ -187,15 +175,330 @@ func latencyFor(l Latencies, class isa.Class) int {
 	}
 }
 
-// Stats returns a copy of the counters. The aggregate counters that are fully
-// determined by per-class counts are derived here rather than maintained with
-// separate increments on the interpret hot path: every issued instruction
-// bumps exactly one ClassCounts bucket (retries bump none), so Instructions
-// and BusyCycles are the bucket sum, and GlobalReads/LocalAccess are the
-// global/local-memory buckets (STG is rejected, so the global bucket is pure
-// loads).
-func (c *Corelet) Stats() Stats {
-	s := c.stats
+// IDs carries the CSR-visible identity of a corelet within its processor.
+type IDs struct {
+	Corelet, NumCorelets, NumContexts int
+}
+
+// shardStats is one worker shard's private slice of the cluster counters.
+// Every counter is a commutative sum, so aggregating over any fixed shard
+// partition yields byte-identical totals regardless of worker count. The
+// pad keeps concurrent shards off each other's cache lines.
+type shardStats struct {
+	condBranches uint64
+	takenCond    uint64
+	idleCycles   uint64
+	retryCycles  uint64
+	// classCounts is sized to 16 so the (4-bit) class index needs no bounds
+	// check on the hot path.
+	classCounts [16]uint64
+	// parked holds the shard's cross-shard effects of the current cycle:
+	// contexts whose chosen instruction touches shared state (the memory
+	// port, the barrier, the cluster halt set), recorded during the parallel
+	// private phase and executed serially at the batch barrier. Capacity is
+	// the shard's corelet count (one issue per corelet per cycle), so the
+	// append never allocates.
+	parked []parkRec
+	_      [64]byte
+}
+
+// parkRec identifies one deferred shared-state instruction: context k of
+// corelet c chose it at corelet-local cycle cyc.
+type parkRec struct {
+	c, k int32
+	cyc  int64
+}
+
+// Config sizes a Cluster.
+type Config struct {
+	// Corelets and Contexts give the cluster geometry (Table III: 32x4).
+	Corelets, Contexts int
+	// LocalBytes is each corelet's local SRAM size.
+	LocalBytes int
+	// Latencies configures issue latencies (must match the Code's decode).
+	Latencies Latencies
+	// Shards is the number of independent stats accumulators (>= the worker
+	// count the cluster will ever be ticked with); 0 means 1.
+	Shards int
+}
+
+// ctxHot is one context's scheduler-visible state: the program counter and
+// the cycle at which the context may issue again, packed so a corelet's
+// contexts (4 by default) share one cache line and the issue-scan read and
+// the retire-time writes touch the same line.
+type ctxHot struct {
+	pc      int32
+	_       uint32
+	readyAt int64
+}
+
+// coreHot is one corelet's scheduler header: the runnable-context bitmap,
+// the corelet-local cycle count (the multicore model ticks cores unevenly),
+// the round-robin pointer, and the halted-context count, packed into half a
+// cache line.
+type coreHot struct {
+	ready  uint64 // bitmap of runnable contexts (waiting/halted bits clear)
+	cycle  int64
+	rr     int32
+	haltCt int32
+	// earliest is a lower bound on the next cycle any runnable context can
+	// issue, recorded when a scan comes up empty; until then the per-cycle
+	// scan is skipped outright. Wakes reset it to zero (a woken context is
+	// issueable immediately).
+	earliest int64
+}
+
+// Cluster is a processor's full set of corelets in structure-of-arrays
+// form, indexed by ctx = corelet*Contexts + context. One Tick sweeps every
+// live corelet in registration order, which keeps shared-port access order
+// — and therefore timing — identical to the per-corelet object model it
+// replaces.
+type Cluster struct {
+	code *Code
+	ops  []dinst // == code.ops, one indexed load off the cluster
+	// Hot state, SoA: per-context and per-corelet headers plus the packed
+	// register files.
+	ctxs  []ctxHot
+	cores []coreHot
+	regs  []uint32 // register files, NumRegs words per context
+	wakes []func() // prebuilt wake callbacks handed to the memory system
+	// active is the bitmap of corelets with at least one non-halted context;
+	// the sweep walks its set bits via TrailingZeros64, so fully finished
+	// corelets cost nothing.
+	active      []uint64
+	haltedCores int
+
+	nctx       int
+	ncore      int
+	localWords int
+	locals     []uint32 // corelet-local SRAMs, localWords each
+	ports      []GlobalPort
+	read       Reader
+	lat        Latencies
+	ctxMask    uint64
+	// coreletBase and numCore define the CSR-visible processor geometry:
+	// a standalone Corelet wrapper is a 1-corelet cluster positioned at
+	// coreletBase within a numCore-corelet processor.
+	coreletBase int
+	numCore     int
+	barrier     BarrierFunc
+	tracers     []Tracer // nil until SetTracer; indexed by corelet
+	shards      []shardStats
+	// Intra-cycle parallelism (SetWorkers). shardLo[s]..shardLo[s+1] is the
+	// contiguous corelet range owned by worker shard s; tickShard is the
+	// bound method dispatched to the pool each cycle (stored so the
+	// steady-state loop allocates nothing); parking is true only during the
+	// parallel private phase, telling exec to defer shared-state ops.
+	pool      *sim.Pool
+	shardLo   []int
+	tickShard func(shard int)
+	parking   bool
+}
+
+// NewCluster builds the corelets of one processor over a shared predecoded
+// code image. ports supplies each corelet's timing port (len must equal
+// cfg.Corelets); read supplies functional data for global loads.
+func NewCluster(cfg Config, code *Code, ports []GlobalPort, read Reader) (*Cluster, error) {
+	switch {
+	case code == nil || len(code.ops) == 0:
+		return nil, fmt.Errorf("corelet: empty program")
+	case cfg.Corelets <= 0:
+		return nil, fmt.Errorf("corelet: bad corelet count %d", cfg.Corelets)
+	case cfg.Contexts <= 0 || cfg.Contexts > 64:
+		return nil, fmt.Errorf("corelet: bad context count %d", cfg.Contexts)
+	case cfg.LocalBytes <= 0 || cfg.LocalBytes%4 != 0:
+		return nil, fmt.Errorf("corelet: bad local memory size %d", cfg.LocalBytes)
+	case len(ports) != cfg.Corelets:
+		return nil, fmt.Errorf("corelet: %d ports for %d corelets", len(ports), cfg.Corelets)
+	case read == nil:
+		return nil, fmt.Errorf("corelet: nil reader")
+	}
+	for _, p := range ports {
+		if p == nil {
+			return nil, fmt.Errorf("corelet: nil port")
+		}
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	nc, nk := cfg.Corelets, cfg.Contexts
+	cl := &Cluster{
+		code:       code,
+		ops:        code.ops,
+		ctxs:       make([]ctxHot, nc*nk),
+		cores:      make([]coreHot, nc),
+		regs:       make([]uint32, nc*nk*isa.NumRegs),
+		wakes:      make([]func(), nc*nk),
+		active:     make([]uint64, (nc+63)/64),
+		nctx:       nk,
+		ncore:      nc,
+		localWords: cfg.LocalBytes / 4,
+		locals:     make([]uint32, nc*cfg.LocalBytes/4),
+		ports:      append([]GlobalPort(nil), ports...),
+		read:       read,
+		lat:        cfg.Latencies,
+		ctxMask:    uint64(1)<<uint(nk) - 1,
+		numCore:    nc,
+		shards:     make([]shardStats, shards),
+	}
+	for c := 0; c < nc; c++ {
+		cl.cores[c].ready = cl.ctxMask
+		cl.active[c/64] |= 1 << uint(c%64)
+		for k := 0; k < nk; k++ {
+			idx := c*nk + k
+			bit := uint64(1) << uint(k)
+			cc := c
+			cl.wakes[idx] = func() {
+				cl.cores[cc].ready |= bit
+				cl.cores[cc].earliest = 0
+				cl.ctxs[idx].readyAt = 0 // wakes in the memory domain; issue next tick
+			}
+		}
+	}
+	return cl, nil
+}
+
+// Corelets returns the cluster geometry.
+func (cl *Cluster) Corelets() int { return cl.ncore }
+
+// Contexts returns the context count per corelet.
+func (cl *Cluster) Contexts() int { return cl.nctx }
+
+// Code returns the shared predecoded program.
+func (cl *Cluster) Code() *Code { return cl.code }
+
+// SetBarrier installs the processor-wide barrier coordinator.
+func (cl *Cluster) SetBarrier(f BarrierFunc) { cl.barrier = f }
+
+// SetTracer installs an instruction-issue observer on one corelet.
+func (cl *Cluster) SetTracer(corelet int, t Tracer) {
+	if cl.tracers == nil {
+		cl.tracers = make([]Tracer, cl.ncore)
+	}
+	cl.tracers[corelet] = t
+}
+
+// SetWorkers enables the deterministically parallel tick: the per-cycle
+// corelet sweep is split into pool.Workers() contiguous corelet ranges, one
+// per worker shard. Each shard executes its corelets' private instructions
+// and parks instructions that touch shared state (global loads, barriers,
+// halts); the parked instructions then run serially at the batch barrier in
+// ascending corelet order — exactly the order the serial sweep would have
+// executed them — so results are bit-identical for every worker count.
+//
+// The cluster's Config.Shards must be at least pool.Workers(). Pass nil to
+// restore the serial tick. Clusters whose program contains BAR, or with a
+// tracer installed, tick serially regardless (see Tick).
+func (cl *Cluster) SetWorkers(pool *sim.Pool) {
+	if pool == nil {
+		cl.pool, cl.shardLo, cl.tickShard = nil, nil, nil
+		return
+	}
+	w := pool.Workers()
+	if w > len(cl.shards) {
+		panic(fmt.Sprintf("corelet: %d workers but only %d stat shards", w, len(cl.shards)))
+	}
+	cl.pool = pool
+	cl.tickShard = cl.runShard
+	// Contiguous split of the corelet range, remainder to the low shards.
+	cl.shardLo = make([]int, w+1)
+	base, rem := cl.ncore/w, cl.ncore%w
+	for s := 0; s < w; s++ {
+		cl.shardLo[s+1] = cl.shardLo[s] + base
+		if s < rem {
+			cl.shardLo[s+1]++
+		}
+	}
+	for s := 0; s < w; s++ {
+		n := cl.shardLo[s+1] - cl.shardLo[s]
+		if cap(cl.shards[s].parked) < n {
+			cl.shards[s].parked = make([]parkRec, 0, n)
+		}
+	}
+}
+
+// runShard is the parallel private phase for one worker shard: it ticks the
+// shard's live corelets in ascending order, with stats and parked effects
+// confined to the shard's private accumulator.
+func (cl *Cluster) runShard(s int) {
+	st := &cl.shards[s]
+	for c, hi := cl.shardLo[s], cl.shardLo[s+1]; c < hi; c++ {
+		if cl.active[c/64]>>uint(c%64)&1 != 0 {
+			cl.tickCore(c, st)
+		}
+	}
+}
+
+// Halted reports whether every context of every corelet has executed HALT.
+func (cl *Cluster) Halted() bool { return cl.haltedCores == cl.ncore }
+
+// CoreHalted reports whether every context of corelet c has halted.
+func (cl *Cluster) CoreHalted(c int) bool { return int(cl.cores[c].haltCt) == cl.nctx }
+
+// WriteLocal stores a word into a corelet's local memory (host-side, at
+// launch).
+func (cl *Cluster) WriteLocal(c int, addr uint32, v uint32) {
+	cl.locals[c*cl.localWords+cl.localIndex(c, addr)] = v
+}
+
+// ReadLocal fetches a word of a corelet's local memory (host-side, for the
+// final Reduce that drains the partially-reduced live state, Section IV-D).
+func (cl *Cluster) ReadLocal(c int, addr uint32) uint32 {
+	return cl.locals[c*cl.localWords+cl.localIndex(c, addr)]
+}
+
+// LocalWords returns the local memory size in words.
+func (cl *Cluster) LocalWords() int { return cl.localWords }
+
+func (cl *Cluster) localIndex(c int, addr uint32) int {
+	if addr%4 != 0 {
+		panic(fmt.Sprintf("corelet %d: unaligned local access %#x (pc trace in kernel)", c, addr))
+	}
+	i := int(addr / 4)
+	if i >= cl.localWords {
+		panic(fmt.Sprintf("corelet %d: local access %#x beyond %d-word local memory", c, addr, cl.localWords))
+	}
+	return i
+}
+
+func (cl *Cluster) csr(c, ctx int, n int32) uint32 {
+	switch n {
+	case isa.CSRCoreletID:
+		return uint32(cl.coreletBase + c)
+	case isa.CSRContextID:
+		return uint32(ctx)
+	case isa.CSRNumCorelet:
+		return uint32(cl.numCore)
+	case isa.CSRNumContext:
+		return uint32(cl.nctx)
+	case isa.CSRThreadID:
+		return uint32((cl.coreletBase+c)*cl.nctx + ctx)
+	case isa.CSRNumThreads:
+		return uint32(cl.numCore * cl.nctx)
+	}
+	panic(fmt.Sprintf("corelet: unknown CSR %d", n))
+}
+
+// Stats aggregates the cluster's execution counters. The aggregates that are
+// fully determined by per-class counts are derived here rather than
+// maintained with separate increments on the interpret hot path: every
+// issued instruction bumps exactly one ClassCounts bucket (retries bump
+// none), so Instructions and BusyCycles are the bucket sum, and
+// GlobalReads/LocalAccess are the global/local-memory buckets (STG is
+// rejected, so the global bucket is pure loads).
+func (cl *Cluster) Stats() Stats {
+	var s Stats
+	for i := range cl.shards {
+		sh := &cl.shards[i]
+		s.CondBranches += sh.condBranches
+		s.TakenCond += sh.takenCond
+		s.IdleCycles += sh.idleCycles
+		s.RetryCycles += sh.retryCycles
+		for k := range s.ClassCounts {
+			s.ClassCounts[k] += sh.classCounts[k]
+		}
+	}
 	for _, n := range s.ClassCounts {
 		s.Instructions += n
 	}
@@ -205,88 +508,125 @@ func (c *Corelet) Stats() Stats {
 	return s
 }
 
-// SetBarrier installs the processor-wide barrier coordinator.
-func (c *Corelet) SetBarrier(f BarrierFunc) { c.barrier = f }
-
-// SetTracer installs an instruction-issue observer.
-func (c *Corelet) SetTracer(t Tracer) { c.tracer = t }
-
-// Halted reports whether every context has executed HALT.
-func (c *Corelet) Halted() bool { return c.halted == len(c.contexts) }
-
-// WriteLocal stores a word into corelet-local memory (host-side, at launch).
-func (c *Corelet) WriteLocal(addr uint32, v uint32) {
-	c.local[c.localIndex(addr)] = v
-}
-
-// ReadLocal fetches a word of local memory (host-side, for the final
-// Reduce that drains the partially-reduced live state, Section IV-D).
-func (c *Corelet) ReadLocal(addr uint32) uint32 {
-	return c.local[c.localIndex(addr)]
-}
-
-// LocalWords returns the local memory size in words.
-func (c *Corelet) LocalWords() int { return len(c.local) }
-
-func (c *Corelet) localIndex(addr uint32) int {
-	if addr%4 != 0 {
-		panic(fmt.Sprintf("corelet %d: unaligned local access %#x (pc trace in kernel)", c.ids.Corelet, addr))
-	}
-	i := int(addr / 4)
-	if i >= len(c.local) {
-		panic(fmt.Sprintf("corelet %d: local access %#x beyond %d-word local memory", c.ids.Corelet, addr, len(c.local)))
-	}
-	return i
-}
-
-func (c *Corelet) csr(ctx int, n int32) uint32 {
-	switch n {
-	case isa.CSRCoreletID:
-		return uint32(c.ids.Corelet)
-	case isa.CSRContextID:
-		return uint32(ctx)
-	case isa.CSRNumCorelet:
-		return uint32(c.ids.NumCorelets)
-	case isa.CSRNumContext:
-		return uint32(c.ids.NumContexts)
-	case isa.CSRThreadID:
-		return uint32(c.ids.Corelet*c.ids.NumContexts + ctx)
-	case isa.CSRNumThreads:
-		return uint32(c.ids.NumCorelets * c.ids.NumContexts)
-	}
-	panic(fmt.Sprintf("corelet: unknown CSR %d", n))
-}
-
-func (c *Corelet) setReg(ctx *context, rd uint8, v uint32) {
-	if rd != 0 {
-		ctx.regs[rd] = v
-	}
-}
-
-// Tick advances the corelet one cycle: at most one instruction issues from
-// the next ready context in round-robin order.
-func (c *Corelet) Tick() {
-	c.cycle++
-	if c.ready == 0 {
-		c.stats.IdleCycles++
+// Tick advances every live corelet one compute cycle: each issues at most
+// one instruction from its next ready context in round-robin order. Halted
+// corelets are skipped via the active bitmap.
+//
+// With SetWorkers the sweep runs as a two-phase batch: a parallel private
+// phase over contiguous corelet ranges, then a serial drain of parked
+// shared-state instructions in ascending corelet order (the canonical order
+// of the serial sweep), so output is bit-identical for any worker count.
+// Two configurations cannot be phase-split and fall back to the serial
+// sweep: programs containing BAR (a barrier release mid-sweep wakes later
+// corelets within the same cycle) and clusters with a tracer installed (the
+// trace must interleave in issue order).
+func (cl *Cluster) Tick() {
+	if cl.pool != nil && !cl.code.hasBAR && cl.tracers == nil {
+		cl.parking = true
+		cl.pool.Run(cl.tickShard)
+		cl.parking = false
+		// Drain in shard order = ascending corelet order. Stats from the
+		// drained instructions land in shard 0; every counter is a
+		// commutative sum, so placement does not affect totals.
+		st := &cl.shards[0]
+		for s := range cl.shardLo[:len(cl.shardLo)-1] {
+			sh := &cl.shards[s]
+			for i := range sh.parked {
+				p := &sh.parked[i]
+				cl.exec(int(p.c), int(p.k), p.cyc, st)
+			}
+			sh.parked = sh.parked[:0]
+		}
 		return
 	}
-	n := len(c.sched)
-	id := c.rr + 1
-	for i := 0; i < n; i++ {
-		if id >= n {
-			id -= n
+	st := &cl.shards[0]
+	for w, word := range cl.active {
+		base := w * 64
+		for word != 0 {
+			c := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			cl.tickCore(c, st)
 		}
-		s := &c.sched[id]
-		if s.state != ctxReady || s.readyAt > c.cycle {
-			id++
-			continue
-		}
-		c.rr = id
-		c.execute(id, &c.contexts[id], s)
+	}
+}
+
+// TickCore advances a single corelet one cycle (the multicore model hands
+// each core several issue slots per system cycle; a mid-cycle halt still
+// burns its remaining slots as idle, as the object-per-core model did).
+func (cl *Cluster) TickCore(c int) { cl.tickCore(c, &cl.shards[0]) }
+
+func (cl *Cluster) tickCore(c int, st *shardStats) {
+	hd := &cl.cores[c]
+	hd.cycle++
+	cyc := hd.cycle
+	m := hd.ready
+	if m == 0 {
+		st.idleCycles++
 		return
 	}
-	c.stats.IdleCycles++
+	if hd.earliest > cyc {
+		// Every runnable context is still covering issue latency; the scan
+		// below cannot succeed before earliest, and wakes reset it.
+		st.idleCycles++
+		return
+	}
+	n := cl.nctx
+	if n == 4 {
+		// Default geometry: a four-probe circular scan beats the bitmap
+		// segment walk, and the fixed-size array view drops bounds checks.
+		ctxs := (*[4]ctxHot)(cl.ctxs[c*4:])
+		low := int64(math.MaxInt64)
+		k := int(hd.rr) + 1
+		for i := 0; i < 4; i++ {
+			if k >= 4 {
+				k = 0
+			}
+			if m>>uint(k)&1 != 0 {
+				if r := ctxs[k].readyAt; r <= cyc {
+					hd.rr = int32(k)
+					cl.exec(c, k, cyc, st)
+					return
+				} else if r < low {
+					low = r
+				}
+			}
+			k++
+		}
+		hd.earliest = low
+		st.idleCycles++
+		return
+	}
+	start := int(hd.rr) + 1
+	if start >= n {
+		start = 0
+	}
+	// Circular scan from start as two bitmap segments: [start..n-1], then
+	// [0..start-1]. Each probe pops the lowest set bit, so only runnable
+	// contexts are touched.
+	ctxs := cl.ctxs[c*n : c*n+n]
+	low := int64(math.MaxInt64)
+	for seg := m >> uint(start) << uint(start); seg != 0; seg &= seg - 1 {
+		k := bits.TrailingZeros64(seg)
+		if r := ctxs[k].readyAt; r <= cyc {
+			hd.rr = int32(k)
+			cl.exec(c, k, cyc, st)
+			return
+		} else if r < low {
+			low = r
+		}
+	}
+	for seg := m & (1<<uint(start) - 1); seg != 0; seg &= seg - 1 {
+		k := bits.TrailingZeros64(seg)
+		if r := ctxs[k].readyAt; r <= cyc {
+			hd.rr = int32(k)
+			cl.exec(c, k, cyc, st)
+			return
+		} else if r < low {
+			low = r
+		}
+	}
+	hd.earliest = low
+	st.idleCycles++
 }
 
 // advanceStream steps the hardware stream walker (isa.LDS semantics).
@@ -299,108 +639,278 @@ func advanceStream(regs *[isa.NumRegs]uint32) {
 	}
 }
 
-func (c *Corelet) latencyOf(class isa.Class) int { return c.latTab[class] }
-
-func (c *Corelet) execute(id int, ctx *context, s *sched) {
-	in := &c.insts[ctx.pc]
-	class := isa.Classify(in.Op)
-	if c.tracer != nil {
-		c.tracer(c.cycle, id, ctx.pc, *in)
+// exec interprets one instruction for context k of corelet c. The datapath,
+// branch conditions, and special cases all live in one switch over the
+// predecoded opcode, so each instruction costs a single dispatch; class
+// counting and issue latency come from the decoded fields.
+func (cl *Cluster) exec(c, k int, cyc int64, st *shardStats) {
+	idx := c*cl.nctx + k
+	ct := &cl.ctxs[idx]
+	pc := ct.pc
+	in := &cl.ops[pc]
+	if cl.tracers != nil {
+		if t := cl.tracers[c]; t != nil {
+			t(cyc, k, int(pc), cl.code.prog.Insts[pc])
+		}
 	}
+	// Register indices are masked to the register-file size (already
+	// guaranteed by Decode), which lets the compiler elide bounds checks.
+	regs := (*[isa.NumRegs]uint32)(cl.regs[idx*isa.NumRegs:])
+	a := regs[in.rs1&31]
+	b := regs[in.rs2&31]
+	var v uint32
 
-	// A global load's timing is resolved before the instruction retires:
-	// on Retry the context stays put and re-issues the same instruction
-	// next cycle; on Pending it sleeps until the memory system's callback.
-	// Dispatch switches directly on the opcode (not a compare chain) so the
-	// compiler can emit a jump table.
-	switch in.Op {
-	case isa.LDG, isa.LDS:
-		addr := uint32(int32(ctx.regs[in.Rs1]) + in.Imm)
-		if in.Op == isa.LDS {
-			addr = ctx.regs[isa.StreamAddr]
-		}
-		st := c.port.Read(id, addr, ctx.wake)
-		switch st {
-		case Retry:
-			c.stats.RetryCycles++
-			return // PC unchanged; retry next cycle
-		case Pending:
-			s.state = ctxWaitMem
-			c.ready--
-		}
-		c.setReg(ctx, in.Rd, c.read(addr))
-		if in.Op == isa.LDS {
-			advanceStream(&ctx.regs)
-		}
-		c.stats.ClassCounts[class]++
-		ctx.pc++
-		if st == Done {
-			s.readyAt = c.cycle + int64(c.lat.GlobalHit)
-		}
-		return
-	}
-
-	c.stats.ClassCounts[class]++
-	lat := c.latTab[class]
-
-	switch in.Op {
+	switch in.op {
+	case isa.NOP:
+		v = 0
 	case isa.HALT:
-		s.state = ctxHalted
-		c.halted++
-		c.ready--
-		return
-	case isa.BAR:
-		if c.barrier != nil {
-			ctx.pc++
-			s.state = ctxWaitMem
-			c.ready--
-			c.barrier(ctx.wake)
+		// Halting mutates the cluster-wide active set; during the parallel
+		// private phase it is parked and applied at the batch barrier.
+		if cl.parking {
+			st.parked = append(st.parked, parkRec{c: int32(c), k: int32(k), cyc: cyc})
 			return
 		}
-		// No coordinator installed: BAR is a no-op.
-	case isa.CSRR:
-		c.setReg(ctx, in.Rd, c.csr(id, in.Imm))
+		st.classCounts[in.class&15]++
+		hd := &cl.cores[c]
+		hd.ready &^= 1 << uint(k)
+		hd.haltCt++
+		if int(hd.haltCt) == cl.nctx {
+			cl.active[c/64] &^= 1 << uint(c%64)
+			cl.haltedCores++
+		}
+		return
+	case isa.ADD:
+		v = a + b
+	case isa.SUB:
+		v = a - b
+	case isa.MUL:
+		v = uint32(int32(a) * int32(b))
+	case isa.DIV:
+		ia, ib := int32(a), int32(b)
+		switch {
+		case ib == 0:
+			v = ^uint32(0) // RISC-V semantics: -1 on divide by zero
+		case ia == math.MinInt32 && ib == -1:
+			v = a // overflow: result = dividend
+		default:
+			v = uint32(ia / ib)
+		}
+	case isa.REM:
+		ia, ib := int32(a), int32(b)
+		switch {
+		case ib == 0:
+			v = a
+		case ia == math.MinInt32 && ib == -1:
+			v = 0
+		default:
+			v = uint32(ia % ib)
+		}
+	case isa.AND:
+		v = a & b
+	case isa.OR:
+		v = a | b
+	case isa.XOR:
+		v = a ^ b
+	case isa.SLL:
+		v = a << (b & 31)
+	case isa.SRL:
+		v = a >> (b & 31)
+	case isa.SRA:
+		v = uint32(int32(a) >> (b & 31))
+	case isa.SLT:
+		if int32(a) < int32(b) {
+			v = 1
+		}
+	case isa.SLTU:
+		if a < b {
+			v = 1
+		}
+	case isa.MIN:
+		v = b
+		if int32(a) < int32(b) {
+			v = a
+		}
+	case isa.MAX:
+		v = b
+		if int32(a) > int32(b) {
+			v = a
+		}
+	case isa.ADDI:
+		v = uint32(int32(a) + in.imm)
+	case isa.ANDI:
+		v = a & uint32(in.imm)
+	case isa.ORI:
+		v = a | uint32(in.imm)
+	case isa.XORI:
+		v = a ^ uint32(in.imm)
+	case isa.SLLI:
+		v = a << (uint32(in.imm) & 31)
+	case isa.SRLI:
+		v = a >> (uint32(in.imm) & 31)
+	case isa.SRAI:
+		v = uint32(int32(a) >> (uint32(in.imm) & 31))
+	case isa.SLTI:
+		if int32(a) < in.imm {
+			v = 1
+		}
+	case isa.LUI:
+		v = uint32(in.imm) << 12
+	case isa.FADD:
+		v = isa.Bits(isa.F32(a) + isa.F32(b))
+	case isa.FSUB:
+		v = isa.Bits(isa.F32(a) - isa.F32(b))
+	case isa.FMUL:
+		v = isa.Bits(isa.F32(a) * isa.F32(b))
+	case isa.FDIV:
+		v = isa.Bits(isa.F32(a) / isa.F32(b))
+	case isa.FSQRT:
+		v = isa.Bits(float32(math.Sqrt(float64(isa.F32(a)))))
+	case isa.FMIN:
+		v = isa.Bits(float32(math.Min(float64(isa.F32(a)), float64(isa.F32(b)))))
+	case isa.FMAX:
+		v = isa.Bits(float32(math.Max(float64(isa.F32(a)), float64(isa.F32(b)))))
+	case isa.FLT:
+		if isa.F32(a) < isa.F32(b) {
+			v = 1
+		}
+	case isa.FLE:
+		if isa.F32(a) <= isa.F32(b) {
+			v = 1
+		}
+	case isa.FEQ:
+		if isa.F32(a) == isa.F32(b) {
+			v = 1
+		}
+	case isa.CVTIF:
+		v = isa.Bits(float32(int32(a)))
+	case isa.CVTFI:
+		v = uint32(int32(isa.F32(a)))
 	case isa.LW:
-		addr := uint32(int32(ctx.regs[in.Rs1]) + in.Imm)
-		c.setReg(ctx, in.Rd, c.local[c.localIndex(addr)])
+		addr := uint32(int32(a) + in.imm)
+		v = cl.locals[c*cl.localWords+cl.localIndex(c, addr)]
 	case isa.SW:
-		addr := uint32(int32(ctx.regs[in.Rs1]) + in.Imm)
-		c.local[c.localIndex(addr)] = ctx.regs[in.Rs2]
+		addr := uint32(int32(a) + in.imm)
+		cl.locals[c*cl.localWords+cl.localIndex(c, addr)] = b
+		st.classCounts[in.class&15]++
+		ct.pc = pc + 1
+		ct.readyAt = cyc + int64(in.lat)
+		return
+	case isa.LDG, isa.LDS:
+		// A global load's timing is resolved before the instruction
+		// retires: on Retry the context stays put and re-issues the same
+		// instruction next cycle; on Pending it sleeps until the memory
+		// system's callback.
+		// The port is shared with every corelet on the channel, and access
+		// order is timing-visible; during the parallel private phase global
+		// loads are parked and re-executed serially in canonical order.
+		if cl.parking {
+			st.parked = append(st.parked, parkRec{c: int32(c), k: int32(k), cyc: cyc})
+			return
+		}
+		addr := uint32(int32(a) + in.imm)
+		if in.op == isa.LDS {
+			addr = regs[isa.StreamAddr]
+		}
+		stl := cl.ports[c].Read(k, addr, cl.wakes[idx])
+		switch stl {
+		case Retry:
+			st.retryCycles++
+			return // PC unchanged; retry next cycle
+		case Pending:
+			cl.cores[c].ready &^= 1 << uint(k)
+		}
+		if in.rd != 0 {
+			regs[in.rd&31] = cl.read(addr)
+		}
+		if in.op == isa.LDS {
+			advanceStream(regs)
+		}
+		st.classCounts[in.class&15]++
+		ct.pc = pc + 1
+		if stl == Done {
+			ct.readyAt = cyc + int64(in.lat)
+		}
+		return
 	case isa.STG:
 		// The PNM execution model keeps live state in local memory
 		// (Section III-B); a global store in a kernel is a porting bug,
 		// surfaced loudly rather than silently mis-timed.
 		panic("corelet: STG not supported by the PNM kernels (live state must stay in local memory)")
 	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
-		c.stats.CondBranches++
-		taken, _ := isa.EvalBranch(in.Op, ctx.regs[in.Rs1], ctx.regs[in.Rs2])
+		st.condBranches++
+		var taken bool
+		switch in.op {
+		case isa.BEQ:
+			taken = a == b
+		case isa.BNE:
+			taken = a != b
+		case isa.BLT:
+			taken = int32(a) < int32(b)
+		case isa.BGE:
+			taken = int32(a) >= int32(b)
+		case isa.BLTU:
+			taken = a < b
+		default: // BGEU
+			taken = a >= b
+		}
+		st.classCounts[in.class&15]++
 		if taken {
-			c.stats.TakenCond++
-			ctx.pc = int(in.Imm)
-			s.readyAt = c.cycle + int64(c.lat.TakenBranch)
+			st.takenCond++
+			ct.pc = in.imm
+			ct.readyAt = cyc + cl.code.takenLat
 			return
 		}
+		ct.pc = pc + 1
+		ct.readyAt = cyc + int64(in.lat)
+		return
 	case isa.J:
-		ctx.pc = int(in.Imm)
-		s.readyAt = c.cycle + int64(c.lat.TakenBranch)
+		st.classCounts[in.class&15]++
+		ct.pc = in.imm
+		ct.readyAt = cyc + cl.code.takenLat
 		return
 	case isa.JAL:
-		c.setReg(ctx, in.Rd, uint32(ctx.pc+1))
-		ctx.pc = int(in.Imm)
-		s.readyAt = c.cycle + int64(c.lat.TakenBranch)
+		st.classCounts[in.class&15]++
+		if in.rd != 0 {
+			regs[in.rd&31] = uint32(pc + 1)
+		}
+		ct.pc = in.imm
+		ct.readyAt = cyc + cl.code.takenLat
 		return
 	case isa.JR:
-		ctx.pc = int(ctx.regs[in.Rs1])
-		s.readyAt = c.cycle + int64(c.lat.TakenBranch)
+		st.classCounts[in.class&15]++
+		ct.pc = int32(a)
+		ct.readyAt = cyc + cl.code.takenLat
+		return
+	case isa.CSRR:
+		v = cl.csr(c, k, in.imm)
+	case isa.BAR:
+		// Unreachable when parallel (hasBAR forces the serial sweep), but the
+		// park keeps exec safe under any future caller.
+		if cl.parking {
+			st.parked = append(st.parked, parkRec{c: int32(c), k: int32(k), cyc: cyc})
+			return
+		}
+		if cl.barrier != nil {
+			st.classCounts[in.class&15]++
+			ct.pc = pc + 1
+			cl.cores[c].ready &^= 1 << uint(k)
+			cl.barrier(cl.wakes[idx])
+			return
+		}
+		// No coordinator installed: BAR is a no-op that writes no register.
+		st.classCounts[in.class&15]++
+		ct.pc = pc + 1
+		ct.readyAt = cyc + int64(in.lat)
 		return
 	default:
-		b := ctx.regs[in.Rs2]
-		v, ok := isa.EvalALUOp(in.Op, in.Imm, ctx.regs[in.Rs1], b)
-		if !ok {
-			panic(fmt.Sprintf("corelet: unhandled op %v at pc %d", in.Op, ctx.pc))
-		}
-		c.setReg(ctx, in.Rd, v)
+		panic(fmt.Sprintf("corelet: unhandled op %v at pc %d", in.op, pc))
 	}
-	ctx.pc++
-	s.readyAt = c.cycle + int64(lat)
+	// Unconditional writeback: rd==0 means "discard", which the tail models
+	// by letting the store land in r0 and re-zeroing it — two cheap stores
+	// instead of a data-dependent branch on the hot path.
+	regs[in.rd&31] = v
+	regs[0] = 0
+	st.classCounts[in.class&15]++
+	ct.pc = pc + 1
+	ct.readyAt = cyc + int64(in.lat)
 }

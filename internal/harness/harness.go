@@ -74,6 +74,11 @@ type RunResult struct {
 	// Timeline holds the cycle-sampled gauge series when Options.TimelineEvery
 	// was set (millipede-family architectures only); nil otherwise.
 	Timeline *metrics.Timeline
+	// CycleAllocs and CycleBytes count heap allocations made inside the
+	// model's cycle loop (zero in steady state by design; benchreport
+	// records them per run as the zero-alloc gate).
+	CycleAllocs uint64
+	CycleBytes  uint64
 }
 
 // setMemStats copies the controller counters out of a processor result.
@@ -99,7 +104,16 @@ type Options struct {
 	// TimelineEvery enables the cycle-domain gauge sampler at the given
 	// period (millipede-family architectures only); zero disables it.
 	TimelineEvery uint64
+	// Parallelism sets the worker count of the barrier-batched parallel
+	// cycle engine (arch.Params.Parallelism); 0 keeps the configured value
+	// (serial by default). Results are bit-identical for every value — this
+	// is a simulator-speed knob, not a model parameter.
+	Parallelism int
 }
+
+// WithParallelism returns Options running the parallel cycle engine with n
+// workers.
+func WithParallelism(n int) Options { return Options{Parallelism: n} }
 
 func (o Options) seed() uint64 {
 	if o.Seed == 0 {
@@ -142,6 +156,9 @@ func (r *RunResult) attachMetrics(m metrics.Snapshot) {
 func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int, o Options) (RunResult, []uint32, error) {
 	ep := energy.Default()
 	seed := o.seed()
+	if o.Parallelism > 0 {
+		p.Parallelism = o.Parallelism
+	}
 	res := RunResult{Arch: archName, Bench: b.Name()}
 	res.Words = uint64(p.Threads()) * uint64(b.StreamWords(records))
 	var states [][]uint32
@@ -195,6 +212,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
+		res.CycleAllocs, res.CycleBytes = r.Allocs, r.AllocBytes
 		res.Timeline = r.Timeline
 		res.attachMetrics(r.Metrics)
 
@@ -221,6 +239,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
+		res.CycleAllocs, res.CycleBytes = r.Allocs, r.AllocBytes
 		res.attachMetrics(r.Metrics)
 
 	case ArchGPGPU, ArchVWS, ArchVWSRow:
@@ -252,6 +271,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
+		res.CycleAllocs, res.CycleBytes = r.Allocs, r.AllocBytes
 		res.attachMetrics(r.Metrics)
 
 	case ArchMulticore:
@@ -298,6 +318,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
+		res.CycleAllocs, res.CycleBytes = r.Allocs, r.AllocBytes
 		res.Words = uint64(c.Threads()) * uint64(b.StreamWords(mcRecords))
 		res.attachMetrics(r.Metrics)
 

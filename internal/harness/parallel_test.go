@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/workloads"
+)
+
+// TestParallelismBitIdentical is the parallel-engine determinism gate: the
+// same experiment run serially and with 2 and 8 workers must produce
+// byte-identical metric snapshots and identical host-side reduces, for every
+// kernel on each cluster-based architecture family. The worker count is a
+// simulator-speed knob only; any divergence means a cross-shard effect
+// escaped the batch barrier.
+func TestParallelismBitIdentical(t *testing.T) {
+	p := arch.Default()
+	for _, a := range []string{ArchMillipede, ArchMillipedeNoFC, ArchSSMC} {
+		for _, b := range workloads.All() {
+			ref, refRed, err := RunWith(a, b, p, 32, Options{Parallelism: 1})
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", a, b.Name(), err)
+			}
+			refTxt := ref.Metrics.Render()
+			for _, par := range []int{2, 8} {
+				got, gotRed, err := RunWith(a, b, p, 32, Options{Parallelism: par})
+				if err != nil {
+					t.Fatalf("%s/%s par=%d: %v", a, b.Name(), par, err)
+				}
+				if txt := got.Metrics.Render(); txt != refTxt {
+					t.Errorf("%s/%s: snapshot at par=%d differs from serial\n--- serial\n%s--- par=%d\n%s",
+						a, b.Name(), par, refTxt, par, txt)
+				}
+				if len(gotRed) != len(refRed) {
+					t.Fatalf("%s/%s par=%d: reduce length %d != %d", a, b.Name(), par, len(gotRed), len(refRed))
+				}
+				for i := range refRed {
+					if gotRed[i] != refRed[i] {
+						t.Fatalf("%s/%s par=%d: reduce word %d = %#x, serial %#x",
+							a, b.Name(), par, i, gotRed[i], refRed[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelismBarrierProgramsSerial checks that the multi-channel
+// configuration — where the memory fabric's harvest phase also shards across
+// the pool — stays bit-identical too.
+func TestParallelismMultiChannel(t *testing.T) {
+	p := arch.Default().WithSize(64) // 2 row-interleaved channels
+	b := workloads.CountBench()
+	ref, _, err := RunWith(ArchMillipede, b, p, 16, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for _, par := range []int{2, 8} {
+		got, _, err := RunWith(ArchMillipede, b, p, 16, Options{Parallelism: par})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if got.Metrics.Render() != ref.Metrics.Render() {
+			t.Errorf("multi-channel snapshot at par=%d differs from serial", par)
+		}
+	}
+}

@@ -78,6 +78,9 @@ type Controller struct {
 	depth int
 	queue []queued
 	fly   []inflight
+	// ready holds requests harvested (data arrived) but not yet delivered;
+	// populated by Harvest, drained by Deliver.
+	ready []inflight
 	cycle int64
 	stats Stats
 	// Fault injection: completion jitter (see SetJitter).
@@ -105,7 +108,16 @@ func New(d *dram.DRAM, depth int) (*Controller, error) {
 	if depth <= 0 {
 		return nil, fmt.Errorf("memctrl: bad depth %d", depth)
 	}
-	return &Controller{D: d, depth: depth}, nil
+	// All three request lists are pre-sized so the steady-state tick
+	// allocates nothing: the queue is bounded by depth, and the in-flight /
+	// pending-delivery lists grow only if DRAM service overlap ever exceeds
+	// twice the queue depth.
+	return &Controller{
+		D: d, depth: depth,
+		queue: make([]queued, 0, depth),
+		fly:   make([]inflight, 0, 2*depth),
+		ready: make([]inflight, 0, 2*depth),
+	}, nil
 }
 
 // Stats returns a copy of the counters.
@@ -141,8 +153,11 @@ func (c *Controller) Cycle() int64 { return c.cycle }
 // Pending returns the number of queued (not yet issued) requests.
 func (c *Controller) Pending() int { return len(c.queue) }
 
-// Idle reports whether no requests are queued or in flight.
-func (c *Controller) Idle() bool { return len(c.queue) == 0 && len(c.fly) == 0 }
+// Idle reports whether no requests are queued, in flight, or awaiting
+// delivery.
+func (c *Controller) Idle() bool {
+	return len(c.queue) == 0 && len(c.fly) == 0 && len(c.ready) == 0
+}
 
 // Enqueue adds a request; it returns false (and drops the request) when the
 // queue is full, in which case the client must retry — processor models
@@ -166,21 +181,51 @@ func (c *Controller) Enqueue(r Request) bool {
 // Tick advances the controller one channel cycle: it completes any requests
 // whose data has fully arrived, then issues at most one request chosen by
 // FR-FCFS (first ready row hit, else oldest ready).
+//
+// Tick is equivalent to Harvest(); Deliver(); Issue(). The split exists for
+// the multi-channel fabric's batch-parallel schedule: Harvest touches only
+// controller-private state and may run concurrently across channels, while
+// Deliver (which runs client callbacks) and Issue are applied serially at
+// the batch barrier in canonical channel order.
 func (c *Controller) Tick() {
+	c.Harvest()
+	c.Deliver()
+	c.Issue()
+}
+
+// Harvest advances the controller's cycle and moves every request whose data
+// has fully arrived from the in-flight set to the pending-delivery list, in
+// the same scan order Tick historically delivered them. No client callbacks
+// run; Harvest only touches controller-private state.
+func (c *Controller) Harvest() {
 	c.cycle++
-	// Deliver completions.
 	for i := 0; i < len(c.fly); {
 		if c.fly[i].doneAt <= c.cycle {
 			f := c.fly[i]
 			c.fly[i] = c.fly[len(c.fly)-1]
 			c.fly = c.fly[:len(c.fly)-1]
-			if f.done != nil {
-				f.done(c.cycle, f.hit)
-			}
+			c.ready = append(c.ready, f)
 			continue
 		}
 		i++
 	}
+}
+
+// Deliver invokes the Done callback of every request harvested this cycle,
+// in harvest order. Callbacks may re-enter Enqueue.
+func (c *Controller) Deliver() {
+	for i := range c.ready {
+		f := &c.ready[i]
+		if f.done != nil {
+			f.done(c.cycle, f.hit)
+		}
+	}
+	c.ready = c.ready[:0]
+}
+
+// Issue dispatches at most one queued request chosen by FR-FCFS (first ready
+// row hit, else oldest ready).
+func (c *Controller) Issue() {
 	if len(c.queue) == 0 {
 		return
 	}

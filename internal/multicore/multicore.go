@@ -14,6 +14,7 @@ package multicore
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -91,10 +92,58 @@ type delayed struct {
 }
 
 // delayLine defers callbacks by core cycles, modeling L2 hit latency on top
-// of the synchronous cache stack.
+// of the synchronous cache stack. It also owns the freelist of delayCtx
+// records so the per-request Done plumbing allocates nothing in steady state.
 type delayLine struct {
-	now uint64
-	q   []delayed
+	now  uint64
+	q    []delayed
+	free []*delayCtx
+}
+
+// delayCtx carries one request's completion through the delay line. Both of
+// its closures are built once at allocation and reused for every request the
+// context serves.
+type delayCtx struct {
+	d     *delayLine
+	delay int
+	done  func(int64, bool)
+	cycle int64
+	hit   bool
+	wrap  func(int64, bool) // handed to the inner port as Done
+	fire  func()            // runs after the delay; recycles the ctx
+}
+
+func (d *delayLine) newCtx() *delayCtx {
+	ctx := &delayCtx{d: d}
+	ctx.wrap = func(cycle int64, hit bool) {
+		ctx.cycle, ctx.hit = cycle, hit
+		ctx.d.after(ctx.delay, ctx.fire)
+	}
+	ctx.fire = func() {
+		if ctx.done != nil {
+			ctx.done(ctx.cycle, ctx.hit)
+		}
+		ctx.done = nil
+		ctx.d.free = append(ctx.d.free, ctx)
+	}
+	return ctx
+}
+
+func (d *delayLine) getCtx(delay int, done func(int64, bool)) *delayCtx {
+	n := len(d.free)
+	if n == 0 {
+		d.free = append(d.free, d.newCtx())
+		n = 1
+	}
+	ctx := d.free[n-1]
+	d.free = d.free[:n-1]
+	ctx.delay, ctx.done = delay, done
+	return ctx
+}
+
+func (d *delayLine) putCtx(ctx *delayCtx) {
+	ctx.done = nil
+	d.free = append(d.free, ctx)
 }
 
 func (d *delayLine) after(cycles int, fn func()) {
@@ -123,15 +172,13 @@ type delayedPort struct {
 }
 
 func (b delayedPort) Enqueue(r mem.Request) bool {
-	done := r.Done
-	r.Done = func(cycle int64, hit bool) {
-		b.d.after(b.delay, func() {
-			if done != nil {
-				done(cycle, hit)
-			}
-		})
+	ctx := b.d.getCtx(b.delay, r.Done)
+	r.Done = ctx.wrap
+	ok := b.inner.Enqueue(r)
+	if !ok {
+		b.d.putCtx(ctx)
 	}
-	return b.inner.Enqueue(r)
+	return ok
 }
 
 func (b delayedPort) Tick() { b.inner.Tick() }
@@ -148,18 +195,26 @@ type Result struct {
 	Mem           core.MemStats
 	Energy        energy.Breakdown
 	Metrics       metrics.Snapshot
+	// Allocs and AllocBytes count heap allocations made inside the run's
+	// cycle loop (zero in steady state by design; see benchreport).
+	Allocs     uint64
+	AllocBytes uint64
 }
 
 // System is the 8-core conventional machine.
 type System struct {
-	C     Config
-	EP    energy.Params
-	eng   *sim.Engine
-	msys  *mem.System
-	cores []*corelet.Corelet
-	// live is the active set of non-halted cores, compacted in registration
-	// order as cores halt (cores never un-halt).
-	live  []*corelet.Corelet
+	C    Config
+	EP   energy.Params
+	eng  *sim.Engine
+	msys *mem.System
+	// cluster holds every core's hot state in one structure-of-arrays image.
+	// The multicore clock hands each core IssueWidth issue slots per system
+	// cycle, so the cores are ticked individually (TickCore) rather than as
+	// a cluster sweep.
+	cluster *corelet.Cluster
+	// live is the active set of non-halted core indices, compacted in
+	// registration order as cores halt (cores never un-halt).
+	live  []int32
 	l1s   []*cache.Cache
 	l2s   []*cache.Cache
 	delay *delayLine
@@ -217,9 +272,21 @@ func New(c Config, ep energy.Params, l core.Launch) (*System, error) {
 		return nil, err
 	}
 	msys.LoadWords(0, flat)
-	s := &System{C: c, EP: ep, eng: sim.NewEngine(), msys: msys, delay: &delayLine{}, lay: lay}
+	s := &System{C: c, EP: ep, eng: sim.NewEngine(), msys: msys, lay: lay}
+	s.delay = &delayLine{q: make([]delayed, 0, 256)}
+	// Outstanding delayed completions are bounded by the L1s' collective
+	// MSHR capacity; pre-seed past it so the cycle loop never grows the list.
+	s.delay.free = make([]*delayCtx, 0, 32*c.Cores)
+	for i := 0; i < 16*c.Cores; i++ {
+		s.delay.free = append(s.delay.free, s.delay.newCtx())
+	}
 
 	read := func(addr uint32) uint32 { return msys.ReadWord(addr) }
+	code, err := corelet.Decode(l.Prog, c.Latencies)
+	if err != nil {
+		return nil, err
+	}
+	ports := make([]corelet.GlobalPort, c.Cores)
 	for i := 0; i < c.Cores; i++ {
 		l2, err := cache.New(cache.Config{
 			SizeBytes: c.L2Bytes, LineBytes: c.LineBytes, Assoc: 8, PrefetchDepth: 2,
@@ -233,19 +300,25 @@ func New(c Config, ep energy.Params, l core.Launch) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		ids := corelet.IDs{Corelet: i, NumCorelets: c.Cores, NumContexts: c.SMT}
-		co, err := corelet.New(ids, l.Prog, c.LocalBytes, c.Latencies, port{c: l1}, read)
-		if err != nil {
-			return nil, err
-		}
-		for j, w := range l.Args {
-			co.WriteLocal(uint32(j*4), w)
-		}
-		s.cores = append(s.cores, co)
+		ports[i] = port{c: l1}
 		s.l1s = append(s.l1s, l1)
 		s.l2s = append(s.l2s, l2)
 	}
-	s.live = append([]*corelet.Corelet(nil), s.cores...)
+	s.cluster, err = corelet.NewCluster(corelet.Config{
+		Corelets:   c.Cores,
+		Contexts:   c.SMT,
+		LocalBytes: c.LocalBytes,
+		Latencies:  c.Latencies,
+	}, code, ports, read)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < c.Cores; i++ {
+		for j, w := range l.Args {
+			s.cluster.WriteLocal(i, uint32(j*4), w)
+		}
+		s.live = append(s.live, int32(i))
+	}
 
 	s.reg = metrics.NewRegistry()
 	s.reg.Counter("core.cycles", func() uint64 { return s.ticks })
@@ -274,11 +347,11 @@ func (s *System) tick(sim.Time) {
 	n := 0
 	for i, co := range live {
 		for k := 0; k < s.C.IssueWidth; k++ {
-			co.Tick()
+			s.cluster.TickCore(int(co))
 		}
-		if !co.Halted() {
+		if !s.cluster.CoreHalted(int(co)) {
 			if n != i {
-				live[n] = co // only move on an actual halt: skips the write barrier
+				live[n] = co // only move on an actual halt
 			}
 			n++
 		}
@@ -294,11 +367,16 @@ func (s *System) Run(limit sim.Time) (Result, error) {
 	if limit == 0 {
 		limit = 10 * sim.Second
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m0, b0 := ms.Mallocs, ms.TotalAlloc
 	t, err := s.eng.Run(limit, s.Halted)
 	if err != nil {
 		return Result{}, err
 	}
+	runtime.ReadMemStats(&ms)
 	r := Result{Time: t, ComputeCycles: s.ticks}
+	r.Allocs, r.AllocBytes = ms.Mallocs-m0, ms.TotalAlloc-b0
 	r.Cores = s.coreStats()
 	r.L1 = s.cacheStats(s.l1s)
 	r.L2 = s.cacheStats(s.l2s)
@@ -311,15 +389,9 @@ func (s *System) Run(limit sim.Time) (Result, error) {
 	return r, nil
 }
 
-// coreStats aggregates per-core execution counters for the registry and the
-// Result.
-func (s *System) coreStats() corelet.Stats {
-	var agg corelet.Stats
-	for _, co := range s.cores {
-		agg.Add(co.Stats())
-	}
-	return agg
-}
+// coreStats supplies the aggregate execution counters for the registry and
+// the Result.
+func (s *System) coreStats() corelet.Stats { return s.cluster.Stats() }
 
 // cacheStats aggregates one cache level's counters.
 func (s *System) cacheStats(level []*cache.Cache) cache.Stats {
@@ -353,7 +425,7 @@ func (s *System) energyOf(r Result, t sim.Time) energy.Breakdown {
 
 // ReadState reads a word of a core's local state after the run.
 func (s *System) ReadState(coreID int, addr uint32) uint32 {
-	return s.cores[coreID].ReadLocal(addr)
+	return s.cluster.ReadLocal(coreID, addr)
 }
 
 // Layout returns the input layout.

@@ -47,6 +47,11 @@ type Config struct {
 	Corelets    int  // slabs per entry (32)
 	RowBytes    int  // 2048
 	FlowControl bool // the paper's DF-counter flow control
+	// MaxWaiters pre-sizes each entry's wait-list (normally the processor's
+	// total context count — every hardware thread can block on one entry).
+	// Zero defaults to Corelets. Purely a steady-state-allocation hint;
+	// lists grow past it if ever needed.
+	MaxWaiters int
 }
 
 // Validate checks the configuration.
@@ -163,6 +168,9 @@ type Buffer struct {
 	// pending are fetches bounced off a full controller queue, retried by
 	// Pump (same key encoding as inFlight).
 	pending []int64
+	// ctxFree recycles fetch-context objects (see fetchCtx); pre-seeded to
+	// the in-flight bound so steady-state issues allocate nothing.
+	ctxFree []*fetchCtx
 	// stash is the per-corelet snoop latch: without flow control, a
 	// prematurely evicted row is demand re-fetched and forwarded rather
 	// than re-buffered; each requesting corelet latches its slab of the
@@ -190,16 +198,59 @@ func New(cfg Config, port mem.Port) (*Buffer, error) {
 		port:     port,
 		fullMask: uint64(1)<<uint(cfg.SlabWords()) - 1,
 	}
+	maxW := cfg.MaxWaiters
+	if maxW <= 0 {
+		maxW = cfg.Corelets
+	}
 	b.entries = make([]entry, cfg.Entries)
 	for i := range b.entries {
 		b.entries[i].row = -1
 		b.entries[i].consumed = make([]uint64, cfg.Corelets)
+		b.entries[i].waiters = make([]waiter, 0, maxW)
+	}
+	// Every (corelet, context) can park on at most one row, so the number
+	// of simultaneously live wait-lists — resident entries plus parked
+	// future rows — is bounded by Entries + Corelets lists in practice
+	// (without flow control, lagging corelets spread across many rows).
+	// Seed the pool past that so the cycle loop never allocates a list.
+	nlists := cfg.Entries + cfg.Corelets
+	b.future = make([]futureRow, 0, nlists)
+	b.waiterPool = make([][]waiter, 0, 2*nlists)
+	for i := 0; i < nlists; i++ {
+		b.waiterPool = append(b.waiterPool, make([]waiter, 0, maxW))
 	}
 	b.stash = make([]int64, cfg.Corelets)
 	for i := range b.stash {
 		b.stash[i] = -1
 	}
+	bound := cfg.Entries + cfg.Corelets + 1
+	b.inFlight = make([]int64, 0, bound)
+	b.pending = make([]int64, 0, bound)
+	b.ctxFree = make([]*fetchCtx, 0, bound)
+	for i := 0; i < bound; i++ {
+		b.ctxFree = append(b.ctxFree, newFetchCtx(b))
+	}
 	return b, nil
+}
+
+// fetchCtx carries the (row, who) identity of one outstanding fetch into the
+// memory system's completion callback. The closure is built once per context
+// and contexts recycle through ctxFree, so a fetch issue allocates nothing
+// once the pool is warm (it is pre-seeded to the in-flight bound: Entries
+// row fetches + Corelets slab fetches).
+type fetchCtx struct {
+	row  int64
+	who  int
+	done func(int64, bool)
+}
+
+func newFetchCtx(b *Buffer) *fetchCtx {
+	c := &fetchCtx{}
+	c.done = func(int64, bool) {
+		b.arrive(c.row, c.who)
+		b.ctxFree = append(b.ctxFree, c)
+	}
+	return c
 }
 
 // Stats returns a copy of the event counters.
@@ -263,7 +314,11 @@ func (b *Buffer) newWaiters() []waiter {
 		b.waiterPool = b.waiterPool[:n-1]
 		return ws
 	}
-	return make([]waiter, 0, 8)
+	n := b.cfg.MaxWaiters
+	if n <= 0 {
+		n = b.cfg.Corelets
+	}
+	return make([]waiter, 0, n)
 }
 
 // recycle returns a detached wait-list's backing array to the pool. Callers
@@ -356,9 +411,17 @@ func (b *Buffer) issue(row int64, who int) {
 		bytes = b.cfg.SlabWords() * 4
 		addr += uint32(who * bytes)
 	}
-	ok := b.port.Enqueue(mem.Request{Addr: addr, Bytes: bytes,
-		Done: func(int64, bool) { b.arrive(row, who) }})
+	n := len(b.ctxFree)
+	if n == 0 {
+		b.ctxFree = append(b.ctxFree, newFetchCtx(b))
+		n = 1
+	}
+	c := b.ctxFree[n-1]
+	b.ctxFree = b.ctxFree[:n-1]
+	c.row, c.who = row, who
+	ok := b.port.Enqueue(mem.Request{Addr: addr, Bytes: bytes, Done: c.done})
 	if !ok {
+		b.ctxFree = append(b.ctxFree, c)
 		b.stats.FetchRejects++
 		b.pending = append(b.pending, key)
 		return

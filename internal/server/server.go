@@ -64,6 +64,12 @@ type jobRequest struct {
 	HostBandwidthGBs float64         `json:"host_bandwidth_gbs,omitempty"`
 	TimelineEvery    uint64          `json:"timeline_every,omitempty"`
 	TimeoutMS        int64           `json:"timeout_ms,omitempty"`
+	// Parallelism picks the worker count of the deterministic parallel cycle
+	// engine for this job (0 = the server default). Like timeout_ms it is an
+	// operational knob, not part of the canonical form: every value produces
+	// bit-identical results, so ids and cache entries are shared across
+	// parallelism settings.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Runner executes one canonical request. The default runner dispatches to
@@ -85,6 +91,10 @@ type Options struct {
 	// millid store daemon, via rescache.NewHTTPTier, or an in-process
 	// rescache.Store); nil keeps the cache single-tier.
 	Shared rescache.SharedTier
+	// Parallelism is the default worker count of the deterministic parallel
+	// cycle engine for jobs that do not set "parallelism" themselves (0 or 1
+	// = serial). Results are bit-identical for every value.
+	Parallelism int
 	// Runner overrides the simulation backend (tests); nil runs the real
 	// experiment registry.
 	Runner Runner
@@ -103,6 +113,7 @@ type jobRecord struct {
 	ID          string
 	Req         Request
 	Timeout     time.Duration
+	Parallelism int // effective engine worker count (operational, like Timeout)
 	Status      jobStatus
 	Error       string
 	Cached      bool // satisfied from the result cache without simulating
@@ -122,6 +133,7 @@ type Server struct {
 	reg      *metrics.Registry
 	run      Runner
 	timeout  time.Duration
+	par      int // default cycle-engine parallelism for jobs that set none
 	expNames map[string]bool
 
 	mu       sync.Mutex
@@ -150,6 +162,7 @@ func New(base arch.Params, o Options) *Server {
 		cache:    rescache.New(cacheEntries),
 		run:      o.Runner,
 		timeout:  o.DefaultTimeout,
+		par:      o.Parallelism,
 		expNames: map[string]bool{},
 		jobsByID: map[string]*jobRecord{},
 		mux:      http.NewServeMux(),
@@ -211,8 +224,9 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// normalize validates the wire request and produces its canonical form.
-func (s *Server) normalize(jr jobRequest) (Request, time.Duration, error) {
+// normalize validates the wire request and produces its canonical form plus
+// the operational knobs (timeout, engine parallelism) that ride alongside it.
+func (s *Server) normalize(jr jobRequest) (Request, time.Duration, int, error) {
 	return canonicalize(s.base, s.expNames, s.timeout, jr)
 }
 
@@ -233,7 +247,7 @@ func CanonicalID(base arch.Params, body []byte) (string, error) {
 	if err := dec.Decode(&jr); err != nil {
 		return "", fmt.Errorf("bad request body: %w", err)
 	}
-	req, _, err := canonicalize(base, canonNames, 0, jr)
+	req, _, _, err := canonicalize(base, canonNames, 0, jr)
 	if err != nil {
 		return "", err
 	}
@@ -247,28 +261,41 @@ var (
 
 // canonicalize validates one wire request against the experiment set and
 // produces its canonical form over the base configuration.
-func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Duration, jr jobRequest) (Request, time.Duration, error) {
+func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Duration, jr jobRequest) (Request, time.Duration, int, error) {
 	if !expNames[jr.Experiment] {
-		return Request{}, 0, fmt.Errorf("unknown experiment %q (see GET /v1/experiments)", jr.Experiment)
+		return Request{}, 0, 0, fmt.Errorf("unknown experiment %q (see GET /v1/experiments)", jr.Experiment)
 	}
 	if jr.Scale < 0 || math.IsInf(jr.Scale, 0) {
-		return Request{}, 0, fmt.Errorf("bad scale %g", jr.Scale)
+		return Request{}, 0, 0, fmt.Errorf("bad scale %g", jr.Scale)
 	}
 	if jr.TimeoutMS < 0 {
-		return Request{}, 0, fmt.Errorf("bad timeout_ms %d", jr.TimeoutMS)
+		return Request{}, 0, 0, fmt.Errorf("bad timeout_ms %d", jr.TimeoutMS)
+	}
+	if jr.Parallelism < 0 {
+		return Request{}, 0, 0, fmt.Errorf("bad parallelism %d", jr.Parallelism)
 	}
 	if jr.HostBandwidthGBs < 0 {
-		return Request{}, 0, fmt.Errorf("bad host_bandwidth_gbs %g", jr.HostBandwidthGBs)
+		return Request{}, 0, 0, fmt.Errorf("bad host_bandwidth_gbs %g", jr.HostBandwidthGBs)
 	}
 	p := base
 	if len(jr.Params) > 0 {
 		if err := json.Unmarshal(jr.Params, &p); err != nil {
-			return Request{}, 0, fmt.Errorf("bad params: %v", err)
+			return Request{}, 0, 0, fmt.Errorf("bad params: %v", err)
 		}
 		if err := p.Validate(); err != nil {
-			return Request{}, 0, fmt.Errorf("bad params: %v", err)
+			return Request{}, 0, 0, fmt.Errorf("bad params: %v", err)
 		}
 	}
+	// Engine parallelism never changes what is simulated (results are
+	// bit-identical at every worker count), so it is stripped from the
+	// canonical form — identical simulations share one id and one cache
+	// entry regardless of how many workers execute them. The top-level
+	// field wins over a value smuggled in via params.
+	par := p.Parallelism
+	if jr.Parallelism > 0 {
+		par = jr.Parallelism
+	}
+	p.Parallelism = 0
 	req := Request{
 		Experiment:       jr.Experiment,
 		Params:           p,
@@ -288,7 +315,7 @@ func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Du
 		// The registry's experiments all run at the canonical dataset seed;
 		// per-experiment seed plumbing is future work (the field is in the
 		// canonical form already so ids won't change when it lands).
-		return Request{}, 0, fmt.Errorf("unsupported seed %d: registry experiments run at the canonical seed %d", req.Seed, harness.Seed)
+		return Request{}, 0, 0, fmt.Errorf("unsupported seed %d: registry experiments run at the canonical seed %d", req.Seed, harness.Seed)
 	}
 	if req.HostBandwidthGBs == 0 {
 		req.HostBandwidthGBs = 16
@@ -300,7 +327,7 @@ func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Du
 	if jr.TimeoutMS > 0 {
 		timeout = time.Duration(jr.TimeoutMS) * time.Millisecond
 	}
-	return req, timeout, nil
+	return req, timeout, par, nil
 }
 
 // statusBody is the job-status wire form (POST /v1/jobs, GET /v1/jobs/{id}).
@@ -352,10 +379,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	req, timeout, err := s.normalize(jr)
+	req, timeout, par, err := s.normalize(jr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if par == 0 {
+		par = s.par
 	}
 	id, err := rescache.Key(req)
 	if err != nil {
@@ -393,7 +423,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	rec = &jobRecord{
-		ID: id, Req: req, Timeout: timeout, Status: statusQueued,
+		ID: id, Req: req, Timeout: timeout, Parallelism: par, Status: statusQueued,
 		SubmittedAt: time.Now(), seq: s.seq,
 	}
 	s.jobsByID[id] = rec
@@ -428,7 +458,14 @@ func (s *Server) execute(ctx context.Context, id string) {
 	rec.Status = statusRunning
 	rec.StartedAt = time.Now()
 	req := rec.Req
+	par := rec.Parallelism
 	s.mu.Unlock()
+
+	// The engine worker count is applied to the run only — the canonical
+	// request (and therefore the rendered result, which embeds it) stays
+	// parallelism-free so cache bodies are byte-identical across settings.
+	runReq := req
+	runReq.Params.Parallelism = par
 
 	// DoContext: if this job's ctx ends while an identical computation is in
 	// flight (a resubmitted id joining its predecessor), the join detaches
@@ -442,7 +479,7 @@ func (s *Server) execute(ctx context.Context, id string) {
 			}
 		}()
 		s.sims.Add(1)
-		res, err := s.run(ctx, req)
+		res, err := s.run(ctx, runReq)
 		if err != nil {
 			return nil, err
 		}

@@ -407,6 +407,7 @@ func TestValidation(t *testing.T) {
 		"unknown experiment": {"experiment": "no-such"},
 		"negative scale":     {"experiment": "fig3", "scale": -1},
 		"negative timeout":   {"experiment": "fig3", "timeout_ms": -5},
+		"bad parallelism":    {"experiment": "fig3", "parallelism": -2},
 		"unsupported seed":   {"experiment": "fig3", "seed": 7},
 		"unknown field":      {"experiment": "fig3", "bogus": true},
 		"bad params":         {"experiment": "fig3", "params": map[string]any{"Corelets": -4}},
@@ -442,6 +443,25 @@ func TestParamsOverride(t *testing.T) {
 	}
 	if a.ID != c.ID {
 		t.Fatal("explicit default scale changed the job id; canonicalization broken")
+	}
+}
+
+// TestParallelismOperational: the engine worker count is an operational knob
+// like timeout_ms — requests that differ only in parallelism (top-level or
+// smuggled through params) share one job id, one simulation, and one cache
+// entry, because every worker count produces bit-identical results.
+func TestParallelismOperational(t *testing.T) {
+	g := newGateRunner()
+	defer close(g.gate)
+	_, ts := newTestServer(t, server.Options{Runner: g.run})
+	_, a := postJob(t, ts, map[string]any{"experiment": "fig3"})
+	_, b := postJob(t, ts, map[string]any{"experiment": "fig3", "parallelism": 8})
+	_, c := postJob(t, ts, map[string]any{"experiment": "fig3", "params": map[string]any{"Parallelism": 4}})
+	if a.ID != b.ID {
+		t.Fatal("top-level parallelism changed the job id; it must stay operational")
+	}
+	if a.ID != c.ID {
+		t.Fatal("params.Parallelism changed the job id; canonicalization must strip it")
 	}
 }
 

@@ -1,0 +1,82 @@
+package sim
+
+import "sync"
+
+// Pool is a fixed set of workers for barrier-batched intra-cycle
+// parallelism. A simulation's per-cycle work is split into Workers() shards;
+// Run dispatches one function invocation per shard and returns only when
+// every shard has finished, forming the batch barrier at which cross-shard
+// effects are applied serially in canonical order.
+//
+// The pool is created once per simulation and reused every cycle: Run
+// allocates nothing, so the steady-state cycle loop stays allocation-free.
+// Shard 0 always executes on the calling goroutine; shards 1..n-1 run on
+// dedicated goroutines that live until Close. After Close (or on a 1-worker
+// pool, which spawns no goroutines), Run executes every shard inline on the
+// caller — the shard schedule is position-based, so results are identical.
+type Pool struct {
+	n       int
+	work    []chan func(int) // one channel per background worker (shard 1..n-1)
+	wg      sync.WaitGroup
+	closed  bool
+	closeMu sync.Mutex
+}
+
+// NewPool returns a pool of n workers (n < 1 is treated as 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{n: n}
+	p.work = make([]chan func(int), n-1)
+	for i := range p.work {
+		ch := make(chan func(int))
+		p.work[i] = ch
+		shard := i + 1
+		go func() {
+			for f := range ch {
+				f(shard)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the shard count Run dispatches.
+func (p *Pool) Workers() int { return p.n }
+
+// Run invokes f(shard) for every shard in [0, Workers()) and returns after
+// all invocations complete. f must confine its writes to state owned by its
+// shard; the return of Run is the barrier after which the caller may apply
+// cross-shard effects. The same f value should be passed every cycle (e.g. a
+// bound method) so the dispatch allocates nothing.
+func (p *Pool) Run(f func(shard int)) {
+	if p.closed || p.n == 1 {
+		for s := 0; s < p.n; s++ {
+			f(s)
+		}
+		return
+	}
+	p.wg.Add(p.n - 1)
+	for _, ch := range p.work {
+		ch <- f
+	}
+	f(0)
+	p.wg.Wait()
+}
+
+// Close terminates the background workers. Subsequent Run calls execute all
+// shards inline on the caller, which produces identical results. Close is
+// idempotent and safe to call while no Run is in flight.
+func (p *Pool) Close() {
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.work {
+		close(ch)
+	}
+}

@@ -16,6 +16,7 @@ package simt
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/arch"
@@ -51,6 +52,17 @@ func (v Variant) String() string {
 	return "gpgpu"
 }
 
+// sdinst is one predecoded instruction: the hot fields of isa.Inst plus the
+// class latency resolved at construction, so the warp-issue path performs no
+// table lookups. Register indices are pre-masked to the register-file size,
+// which lets the lane loops index without bounds checks.
+type sdinst struct {
+	op           isa.Op
+	rd, rs1, rs2 uint8
+	lat          int16
+	imm          int32
+}
+
 // Stats aggregates SM execution counters.
 type Stats struct {
 	WarpInsts    uint64 // issue slots used (instruction fetch/decode events)
@@ -71,6 +83,7 @@ type stackEntry struct {
 }
 
 type warp struct {
+	id      int // index into SM.warps / SM.gate
 	slice   int // lane group: lanes [slice*width, (slice+1)*width)
 	context int
 	pc      int
@@ -99,6 +112,7 @@ type SM struct {
 	lay     layout.Layout
 	ownerOf func(addr uint32) (corelet, slot int)
 	prog    *isa.Program
+	ops     []sdinst // predecoded prog.Insts
 	width   int
 	slices  int
 	warps   []*warp
@@ -123,9 +137,23 @@ type SM struct {
 	liveSlices []int
 	sliceLive  []int
 	// Scratch buffers reused across memory accesses (hot path).
-	scratchAddrs  []uint32
 	scratchBlocks []uint32
+	// seen stamps shared-memory words with the epoch of the access that last
+	// touched them, giving O(lanes) distinct-address detection per banked
+	// access instead of a quadratic scan.
+	seen      []uint64
+	seenEpoch uint64
+	// gate[i] is the earliest tick warp i can issue, or gateBlocked while the
+	// warp is done or waiting on memory (outstanding transactions or bounced
+	// coalesced blocks). The per-slice issue scan reads this flat array
+	// instead of chasing warp pointers; every transition that affects
+	// issueability refreshes the entry.
+	gate []int64
 }
+
+// gateBlocked marks a warp that cannot issue until a memory event (or never,
+// once done); completions rewrite the gate with the warp's readyAt.
+const gateBlocked = int64(math.MaxInt64)
 
 // NewSM builds and loads an SM for one launch. The launch's interleave must
 // be Word (the coalesceable layout the paper says GPGPUs require).
@@ -177,8 +205,20 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 	}
 	m.rr = make([]int, m.slices)
 	m.slicePending = make([]int, m.slices)
+	m.seen = make([]uint64, len(m.shared))
 	for cl := range m.latTab {
 		m.latTab[cl] = int64(m.latencyOf(isa.Class(cl)))
+	}
+	m.ops = make([]sdinst, len(l.Prog.Insts))
+	for i, in := range l.Prog.Insts {
+		m.ops[i] = sdinst{
+			op:  in.Op,
+			rd:  in.Rd & (isa.NumRegs - 1),
+			rs1: in.Rs1 & (isa.NumRegs - 1),
+			rs2: in.Rs2 & (isa.NumRegs - 1),
+			lat: int16(m.latTab[isa.Classify(in.Op)]),
+			imm: in.Imm,
+		}
 	}
 	for i, w := range l.Args {
 		m.shared[i] = w
@@ -190,6 +230,7 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 			Corelets:    p.Corelets,
 			RowBytes:    p.DRAM.RowBytes,
 			FlowControl: p.FlowControl,
+			MaxWaiters:  p.Corelets * p.Contexts,
 		}
 		m.buf, err = prefetch.New(bcfg, node.Mem)
 		if err != nil {
@@ -212,13 +253,26 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 	}
 	for s := 0; s < m.slices; s++ {
 		for c := 0; c < p.Contexts; c++ {
-			w := &warp{slice: s, context: c, rpc: len(l.Prog.Insts)}
+			w := &warp{id: len(m.warps), slice: s, context: c, rpc: len(l.Prog.Insts)}
 			w.mask = w.fullMask(width)
 			w.regs = make([][isa.NumRegs]uint32, width)
-			w.memDone = func() { w.outstanding-- }
+			// Pre-size the hot per-warp lists so the cycle loop never grows
+			// them: a warp can hold at most one distinct block per lane, and
+			// the divergence stack is bounded by nesting depth (generously,
+			// the program length).
+			w.pendingBlk = make([]uint32, 0, 2*width)
+			w.stack = make([]stackEntry, 0, 16)
+			w.memDone = func() {
+				w.outstanding--
+				if w.outstanding == 0 && len(w.pendingBlk) == 0 {
+					m.gate[w.id] = w.readyAt
+				}
+			}
 			m.warps = append(m.warps, w)
 		}
 	}
+	m.gate = make([]int64, len(m.warps))
+	m.scratchBlocks = make([]uint32, 0, 2*width)
 	m.running = len(m.warps)
 	m.liveSlices = make([]int, m.slices)
 	m.sliceLive = make([]int, m.slices)
@@ -294,7 +348,8 @@ func (m *SM) Tick(now sim.Time) {
 
 func (m *SM) tickSlice(s int) int {
 	n := m.P.Contexts
-	warps := m.warps[s*n : s*n+n]
+	base := s * n
+	warps := m.warps[base : base+n]
 	// Retry transactions bounced off full queues.
 	if m.slicePending[s] > 0 {
 		for _, w := range warps {
@@ -302,22 +357,35 @@ func (m *SM) tickSlice(s int) int {
 				m.retryBlocks(w)
 				if len(w.pendingBlk) == 0 {
 					m.slicePending[s]--
+					if w.outstanding == 0 {
+						m.gate[w.id] = w.readyAt
+					}
 				}
 			}
 		}
 	}
+	// The issue scan reads only the flat gate array; warp state is touched
+	// just for the warp that actually issues.
+	gates := m.gate[base : base+n]
+	now := int64(m.ticks)
 	idx := m.rr[s] + 1
 	for i := 0; i < n; i++ {
 		if idx >= n {
 			idx -= n
 		}
-		w := warps[idx]
-		if w.done || w.outstanding > 0 || len(w.pendingBlk) > 0 || w.readyAt > int64(m.ticks) {
+		if gates[idx] > now {
 			idx++
 			continue
 		}
 		m.rr[s] = idx
-		return m.execute(w)
+		w := warps[idx]
+		act := m.execute(w)
+		g := w.readyAt
+		if w.done || w.outstanding > 0 || len(w.pendingBlk) > 0 {
+			g = gateBlocked
+		}
+		gates[idx] = g
+		return act
 	}
 	return 0
 }
@@ -332,17 +400,69 @@ func (w *warp) reconverge() {
 	}
 }
 
+// branchTaken builds the taken-lane mask for a conditional branch. The
+// condition switch sits outside the lane loop, so each branch op runs a
+// tight predictable loop over its active lanes.
+func branchTaken(op isa.Op, regs [][isa.NumRegs]uint32, mask uint64, rs1, rs2 uint8) uint64 {
+	var taken uint64
+	switch op {
+	case isa.BEQ:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && regs[l][rs1&31] == regs[l][rs2&31] {
+				taken |= 1 << uint(l)
+			}
+		}
+	case isa.BNE:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && regs[l][rs1&31] != regs[l][rs2&31] {
+				taken |= 1 << uint(l)
+			}
+		}
+	case isa.BLT:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && int32(regs[l][rs1&31]) < int32(regs[l][rs2&31]) {
+				taken |= 1 << uint(l)
+			}
+		}
+	case isa.BGE:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && int32(regs[l][rs1&31]) >= int32(regs[l][rs2&31]) {
+				taken |= 1 << uint(l)
+			}
+		}
+	case isa.BLTU:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && regs[l][rs1&31] < regs[l][rs2&31] {
+				taken |= 1 << uint(l)
+			}
+		}
+	default: // BGEU
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && regs[l][rs1&31] >= regs[l][rs2&31] {
+				taken |= 1 << uint(l)
+			}
+		}
+	}
+	return taken
+}
+
 // execute runs one warp instruction and returns the number of active lanes.
+// The opcode dispatch happens once per warp instruction; every arm runs its
+// own inline loop over the active lanes, so the per-lane work is a few
+// straight-line operations with no calls and no table lookups.
 func (m *SM) execute(w *warp) int {
 	w.reconverge()
-	in := &m.prog.Insts[w.pc]
+	in := &m.ops[w.pc]
 	active := bits.OnesCount64(w.mask)
 	m.stats.WarpInsts++
 	m.stats.ThreadInsts += uint64(active)
-	lat := m.latTab[isa.Classify(in.Op)]
+	lat := int64(in.lat)
+	regs := w.regs
+	mask := w.mask
+	rd, rs1, rs2 := in.rd, in.rs1, in.rs2
 
-	switch {
-	case in.Op == isa.HALT:
+	switch in.op {
+	case isa.HALT:
 		if len(w.stack) != 0 {
 			panic("simt: HALT under divergence (kernel reconvergence bug)")
 		}
@@ -350,94 +470,179 @@ func (m *SM) execute(w *warp) int {
 		m.running--
 		m.sliceLive[w.slice]--
 		return active
-	case in.Op == isa.CSRR:
-		m.forEachLane(w, func(l int) {
-			m.setReg(w, l, in.Rd, m.csr(w, l, in.Imm))
-		})
+	case isa.NOP:
 		w.pc++
-	case in.Op == isa.LW:
-		conf := m.sharedAccess(w, in, false)
-		lat += int64(conf)
+	case isa.CSRR:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && rd != 0 {
+				regs[l][rd&31] = m.csr(w, l, in.imm)
+			}
+		}
 		w.pc++
-	case in.Op == isa.SW:
-		conf := m.sharedAccess(w, in, true)
-		lat += int64(conf)
+	case isa.LW:
+		lat += int64(m.sharedAccess(w, in, false))
 		w.pc++
-	case in.Op == isa.LDG, in.Op == isa.LDS:
+	case isa.SW:
+		lat += int64(m.sharedAccess(w, in, true))
+		w.pc++
+	case isa.LDG, isa.LDS:
 		lat += int64(m.globalLoad(w, in))
 		w.pc++
-	case in.Op == isa.STG:
+	case isa.STG:
 		panic("simt: STG not supported by the PNM kernels")
-	case isa.IsCondBranch(in.Op):
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
 		m.stats.CondBranches += uint64(active)
-		var taken uint64
-		m.forEachLane(w, func(l int) {
-			t, _ := isa.EvalBranch(in.Op, w.regs[l][in.Rs1], w.regs[l][in.Rs2])
-			if t {
-				taken |= 1 << uint(l)
-			}
-		})
+		taken := branchTaken(in.op, regs, mask, rs1, rs2)
 		lat = int64(m.P.Latencies.TakenBranch)
 		switch {
 		case taken == 0:
 			w.pc++
-		case taken == w.mask:
-			w.pc = int(in.Imm)
+		case taken == mask:
+			w.pc = int(in.imm)
 		default:
 			m.stats.Divergences++
 			r := m.prog.ReconvPC[w.pc]
 			// Continuation at the reconvergence point, then the taken
 			// path; execution proceeds on the fall-through path.
 			w.stack = append(w.stack,
-				stackEntry{rpc: w.rpc, pc: r, mask: w.mask},
-				stackEntry{rpc: r, pc: int(in.Imm), mask: taken},
+				stackEntry{rpc: w.rpc, pc: r, mask: mask},
+				stackEntry{rpc: r, pc: int(in.imm), mask: taken},
 			)
 			w.mask &^= taken
 			w.rpc = r
 			w.pc++
 		}
-	case in.Op == isa.J:
-		w.pc = int(in.Imm)
+	case isa.J:
+		w.pc = int(in.imm)
 		lat = int64(m.P.Latencies.TakenBranch)
-	case in.Op == isa.JAL:
-		m.forEachLane(w, func(l int) {
-			m.setReg(w, l, in.Rd, uint32(w.pc+1))
-		})
-		w.pc = int(in.Imm)
+	case isa.JAL:
+		if rd != 0 {
+			link := uint32(w.pc + 1)
+			for l := range regs {
+				if mask>>uint(l)&1 != 0 {
+					regs[l][rd&31] = link
+				}
+			}
+		}
+		w.pc = int(in.imm)
 		lat = int64(m.P.Latencies.TakenBranch)
-	case in.Op == isa.JR:
+	case isa.JR:
 		var target uint32
 		first := true
-		ok := true
-		m.forEachLane(w, func(l int) {
-			v := w.regs[l][in.Rs1]
+		for l := range regs {
+			if mask>>uint(l)&1 == 0 {
+				continue
+			}
+			v := regs[l][rs1&31]
 			if first {
 				target, first = v, false
 			} else if v != target {
-				ok = false
+				panic("simt: divergent JR targets unsupported")
 			}
-		})
-		if !ok {
-			panic("simt: divergent JR targets unsupported")
 		}
 		w.pc = int(target)
 		lat = int64(m.P.Latencies.TakenBranch)
+	case isa.ADD:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && rd != 0 {
+				r := &regs[l]
+				r[rd&31] = r[rs1&31] + r[rs2&31]
+			}
+		}
+		w.pc++
+	case isa.SUB:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && rd != 0 {
+				r := &regs[l]
+				r[rd&31] = r[rs1&31] - r[rs2&31]
+			}
+		}
+		w.pc++
+	case isa.MUL:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && rd != 0 {
+				r := &regs[l]
+				r[rd&31] = uint32(int32(r[rs1&31]) * int32(r[rs2&31]))
+			}
+		}
+		w.pc++
+	case isa.ADDI:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && rd != 0 {
+				r := &regs[l]
+				r[rd&31] = uint32(int32(r[rs1&31]) + in.imm)
+			}
+		}
+		w.pc++
+	case isa.SLLI:
+		sh := uint32(in.imm) & 31
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && rd != 0 {
+				r := &regs[l]
+				r[rd&31] = r[rs1&31] << sh
+			}
+		}
+		w.pc++
+	case isa.SRLI:
+		sh := uint32(in.imm) & 31
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && rd != 0 {
+				r := &regs[l]
+				r[rd&31] = r[rs1&31] >> sh
+			}
+		}
+		w.pc++
+	case isa.FADD:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && rd != 0 {
+				r := &regs[l]
+				r[rd&31] = isa.Bits(isa.F32(r[rs1&31]) + isa.F32(r[rs2&31]))
+			}
+		}
+		w.pc++
+	case isa.FSUB:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && rd != 0 {
+				r := &regs[l]
+				r[rd&31] = isa.Bits(isa.F32(r[rs1&31]) - isa.F32(r[rs2&31]))
+			}
+		}
+		w.pc++
+	case isa.FMUL:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && rd != 0 {
+				r := &regs[l]
+				r[rd&31] = isa.Bits(isa.F32(r[rs1&31]) * isa.F32(r[rs2&31]))
+			}
+		}
+		w.pc++
+	case isa.FLT:
+		for l := range regs {
+			if mask>>uint(l)&1 != 0 && rd != 0 {
+				r := &regs[l]
+				var v uint32
+				if isa.F32(r[rs1&31]) < isa.F32(r[rs2&31]) {
+					v = 1
+				}
+				r[rd&31] = v
+			}
+		}
+		w.pc++
 	default:
-		// Direct lane loop: the ALU path runs per active lane every warp
-		// instruction, so it avoids the per-lane closure call of
-		// forEachLane and indexes the lane register file once.
-		op, imm, rs1, rs2, rd := in.Op, in.Imm, in.Rs1, in.Rs2, in.Rd
-		for l, mask := 0, w.mask; mask != 0; l, mask = l+1, mask>>1 {
-			if mask&1 == 0 {
+		// Rare ops fall back to the shared scalar evaluator; the warp-wide
+		// dispatch already happened, so this is one predictable call per
+		// lane with the op fixed across the loop.
+		for l := range regs {
+			if mask>>uint(l)&1 == 0 {
 				continue
 			}
-			regs := &w.regs[l]
-			v, ok := isa.EvalALUOp(op, imm, regs[rs1], regs[rs2])
+			r := &regs[l]
+			v, ok := isa.EvalALUOp(in.op, in.imm, r[rs1&31], r[rs2&31])
 			if !ok {
-				panic(fmt.Sprintf("simt: unhandled op %v", op))
+				panic(fmt.Sprintf("simt: unhandled op %v", in.op))
 			}
 			if rd != 0 {
-				regs[rd] = v
+				r[rd&31] = v
 			}
 		}
 		w.pc++
@@ -482,42 +687,47 @@ func (m *SM) setReg(w *warp, lane int, rd uint8, v uint32) {
 
 // sharedAccess performs a banked shared-memory access for all active lanes
 // and returns the extra serialization cycles (conflict degree - 1). Lanes
-// reading the same word broadcast for free. The distinct-address scan is
-// O(lanes^2) over a reused scratch buffer — far cheaper than per-access
-// maps for warp-sized n.
-func (m *SM) sharedAccess(w *warp, in *isa.Inst, store bool) int {
-	addrs := m.scratchAddrs[:0]
-	m.forEachLane(w, func(l int) {
-		addr := uint32(int32(w.regs[l][in.Rs1]) + in.Imm)
+// reading the same word broadcast for free. Distinct-word detection stamps
+// an epoch per shared word — O(lanes) per access with no clearing pass,
+// replacing the previous O(lanes^2) scratch-buffer scan.
+func (m *SM) sharedAccess(w *warp, in *sdinst, store bool) int {
+	epoch := m.seenEpoch + 1
+	m.seenEpoch = epoch
+	regs := w.regs
+	mask := w.mask
+	rd, rs1, rs2, imm := in.rd, in.rs1, in.rs2, in.imm
+	var perBank [32]uint8
+	distinct := 0
+	worst := 1
+	for l := range regs {
+		if mask>>uint(l)&1 == 0 {
+			continue
+		}
+		r := &regs[l]
+		addr := uint32(int32(r[rs1&31]) + imm)
 		if addr%4 != 0 {
 			panic(fmt.Sprintf("simt: unaligned shared access %#x", addr))
 		}
-		if int(addr/4) >= len(m.shared) {
+		word := int(addr / 4)
+		if word >= len(m.shared) {
 			panic(fmt.Sprintf("simt: shared access %#x beyond %d B shared memory", addr, len(m.shared)*4))
 		}
 		if store {
-			m.shared[addr/4] = w.regs[l][in.Rs2]
-		} else {
-			m.setReg(w, l, in.Rd, m.shared[addr/4])
+			m.shared[word] = r[rs2&31]
+		} else if rd != 0 {
+			r[rd&31] = m.shared[word]
 		}
-		for _, a := range addrs {
-			if a == addr {
-				return // broadcast: same word costs one bank access
+		if m.seen[word] != epoch {
+			m.seen[word] = epoch
+			distinct++
+			b := word % 32
+			perBank[b]++
+			if int(perBank[b]) > worst {
+				worst = int(perBank[b])
 			}
 		}
-		addrs = append(addrs, addr)
-	})
-	m.scratchAddrs = addrs[:0]
-	m.stats.SharedAcc += uint64(len(addrs))
-	var perBank [32]uint8
-	worst := 1
-	for _, a := range addrs {
-		b := int(a/4) % 32
-		perBank[b]++
-		if int(perBank[b]) > worst {
-			worst = int(perBank[b])
-		}
 	}
+	m.stats.SharedAcc += uint64(distinct)
 	if worst > 1 {
 		m.stats.BankConflict += uint64(worst - 1)
 	}
@@ -528,43 +738,68 @@ func (m *SM) sharedAccess(w *warp, in *isa.Inst, store bool) int {
 // coalesce into cache-block transactions (GPGPU/VWS) or per-word prefetch
 // buffer accesses (VWS-row). It returns the extra issue-slot cycles consumed
 // by transactions beyond the first.
-func (m *SM) globalLoad(w *warp, in *isa.Inst) int {
-	laneAddr := func(l int) uint32 {
-		if in.Op == isa.LDS {
-			a := w.regs[l][isa.StreamAddr]
-			advanceStream(&w.regs[l])
-			return a
-		}
-		return uint32(int32(w.regs[l][in.Rs1]) + in.Imm)
-	}
+func (m *SM) globalLoad(w *warp, in *sdinst) int {
+	regs := w.regs
+	mask := w.mask
+	rd, rs1, imm := in.rd, in.rs1, in.imm
+	stream := in.op == isa.LDS
 	if m.buf != nil {
-		m.forEachLane(w, func(l int) {
-			addr := laneAddr(l)
-			m.setReg(w, l, in.Rd, m.node.DRAM.ReadWord(addr))
+		base := w.slice * m.width
+		for l := range regs {
+			if mask>>uint(l)&1 == 0 {
+				continue
+			}
+			r := &regs[l]
+			var addr uint32
+			if stream {
+				addr = r[isa.StreamAddr]
+				advanceStream(r)
+			} else {
+				addr = uint32(int32(r[rs1&31]) + imm)
+			}
+			if rd != 0 {
+				r[rd&31] = m.node.DRAM.ReadWord(addr)
+			}
 			c, slot := m.ownerOf(addr)
-			if c != m.laneID(w, l) {
+			if c != base+l {
 				panic("simt: lane touched another lane's slab")
 			}
 			if m.buf.Access(c, slot, addr, w.memDone) == prefetch.Waiting {
 				w.outstanding++
 			}
-		})
-		m.stats.Transactions += uint64(bits.OnesCount64(w.mask))
+		}
+		m.stats.Transactions += uint64(bits.OnesCount64(mask))
 		return 0
 	}
 	blocks := m.scratchBlocks[:0]
 	lb := int64(m.P.CacheLineBytes)
-	m.forEachLane(w, func(l int) {
-		addr := laneAddr(l)
-		m.setReg(w, l, in.Rd, m.node.DRAM.ReadWord(addr))
+	for l := range regs {
+		if mask>>uint(l)&1 == 0 {
+			continue
+		}
+		r := &regs[l]
+		var addr uint32
+		if stream {
+			addr = r[isa.StreamAddr]
+			advanceStream(r)
+		} else {
+			addr = uint32(int32(r[rs1&31]) + imm)
+		}
+		if rd != 0 {
+			r[rd&31] = m.node.DRAM.ReadWord(addr)
+		}
 		blk := uint32(int64(addr) / lb * lb)
+		dup := false
 		for _, b := range blocks {
 			if b == blk {
-				return
+				dup = true
+				break
 			}
 		}
-		blocks = append(blocks, blk)
-	})
+		if !dup {
+			blocks = append(blocks, blk)
+		}
+	}
 	w.pendingBlk = append(w.pendingBlk, blocks...)
 	n := len(blocks)
 	m.scratchBlocks = blocks[:0]
@@ -612,6 +847,7 @@ func (m *SM) Run(limit sim.Time) (Result, error) {
 	}
 	r.Energy = m.energy(t)
 	r.Metrics = m.reg.Snapshot()
+	r.Allocs, r.AllocBytes = m.node.RunAllocs, m.node.RunBytes
 	return r, nil
 }
 
@@ -626,6 +862,10 @@ type Result struct {
 	Mem           core.MemStats
 	Energy        energy.Breakdown
 	Metrics       metrics.Snapshot
+	// Allocs and AllocBytes count heap allocations made inside the run's
+	// cycle loop (zero in steady state by design; see benchreport).
+	Allocs     uint64
+	AllocBytes uint64
 }
 
 // energy: SIMT amortizes instruction fetch over the warp but pays the

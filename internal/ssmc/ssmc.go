@@ -29,17 +29,17 @@ import (
 
 // Processor is one SSMC processor plus its memory side.
 type Processor struct {
-	P      arch.Params
-	EP     energy.Params
-	node   *arch.Node
-	lay    layout.Layout
-	cores  []*corelet.Corelet
-	caches []*cache.Cache
-	// live is the active set of non-halted cores, compacted in registration
-	// order as cores halt (cores never un-halt).
-	live  []*corelet.Corelet
-	ticks uint64
-	reg   *metrics.Registry
+	P    arch.Params
+	EP   energy.Params
+	node *arch.Node
+	lay  layout.Layout
+	// cluster holds every core's hot state in one structure-of-arrays image;
+	// its Tick sweeps live cores in registration order, preserving the
+	// memory-access order of the per-core object model.
+	cluster *corelet.Cluster
+	caches  []*cache.Cache
+	ticks   uint64
+	reg     *metrics.Registry
 }
 
 // Result aliases the Millipede result shape with cache stats in place of
@@ -53,6 +53,10 @@ type Result struct {
 	Mem           core.MemStats
 	Energy        energy.Breakdown
 	Metrics       metrics.Snapshot
+	// Allocs and AllocBytes count heap allocations made inside the run's
+	// cycle loop (zero in steady state by design; see benchreport).
+	Allocs     uint64
+	AllocBytes uint64
 }
 
 // NewProcessor builds and loads an SSMC processor for one launch.
@@ -106,23 +110,40 @@ func NewProcessor(p arch.Params, ep energy.Params, l core.Launch) (*Processor, e
 		ccfg.HashSets = true
 	}
 	read := func(addr uint32) uint32 { return node.DRAM.ReadWord(addr) }
-	pr.cores = make([]*corelet.Corelet, p.Corelets)
+	code, err := corelet.Decode(l.Prog, p.Latencies)
+	if err != nil {
+		return nil, err
+	}
 	pr.caches = make([]*cache.Cache, p.Corelets)
+	ports := make([]corelet.GlobalPort, p.Corelets)
 	for c := 0; c < p.Corelets; c++ {
 		pr.caches[c], err = cache.New(ccfg, backing, 8)
 		if err != nil {
 			return nil, err
 		}
-		ids := corelet.IDs{Corelet: c, NumCorelets: p.Corelets, NumContexts: p.Contexts}
-		pr.cores[c], err = corelet.New(ids, l.Prog, p.LocalBytes, p.Latencies, &port{cache: pr.caches[c]}, read)
-		if err != nil {
-			return nil, err
-		}
+		ports[c] = &port{cache: pr.caches[c]}
+	}
+	clcfg := corelet.Config{
+		Corelets:   p.Corelets,
+		Contexts:   p.Contexts,
+		LocalBytes: p.LocalBytes,
+		Latencies:  p.Latencies,
+	}
+	if node.Pool != nil {
+		clcfg.Shards = node.Pool.Workers()
+	}
+	pr.cluster, err = corelet.NewCluster(clcfg, code, ports, read)
+	if err != nil {
+		return nil, err
+	}
+	if node.Pool != nil {
+		pr.cluster.SetWorkers(node.Pool)
+	}
+	for c := 0; c < p.Corelets; c++ {
 		for i, w := range l.Args {
-			pr.cores[c].WriteLocal(uint32(i*4), w)
+			pr.cluster.WriteLocal(c, uint32(i*4), w)
 		}
 	}
-	pr.live = append([]*corelet.Corelet(nil), pr.cores...)
 
 	pr.reg = metrics.NewRegistry()
 	pr.reg.Counter("core.cycles", func() uint64 { return pr.ticks })
@@ -136,15 +157,9 @@ func NewProcessor(p arch.Params, ep energy.Params, l core.Launch) (*Processor, e
 	return pr, nil
 }
 
-// coreStats aggregates per-core execution counters for the registry and the
-// Result.
-func (pr *Processor) coreStats() corelet.Stats {
-	var agg corelet.Stats
-	for _, c := range pr.cores {
-		agg.Add(c.Stats())
-	}
-	return agg
-}
+// coreStats supplies the aggregate execution counters for the registry and
+// the Result.
+func (pr *Processor) coreStats() corelet.Stats { return pr.cluster.Stats() }
 
 // cacheStats aggregates the private L1 D-cache counters.
 func (pr *Processor) cacheStats() cache.Stats {
@@ -172,22 +187,11 @@ func (pt *port) Read(ctx int, addr uint32, ready func()) corelet.Status {
 // Tick advances every live core one compute cycle.
 func (pr *Processor) Tick(now sim.Time) {
 	pr.ticks++
-	live := pr.live
-	n := 0
-	for i, c := range live {
-		c.Tick()
-		if !c.Halted() {
-			if n != i {
-				live[n] = c // only move on an actual halt: skips the write barrier
-			}
-			n++
-		}
-	}
-	pr.live = live[:n]
+	pr.cluster.Tick()
 }
 
 // Halted reports whether every core has finished.
-func (pr *Processor) Halted() bool { return len(pr.live) == 0 }
+func (pr *Processor) Halted() bool { return pr.cluster.Halted() }
 
 // Run executes to completion and returns aggregated results.
 func (pr *Processor) Run(limit sim.Time) (Result, error) {
@@ -202,6 +206,7 @@ func (pr *Processor) Run(limit sim.Time) (Result, error) {
 	r.DRAM = core.DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
 	cs := pr.node.Mem.CtlStats()
 	r.Mem = core.MemStats{StallCycles: cs.StallCycles, MaxOccupancy: cs.MaxOccupancy, Rejected: cs.Rejected}
+	r.Allocs, r.AllocBytes = pr.node.RunAllocs, pr.node.RunBytes
 	r.Energy = pr.energy(r, t)
 	r.Metrics = pr.reg.Snapshot()
 	return r, nil
@@ -231,7 +236,7 @@ func (pr *Processor) InjectMemoryJitter(max int64, seed uint64) {
 
 // ReadState reads a word of a core's local state after the run.
 func (pr *Processor) ReadState(coreID int, addr uint32) uint32 {
-	return pr.cores[coreID].ReadLocal(addr)
+	return pr.cluster.ReadLocal(coreID, addr)
 }
 
 // Layout returns the layout used for the input region.
