@@ -17,18 +17,24 @@ test:
 # pool; sim, prefetch, corelet, mem, and memctrl carry the
 # determinism-critical hot paths, now including the barrier-batched parallel
 # cycle engine; the serving layer — jobs, rescache, server, router, sla — is
-# concurrent by construction). The harness run includes the two standing
-# engine gates:
+# concurrent by construction; datagen and workloads carry the streaming
+# dataset contract). The run includes the standing gates:
 #   TestParallelismBitIdentical — every worker count must produce
 #     byte-identical metric snapshots and reduces (the parallel engine is a
 #     speed knob, never a model change);
 #   TestCycleLoopAllocFree — the steady-state cycle loop must make zero heap
 #     allocations on every architecture (allocs_per_run/bytes_per_run in
-#     BENCH_*.json track the same number per entry).
+#     BENCH_*.json track the same number per entry);
+#   TestStreamingEquivalentToOneShot — any chunking of a dataset Source is
+#     byte-identical to a one-shot materialization;
+#   TestStreamingConstantMemory — folding an 800x dataset through bounded
+#     buffers must not grow the heap (streamed inputs are O(chunk), never
+#     O(records)).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/harness ./internal/sim ./internal/prefetch \
 		./internal/corelet ./internal/mem ./internal/memctrl \
+		./internal/datagen ./internal/workloads \
 		./internal/jobs ./internal/rescache ./internal/server ./internal/router ./internal/sla
 
 bench:

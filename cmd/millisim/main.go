@@ -113,7 +113,6 @@ func runTraced(cfg millipede.Config, bench string, records, n int) error {
 	if err != nil {
 		return err
 	}
-	streams := b.Streams(cfg.Threads(), records, harness.Seed)
 	lay := layout.Layout{RowBytes: cfg.DRAM.RowBytes, Corelets: cfg.Corelets,
 		Contexts: cfg.Contexts, Interleave: layout.Slab}
 	sl, err := kernels.LocalState(b.K, cfg.LocalBytes, cfg.Contexts)
@@ -122,7 +121,8 @@ func runTraced(cfg millipede.Config, bench string, records, n int) error {
 	}
 	args := kernels.ArgsAndConsts(b.K, lay.Walk(), sl, records)
 	pr, err := core.NewProcessor(cfg, energy.Default(), core.Launch{
-		Prog: b.K.Prog, Interleave: layout.Slab, Streams: streams, Args: args,
+		Prog: b.K.Prog, Interleave: layout.Slab,
+		Sources: b.Sources(cfg.Threads(), records, harness.Seed), Args: args,
 	})
 	if err != nil {
 		return err

@@ -1,24 +1,25 @@
-package cluster
+package cluster_test
 
 import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/cluster"
 	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
 func TestValidate(t *testing.T) {
-	if err := DefaultConfig().Validate(); err != nil {
+	if err := cluster.DefaultConfig().Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := DefaultConfig()
+	bad := cluster.DefaultConfig()
 	bad.Nodes = 0
 	if err := bad.Validate(); err == nil {
 		t.Error("zero nodes accepted")
 	}
-	if _, err := Estimate(DefaultConfig(), 0, 1, 1, 1); err == nil {
+	if _, err := cluster.Estimate(cluster.DefaultConfig(), 0, 1, 1, 1); err == nil {
 		t.Error("zero rate accepted")
 	}
 }
@@ -37,11 +38,11 @@ func TestPaperSection4DOrdering(t *testing.T) {
 	}
 	rate := float64(r.Words) / (float64(r.Time) / 1e12) // words/s per processor
 
-	c := DefaultConfig()
+	c := cluster.DefaultConfig()
 	// A full die-stacked memory of input per node (Table III: 4 GB = 1 G
 	// words) — the Spark-like resident dataset of Section IV-E.
 	const wordsPerNode = 1_000_000_000
-	ph, err := Estimate(c, rate, wordsPerNode, b.K.StateWords, p.Threads())
+	ph, err := cluster.Estimate(c, rate, wordsPerNode, b.K.StateWords, p.Threads())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,9 +65,9 @@ func TestPaperSection4DOrdering(t *testing.T) {
 }
 
 func TestSingleNodeNoGlobalReduce(t *testing.T) {
-	c := DefaultConfig()
+	c := cluster.DefaultConfig()
 	c.Nodes = 1
-	ph, err := Estimate(c, 1e9, 1_000_000, 64, 128)
+	ph, err := cluster.Estimate(c, 1e9, 1_000_000, 64, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,9 +77,9 @@ func TestSingleNodeNoGlobalReduce(t *testing.T) {
 }
 
 func TestScalingInNodes(t *testing.T) {
-	small, _ := Estimate(Config{Nodes: 8, ProcessorsPerNode: 32, HostHz: 3.6e9,
+	small, _ := cluster.Estimate(cluster.Config{Nodes: 8, ProcessorsPerNode: 32, HostHz: 3.6e9,
 		NetLatency: 10 * sim.Microsecond, NetBandwidthBps: 10e9}, 1e9, 1_000_000, 64, 128)
-	big, _ := Estimate(Config{Nodes: 4096, ProcessorsPerNode: 32, HostHz: 3.6e9,
+	big, _ := cluster.Estimate(cluster.Config{Nodes: 4096, ProcessorsPerNode: 32, HostHz: 3.6e9,
 		NetLatency: 10 * sim.Microsecond, NetBandwidthBps: 10e9}, 1e9, 1_000_000, 64, 128)
 	if big.GlobalReduce <= small.GlobalReduce {
 		t.Error("global reduce not growing with node count")

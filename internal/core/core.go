@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/corelet"
+	"repro/internal/datagen"
 	"repro/internal/dfs"
 	"repro/internal/energy"
 	"repro/internal/isa"
@@ -33,8 +34,14 @@ type Launch struct {
 	// Interleave selects the intra-row layout; Millipede uses slab
 	// interleaving by default (wider columns, Section IV-C).
 	Interleave layout.Interleave
-	// Streams are the per-thread packed record streams (len == threads).
+	// Streams are the per-thread packed record streams (len == threads),
+	// fully materialized. Leave nil and set Sources for streamed input.
 	Streams [][]uint32
+	// Sources are per-thread streaming generators (len == threads), used
+	// when Streams is nil: the DRAM image is packed chunk-by-chunk through
+	// a bounded buffer, so launch memory stays constant in the per-thread
+	// record count.
+	Sources []*datagen.Source
 	// Args is the kernel argument block written to every corelet's local
 	// memory at address 0 (the workload layer appends layout walk
 	// parameters and constants).
@@ -45,6 +52,54 @@ type Launch struct {
 	// and pay demand DRAM fetches, because the corelets can be near only
 	// one large operand.
 	Table []uint32
+}
+
+// StreamLen returns the per-thread input stream length in words, from
+// whichever of Streams/Sources is set. It errors on an empty or ragged
+// input, so the architecture models share one validation.
+func (l Launch) StreamLen() (int, error) {
+	if len(l.Streams) > 0 {
+		n := len(l.Streams[0])
+		for t, s := range l.Streams {
+			if len(s) != n {
+				return 0, fmt.Errorf("stream %d has %d words, stream 0 has %d", t, len(s), n)
+			}
+		}
+		if n == 0 {
+			return 0, fmt.Errorf("empty streams")
+		}
+		return n, nil
+	}
+	if len(l.Sources) == 0 {
+		return 0, fmt.Errorf("launch has neither streams nor sources")
+	}
+	n := l.Sources[0].Words()
+	for t, s := range l.Sources {
+		if s.Words() != n {
+			return 0, fmt.Errorf("source %d has %d words, source 0 has %d", t, s.Words(), n)
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("empty sources")
+	}
+	return n, nil
+}
+
+// PackInput builds the flat DRAM image of the launch input for lay:
+// materialized streams go through lay.Pack, Sources through lay.PackFrom's
+// bounded-buffer path. Both produce identical bytes for identical data.
+func (l Launch) PackInput(lay layout.Layout) ([]uint32, error) {
+	if len(l.Streams) > 0 {
+		return lay.Pack(l.Streams)
+	}
+	n, err := l.StreamLen()
+	if err != nil {
+		return nil, err
+	}
+	if len(l.Sources) != lay.Threads() {
+		return nil, fmt.Errorf("layout: %d sources for %d threads", len(l.Sources), lay.Threads())
+	}
+	return lay.PackFrom(n, func(t int, buf []uint32) int { return l.Sources[t].Next(buf) })
 }
 
 // Result aggregates one run.
@@ -149,7 +204,7 @@ func NewProcessor(p arch.Params, ep energy.Params, l Launch) (*Processor, error)
 	if err := lay.Validate(); err != nil {
 		return nil, err
 	}
-	flat, err := lay.Pack(l.Streams)
+	flat, err := l.PackInput(lay)
 	if err != nil {
 		return nil, err
 	}

@@ -72,7 +72,6 @@ func runBarrierVariant(p arch.Params, b *workloads.Benchmark, interval, records 
 	q := p
 	q.FlowControl = false
 	k := kernels.CountBarrier(interval)
-	streams := b.Streams(q.Threads(), records, Seed)
 	lay := layout.Layout{
 		RowBytes: q.DRAM.RowBytes, Corelets: q.Corelets, Contexts: q.Contexts,
 		Interleave: layout.Slab,
@@ -86,7 +85,8 @@ func runBarrierVariant(p arch.Params, b *workloads.Benchmark, interval, records 
 	}
 	args := kernels.ArgsAndConsts(k, lay.Walk(), sl, records)
 	pr, err := core.NewProcessor(q, energy.Default(), core.Launch{
-		Prog: k.Prog, Interleave: layout.Slab, Streams: streams, Args: args,
+		Prog: k.Prog, Interleave: layout.Slab,
+		Sources: b.Sources(q.Threads(), records, Seed), Args: args,
 	})
 	if err != nil {
 		return 0, err
@@ -96,7 +96,7 @@ func runBarrierVariant(p arch.Params, b *workloads.Benchmark, interval, records 
 		return 0, err
 	}
 	got := workloads.ExtractStates(b, sl, lay, pr.ReadState)
-	want := b.GoldenStates(streams, records)
+	want := b.GoldenStatesStreamed(q.Threads(), records, Seed)
 	for th := range want {
 		for i := range want[th] {
 			if got[th][i] != want[th][i] {

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestClusterStudySmall runs the full cluster experiment — measured rates,
+// streamed Map at ClusterStreamFactor scale, per-node and tree Reduce with
+// its built-in flat-reduction check — on a small processor geometry.
+func TestClusterStudySmall(t *testing.T) {
+	p := arch.Default()
+	p.Corelets = 8
+	p.Contexts = 2
+	p.PrefetchEntries = 8
+
+	fig, text, err := ClusterStudy(context.Background(), p, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != len(clusterBenchNames) {
+		t.Fatalf("figure has %d rows, want %d", len(fig.Rows), len(clusterBenchNames))
+	}
+	for _, row := range fig.Rows {
+		for _, col := range fig.Series {
+			v, ok := row.Values[col]
+			if !ok {
+				t.Errorf("%s: missing column %q", row.Bench, col)
+				continue
+			}
+			if v <= 0 {
+				t.Errorf("%s: %s = %g, want > 0", row.Bench, col, v)
+			}
+		}
+		// Section IV-D's shape: Map dominates the reduces.
+		if row.Values["map (ms)"]*1e3 <= row.Values["node-red (us)"] {
+			t.Errorf("%s: map (%g ms) does not dominate node reduce (%g us)",
+				row.Bench, row.Values["map (ms)"], row.Values["node-red (us)"])
+		}
+	}
+	if !strings.Contains(text, "Extrapolation") {
+		t.Error("text lacks the paper-scale extrapolation")
+	}
+	for _, name := range clusterBenchNames {
+		if !strings.Contains(text, name) {
+			t.Errorf("extrapolation text lacks benchmark %q", name)
+		}
+	}
+}
+
+// TestClusterStudyCancelled: a pre-cancelled context must abort the study.
+func TestClusterStudyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ClusterStudy(ctx, arch.Default(), 0.02); err == nil {
+		t.Fatal("cancelled context did not abort the cluster study")
+	}
+}

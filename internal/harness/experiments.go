@@ -15,6 +15,16 @@ import (
 type ExperimentInfo struct {
 	Name        string
 	Description string
+	// Uses names the request options (beyond the architecture parameter
+	// block) the experiment's run function actually reads — "scale",
+	// "host_bandwidth_gbs", "timeline_every". The serving layer derives its
+	// per-experiment parameter descriptors from it.
+	Uses []string
+}
+
+// info builds an ExperimentInfo; uses lists the consumed request options.
+func info(name, desc string, uses ...string) ExperimentInfo {
+	return ExperimentInfo{Name: name, Description: desc, Uses: uses}
 }
 
 // ExpOptions tunes an experiment run. The zero value reproduces the
@@ -87,17 +97,17 @@ func oneFig(f func(context.Context, arch.Params, float64) (*Figure, error)) func
 
 // experiments is the registry, in milliexp's presentation order.
 var experiments = []expEntry{
-	{ExperimentInfo{"table3", "simulated configuration parameters (Table III)"},
+	{info("table3", "simulated configuration parameters (Table III)"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			return ExperimentResult{Text: TableIII(p)}, nil
 		}},
-	{ExperimentInfo{"table2", "benchmark characteristics (Table II)"},
+	{info("table2", "benchmark characteristics (Table II)"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			return ExperimentResult{Text: TableII()}, nil
 		}},
-	{ExperimentInfo{"table4", "per-benchmark execution profile (Table IV)"}, oneFig(TableIV)},
-	{ExperimentInfo{"fig3", "throughput across PNM architectures (Figure 3)"}, oneFig(Fig3)},
-	{ExperimentInfo{"fig4", "energy totals and breakdown (Figure 4)"},
+	{info("table4", "per-benchmark execution profile (Table IV)", "scale"), oneFig(TableIV)},
+	{info("fig3", "throughput across PNM architectures (Figure 3)", "scale"), oneFig(Fig3)},
+	{info("fig4", "energy totals and breakdown (Figure 4)", "scale"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			fig, parts, err := Fig4(ctx, p, o.Scale)
 			if err != nil {
@@ -105,11 +115,11 @@ var experiments = []expEntry{
 			}
 			return ExperimentResult{Figures: []*Figure{fig, parts}}, nil
 		}},
-	{ExperimentInfo{"fig5", "node-level comparison vs a conventional multicore (Figure 5)"}, oneFig(Fig5)},
-	{ExperimentInfo{"fig6", "system-size scaling study (Figure 6)"}, oneFig(Fig6)},
-	{ExperimentInfo{"fig7", "rate-matching DFS study (Figure 7)"}, oneFig(Fig7)},
-	{ExperimentInfo{"ablation", "software-barrier interval ablation"}, oneFig(BarrierAblation)},
-	{ExperimentInfo{"characteristics", "join/table characteristics study (runs at Scale/4)"},
+	{info("fig5", "node-level comparison vs a conventional multicore (Figure 5)", "scale"), oneFig(Fig5)},
+	{info("fig6", "system-size scaling study (Figure 6)", "scale"), oneFig(Fig6)},
+	{info("fig7", "rate-matching DFS study (Figure 7)", "scale"), oneFig(Fig7)},
+	{info("ablation", "software-barrier interval ablation", "scale"), oneFig(BarrierAblation)},
+	{info("characteristics", "join/table characteristics study (runs at Scale/4)", "scale"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			// Historical milliexp default: the characteristics study squares
 			// the work per record, so it runs at a quarter of the scale.
@@ -119,9 +129,9 @@ var experiments = []expEntry{
 			}
 			return ExperimentResult{Figures: []*Figure{fig}}, nil
 		}},
-	{ExperimentInfo{"warpwidth", "VWS warp-width sweep"}, oneFig(WarpWidthSweep)},
-	{ExperimentInfo{"channels", "die-stacked channel-count sweep"}, oneFig(ChannelSweep)},
-	{ExperimentInfo{"residency", "dataset-residency study vs host-link bandwidth"},
+	{info("warpwidth", "VWS warp-width sweep", "scale"), oneFig(WarpWidthSweep)},
+	{info("channels", "die-stacked channel-count sweep", "scale"), oneFig(ChannelSweep)},
+	{info("residency", "dataset-residency study vs host-link bandwidth", "scale", "host_bandwidth_gbs"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			fig, err := ResidencyStudy(ctx, p, o.HostBandwidthGBs, o.Scale)
 			if err != nil {
@@ -129,7 +139,7 @@ var experiments = []expEntry{
 			}
 			return ExperimentResult{Figures: []*Figure{fig}}, nil
 		}},
-	{ExperimentInfo{"node", "measured 8-processor node run (count benchmark)"},
+	{info("node", "measured 8-processor node run (count benchmark)"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			if err := ctx.Err(); err != nil {
 				return ExperimentResult{}, err
@@ -147,13 +157,21 @@ var experiments = []expEntry{
 				float64(r.Time)/1e6, r.Imbalance()*100, r.Energy.TotalPJ()/1e6)
 			return ExperimentResult{Text: text}, nil
 		}},
-	{ExperimentInfo{"timeline", "cycle-sampled observability timeline (prefetch occupancy, row hit rate, queue depth, DFS clock)"},
+	{info("timeline", "cycle-sampled observability timeline (prefetch occupancy, row hit rate, queue depth, DFS clock)", "scale", "timeline_every"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			fig, err := TimelineStudy(ctx, p, o.Scale, o.TimelineEvery)
 			if err != nil {
 				return ExperimentResult{}, err
 			}
 			return ExperimentResult{Figures: []*Figure{fig}}, nil
+		}},
+	{info("cluster", "cluster-scale MapReduce over streamed datasets: measured map/node-reduce/tree-reduce breakdown (Section IV-D)", "scale"),
+		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			fig, text, err := ClusterStudy(ctx, p, o.Scale)
+			if err != nil {
+				return ExperimentResult{}, err
+			}
+			return ExperimentResult{Figures: []*Figure{fig}, Text: text}, nil
 		}},
 }
 

@@ -23,7 +23,7 @@ func TestPrefetchInvariantsUnderJitter(t *testing.T) {
 		b := b
 		t.Run(b.Name(), func(t *testing.T) {
 			records := 16
-			l, lay, sl, streams, err := buildLaunch(b, p, layout.Slab, records, Seed, false)
+			l, lay, sl, err := buildLaunch(b, p, layout.Slab, records, Seed, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -38,7 +38,7 @@ func TestPrefetchInvariantsUnderJitter(t *testing.T) {
 
 			// Jitter must not change results, only timing.
 			got := workloads.ExtractStates(b, sl, lay, pr.ReadState)
-			want := b.GoldenStates(streams, records)
+			want := b.GoldenStatesStreamed(p.Threads(), records, Seed)
 			for th := range want {
 				for i := range want[th] {
 					if got[th][i] != want[th][i] {

@@ -163,10 +163,12 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 	res.Words = uint64(p.Threads()) * uint64(b.StreamWords(records))
 	var states [][]uint32
 
-	verify := func(sl kernels.StateLayout, lay layout.Layout, read workloads.StateReader, streams [][]uint32) error {
+	// The golden reference re-streams each thread's Source through a bounded
+	// buffer, so verification (like the launch) never materializes a stream.
+	verify := func(sl kernels.StateLayout, lay layout.Layout, read workloads.StateReader) error {
 		got := workloads.ExtractStates(b, sl, lay, read)
 		states = got
-		want := b.GoldenStates(streams, records)
+		want := b.GoldenStatesStreamed(p.Threads(), records, seed)
 		for th := range want {
 			for i := range want[th] {
 				if got[th][i] != want[th][i] {
@@ -184,7 +186,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		q := p
 		q.FlowControl = archName != ArchMillipedeNoFC
 		q.RateMatch = archName == ArchMillipedeRM
-		l, lay, sl, streams, err := buildLaunch(b, q, layout.Slab, records, seed, false)
+		l, lay, sl, err := buildLaunch(b, q, layout.Slab, records, seed, false)
 		if err != nil {
 			return fail(err)
 		}
@@ -202,7 +204,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		if err != nil {
 			return fail(err)
 		}
-		if err := verify(sl, lay, pr.ReadState, streams); err != nil {
+		if err := verify(sl, lay, pr.ReadState); err != nil {
 			return fail(err)
 		}
 		res.Time, res.Energy, res.FinalHz = r.Time, r.Energy, r.FinalHz
@@ -217,7 +219,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		res.attachMetrics(r.Metrics)
 
 	case ArchSSMC:
-		l, lay, sl, streams, err := buildLaunch(b, p, layout.Slab, records, seed, false)
+		l, lay, sl, err := buildLaunch(b, p, layout.Slab, records, seed, false)
 		if err != nil {
 			return fail(err)
 		}
@@ -229,7 +231,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		if err != nil {
 			return fail(err)
 		}
-		if err := verify(sl, lay, pr.ReadState, streams); err != nil {
+		if err := verify(sl, lay, pr.ReadState); err != nil {
 			return fail(err)
 		}
 		res.Time, res.Energy, res.FinalHz = r.Time, r.Energy, p.ComputeHz
@@ -249,7 +251,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		} else if archName == ArchVWSRow {
 			v = simt.VWSRow
 		}
-		l, lay, sl, streams, err := buildLaunch(b, p, layout.Word, records, seed, true)
+		l, lay, sl, err := buildLaunch(b, p, layout.Word, records, seed, true)
 		if err != nil {
 			return fail(err)
 		}
@@ -261,7 +263,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		if err != nil {
 			return fail(err)
 		}
-		if err := verify(sl, lay, m.ReadShared, streams); err != nil {
+		if err := verify(sl, lay, m.ReadShared); err != nil {
 			return fail(err)
 		}
 		res.Time, res.Energy, res.FinalHz = r.Time, r.Energy, p.ComputeHz
@@ -279,7 +281,6 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		// Same total input as a p-geometry PNM run: the node comparison
 		// (Figure 5) scales per-processor results by the processor count.
 		mcRecords := records * p.Threads() / c.Threads()
-		streams := b.Streams(c.Threads(), mcRecords, seed)
 		lay := layout.Layout{
 			RowBytes: c.DRAM.RowBytes, Corelets: c.Cores, Contexts: c.SMT,
 			Interleave: layout.Split, StreamWords: b.StreamWords(mcRecords),
@@ -292,7 +293,8 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 			return fail(err)
 		}
 		args := kernels.ArgsAndConsts(b.K, lay.Walk(), sl, mcRecords)
-		l := core.Launch{Prog: b.K.Prog, Interleave: layout.Split, Streams: streams, Args: args}
+		l := core.Launch{Prog: b.K.Prog, Interleave: layout.Split,
+			Sources: b.Sources(c.Threads(), mcRecords, seed), Args: args}
 		s, err := multicore.New(c, ep, l)
 		if err != nil {
 			return fail(err)
@@ -302,7 +304,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 			return fail(err)
 		}
 		got := workloads.ExtractStates(b, sl, lay, s.ReadState)
-		want := b.GoldenStates(streams, mcRecords)
+		want := b.GoldenStatesStreamed(c.Threads(), mcRecords, seed)
 		for th := range want {
 			for i := range want[th] {
 				if got[th][i] != want[th][i] {
@@ -330,14 +332,16 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 	return res, b.Reduce(states), nil
 }
 
-func buildLaunch(b *workloads.Benchmark, p arch.Params, il layout.Interleave, records int, seed uint64, shared bool) (core.Launch, layout.Layout, kernels.StateLayout, [][]uint32, error) {
-	streams := b.Streams(p.Threads(), records, seed)
+// buildLaunch assembles a launch whose input is per-thread streaming
+// Sources: the dataset is generated into the DRAM image through bounded
+// buffers at processor-construction time and never exists as Go slices.
+func buildLaunch(b *workloads.Benchmark, p arch.Params, il layout.Interleave, records int, seed uint64, shared bool) (core.Launch, layout.Layout, kernels.StateLayout, error) {
 	lay := layout.Layout{
 		RowBytes: p.DRAM.RowBytes, Corelets: p.Corelets, Contexts: p.Contexts,
 		Interleave: il, StreamWords: b.StreamWords(records),
 	}
 	if err := lay.Validate(); err != nil {
-		return core.Launch{}, lay, kernels.StateLayout{}, nil, err
+		return core.Launch{}, lay, kernels.StateLayout{}, err
 	}
 	var sl kernels.StateLayout
 	var err error
@@ -347,10 +351,12 @@ func buildLaunch(b *workloads.Benchmark, p arch.Params, il layout.Interleave, re
 		sl, err = kernels.LocalState(b.K, p.LocalBytes, p.Contexts)
 	}
 	if err != nil {
-		return core.Launch{}, lay, sl, nil, err
+		return core.Launch{}, lay, sl, err
 	}
 	args := kernels.ArgsAndConsts(b.K, lay.Walk(), sl, records)
-	return core.Launch{Prog: b.K.Prog, Interleave: il, Streams: streams, Args: args}, lay, sl, streams, nil
+	l := core.Launch{Prog: b.K.Prog, Interleave: il,
+		Sources: b.Sources(p.Threads(), records, seed), Args: args}
+	return l, lay, sl, nil
 }
 
 func ratio(a, b uint64) float64 {
@@ -396,7 +402,7 @@ func recordsFor(b *workloads.Benchmark, scale float64) int {
 func RateTrace(b *workloads.Benchmark, p arch.Params, records int) ([]core.DFSSample, RunResult, error) {
 	q := p
 	q.RateMatch = true
-	l, lay, sl, streams, err := buildLaunch(b, q, layout.Slab, records, Seed, false)
+	l, lay, sl, err := buildLaunch(b, q, layout.Slab, records, Seed, false)
 	if err != nil {
 		return nil, RunResult{}, err
 	}
@@ -409,7 +415,7 @@ func RateTrace(b *workloads.Benchmark, p arch.Params, records int) ([]core.DFSSa
 		return nil, RunResult{}, err
 	}
 	got := workloads.ExtractStates(b, sl, lay, pr.ReadState)
-	want := b.GoldenStates(streams, records)
+	want := b.GoldenStatesStreamed(q.Threads(), records, Seed)
 	for th := range want {
 		for i := range want[th] {
 			if got[th][i] != want[th][i] {

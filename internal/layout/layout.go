@@ -279,6 +279,59 @@ func (l Layout) Pack(streams [][]uint32) ([]uint32, error) {
 	return out, nil
 }
 
+// PackChunkWords is the size of the bounded reusable buffer PackFrom draws
+// each thread's stream through (16 KB).
+const PackChunkWords = 4096
+
+// PackFrom is Pack for streamed inputs: it builds the same flat word array,
+// but draws each thread's stream from fill(t, buf) in bounded chunks (buf
+// is reused across calls), so no per-thread stream is ever materialized and
+// packing memory is constant in the stream length. fill returns the number
+// of words written (0 only at end of stream); thread t's calls must produce
+// exactly streamWords words in order. The result is byte-identical to
+// Pack over the materialized streams.
+func (l Layout) PackFrom(streamWords int, fill func(t int, buf []uint32) int) ([]uint32, error) {
+	if streamWords <= 0 {
+		return nil, fmt.Errorf("layout: PackFrom with non-positive stream length")
+	}
+	if l.Interleave == Split && streamWords != l.StreamWords {
+		return nil, fmt.Errorf("layout: Split streams of %d words, StreamWords %d", streamWords, l.StreamWords)
+	}
+	w := l.ChunkWords()
+	part := 0
+	var out []uint32
+	if l.Interleave == Split {
+		part = l.partRows() * l.RowWords()
+		out = make([]uint32, l.Threads()*part)
+	} else {
+		rows := (streamWords + w - 1) / w
+		out = make([]uint32, rows*l.RowWords())
+	}
+	buf := make([]uint32, PackChunkWords)
+	for t := 0; t < l.Threads(); t++ {
+		p := 0
+		for p < streamWords {
+			n := fill(t, buf)
+			if n <= 0 {
+				return nil, fmt.Errorf("layout: stream %d ended at %d of %d words", t, p, streamWords)
+			}
+			if p+n > streamWords {
+				return nil, fmt.Errorf("layout: stream %d produced %d words, want %d", t, p+n, streamWords)
+			}
+			if l.Interleave == Split {
+				copy(out[t*part+p:], buf[:n])
+			} else {
+				for j := 0; j < n; j++ {
+					q := p + j
+					out[(q/w)*l.RowWords()+l.wordIdx(t, q%w)] = buf[j]
+				}
+			}
+			p += n
+		}
+	}
+	return out, nil
+}
+
 // Unpack inverts Pack: it extracts per-thread streams of the given length
 // from the flat word array.
 func (l Layout) Unpack(flat []uint32, streamLen int) [][]uint32 {

@@ -252,17 +252,18 @@ func New(c Config, ep energy.Params, l core.Launch) (*System, error) {
 	if l.Interleave != layout.Split {
 		return nil, fmt.Errorf("multicore: requires the Split layout")
 	}
-	if len(l.Streams) == 0 || len(l.Streams[0]) == 0 {
-		return nil, fmt.Errorf("multicore: empty streams")
+	streamWords, err := l.StreamLen()
+	if err != nil {
+		return nil, fmt.Errorf("multicore: %v", err)
 	}
 	lay := layout.Layout{
 		RowBytes: c.DRAM.RowBytes, Corelets: c.Cores, Contexts: c.SMT,
-		Interleave: layout.Split, StreamWords: len(l.Streams[0]),
+		Interleave: layout.Split, StreamWords: streamWords,
 	}
 	if err := lay.Validate(); err != nil {
 		return nil, err
 	}
-	flat, err := lay.Pack(l.Streams)
+	flat, err := l.PackInput(lay)
 	if err != nil {
 		return nil, err
 	}

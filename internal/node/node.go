@@ -39,6 +39,11 @@ type Result struct {
 	Insts uint64
 }
 
+// ShardSeed derives the dataset seed of processor (or node shard) pi from
+// the run seed, so every layer that shards a dataset across processors
+// agrees on which records each shard holds.
+func ShardSeed(seed uint64, pi int) uint64 { return seed + uint64(pi)*1_000_003 }
+
 // Run executes benchmark b over processors x (threads x records) input on a
 // node of the given per-processor configuration. Each processor gets its
 // own deterministic data shard; shards differ across processors, so the
@@ -61,10 +66,9 @@ func Run(p arch.Params, ep energy.Params, b *workloads.Benchmark, processors, re
 	args := kernels.ArgsAndConsts(b.K, lay.Walk(), sl, records)
 
 	type shard struct {
-		res     core.Result
-		states  [][]uint32
-		streams [][]uint32
-		err     error
+		res    core.Result
+		states [][]uint32
+		err    error
 	}
 	shards := make([]shard, processors)
 	var wg sync.WaitGroup
@@ -72,9 +76,10 @@ func Run(p arch.Params, ep energy.Params, b *workloads.Benchmark, processors, re
 		wg.Add(1)
 		go func(pi int) {
 			defer wg.Done()
-			// Shard pi gets its own stream family.
-			streams := b.Streams(p.Threads(), records, seed+uint64(pi)*1_000_003)
-			l := core.Launch{Prog: b.K.Prog, Interleave: layout.Slab, Streams: streams, Args: args}
+			// Shard pi gets its own stream family, streamed straight into
+			// the processor's DRAM image.
+			l := core.Launch{Prog: b.K.Prog, Interleave: layout.Slab,
+				Sources: b.Sources(p.Threads(), records, ShardSeed(seed, pi)), Args: args}
 			pr, err := core.NewProcessor(p, ep, l)
 			if err != nil {
 				shards[pi].err = err
@@ -86,7 +91,6 @@ func Run(p arch.Params, ep energy.Params, b *workloads.Benchmark, processors, re
 				return
 			}
 			shards[pi].res = res
-			shards[pi].streams = streams
 			shards[pi].states = workloads.ExtractStates(b, sl, lay, pr.ReadState)
 		}(pi)
 	}
@@ -100,7 +104,7 @@ func Run(p arch.Params, ep energy.Params, b *workloads.Benchmark, processors, re
 			return Result{}, fmt.Errorf("node: processor %d: %w", pi, s.err)
 		}
 		// Verify each shard against its golden reference.
-		want := b.GoldenStates(s.streams, records)
+		want := b.GoldenStatesStreamed(p.Threads(), records, ShardSeed(seed, pi))
 		for th := range want {
 			for i := range want[th] {
 				if s.states[th][i] != want[th][i] {

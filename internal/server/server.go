@@ -9,7 +9,9 @@
 //
 // Routes:
 //
-//	GET  /v1/experiments      registered experiments (name + description)
+//	GET  /v1/experiments      registered experiments (name, description, and
+//	                          parameter descriptors mirroring job validation)
+//	GET  /v1/workloads        benchmark kernels (dataset + reduce geometry)
 //	POST /v1/jobs             submit a job; returns its deterministic id
 //	GET  /v1/jobs             all job records, most recent first
 //	GET  /v1/jobs/{id}        job status
@@ -186,6 +188,7 @@ func New(base arch.Params, o Options) *Server {
 	s.registerMetrics()
 
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -561,18 +564,6 @@ func renderResult(id string, req Request, res harness.ExperimentResult) ([]byte,
 		return nil, err
 	}
 	return append(data, '\n'), nil
-}
-
-func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
-	type expBody struct {
-		Name        string `json:"name"`
-		Description string `json:"description"`
-	}
-	var out []expBody
-	for _, e := range harness.Experiments() {
-		out = append(out, expBody{e.Name, e.Description})
-	}
-	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

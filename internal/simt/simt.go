@@ -187,7 +187,7 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 	if err := lay.Validate(); err != nil {
 		return nil, err
 	}
-	flat, err := lay.Pack(l.Streams)
+	flat, err := l.PackInput(lay)
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,7 @@ func init() {
 	harness.Register(harness.ExperimentInfo{
 		Name:        "sla",
 		Description: "serving-layer SLA vs offered load (in-process cluster: router + 2 workers + shared store)",
+		Uses:        []string{"scale"},
 	}, run)
 }
 

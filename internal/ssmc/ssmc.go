@@ -70,8 +70,9 @@ func NewProcessor(p arch.Params, ep energy.Params, l core.Launch) (*Processor, e
 	if l.Prog == nil {
 		return nil, fmt.Errorf("ssmc: nil program")
 	}
-	if len(l.Streams) == 0 || len(l.Streams[0]) == 0 {
-		return nil, fmt.Errorf("ssmc: empty streams")
+	streamWords, err := l.StreamLen()
+	if err != nil {
+		return nil, fmt.Errorf("ssmc: %v", err)
 	}
 	lay := layout.Layout{
 		Base:        0,
@@ -79,12 +80,12 @@ func NewProcessor(p arch.Params, ep energy.Params, l core.Launch) (*Processor, e
 		Corelets:    p.Corelets,
 		Contexts:    p.Contexts,
 		Interleave:  l.Interleave,
-		StreamWords: len(l.Streams[0]),
+		StreamWords: streamWords,
 	}
 	if err := lay.Validate(); err != nil {
 		return nil, err
 	}
-	flat, err := lay.Pack(l.Streams)
+	flat, err := l.PackInput(lay)
 	if err != nil {
 		return nil, err
 	}

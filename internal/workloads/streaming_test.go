@@ -1,0 +1,108 @@
+package workloads
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/kernels"
+)
+
+// legacySplitStreams is a pinned copy of datagen.SplitStreams as it shipped
+// before the streaming API: contiguous whole-record slices, remainder
+// records dropped. The live shim must reproduce it byte for byte.
+func legacySplitStreams(words []uint32, recordWords, threads int) [][]uint32 {
+	records := len(words) / recordWords
+	per := records / threads
+	out := make([][]uint32, threads)
+	for t := 0; t < threads; t++ {
+		start := t * per * recordWords
+		out[t] = words[start : start+per*recordWords]
+	}
+	return out
+}
+
+// TestSplitStreamsMatchesLegacy checks the deprecated SplitStreams shim
+// against the pinned legacy implementation on every kernel's real generated
+// data, including a remainder that must be dropped.
+func TestSplitStreamsMatchesLegacy(t *testing.T) {
+	const threads = 4
+	for _, b := range All() {
+		rw := b.K.RecordWords
+		records := threads*testRecords(b) + 3 // +3: remainder exercises the drop
+		words := b.Gen(datagen.NewRNG(1234), records).Materialize()
+		got := datagen.SplitStreams(words, rw, threads)
+		want := legacySplitStreams(words, rw, threads)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d streams, want %d", b.Name(), len(got), len(want))
+		}
+		for th := range want {
+			if len(got[th]) != len(want[th]) {
+				t.Fatalf("%s: stream %d has %d words, want %d", b.Name(), th, len(got[th]), len(want[th]))
+			}
+			for i := range want[th] {
+				if got[th][i] != want[th][i] {
+					t.Fatalf("%s: stream %d diverges from the legacy split at word %d", b.Name(), th, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingConstantMemory is the constant-memory guarantee, enforced: it
+// folds a dataset ~800x the default per-thread input (about 13 MB per
+// thread, 52 MB across threads if materialized) through bounded chunk
+// buffers under a GOMEMLIMIT ceiling far below the materialized size, and
+// asserts the measured heap growth stays under 8 MB — then checks the folded
+// result is complete (every record landed in a count bin).
+func TestStreamingConstantMemory(t *testing.T) {
+	b, err := ByName("count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const threads = 4
+	records := b.DefaultRecords * 800
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	prev := debug.SetMemoryLimit(int64(base) + 32<<20)
+	defer debug.SetMemoryLimit(prev)
+
+	var peak uint64
+	var total uint64
+	rw := b.K.RecordWords
+	job := b.Job()
+	buf := make([]uint32, GoldenChunkWords)
+	for th := 0; th < threads; th++ {
+		st := job.NewState()
+		src := b.Source(77, th, records)
+		for chunk := 0; ; chunk++ {
+			n := src.Next(buf)
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i += rw {
+				b.Fold(st, buf[i:i+rw])
+			}
+			if chunk%64 == 0 {
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+		for bin := 0; bin < 2*kernels.CountBins; bin++ {
+			total += uint64(st[bin])
+		}
+	}
+
+	if total != uint64(threads)*uint64(records) {
+		t.Errorf("folded %d records, want %d: the stream lost or duplicated data", total, threads*records)
+	}
+	if grown := int64(peak) - int64(base); grown > 8<<20 {
+		t.Errorf("heap grew %d bytes while streaming (limit 8 MiB): generation is not constant-memory", grown)
+	}
+}

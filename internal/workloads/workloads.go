@@ -1,12 +1,15 @@
 // Package workloads is the benchmark registry: for each of the paper's
 // eight BMLAs (Table II) it bundles the simulated kernel, a deterministic
-// dataset generator, a bit-exact golden reference (the same Map + partial
-// Reduce executed in Go, in the same order and float32 precision as the
-// kernel), and the host-side final Reduce (Section IV-D).
+// streaming dataset Source, a bit-exact golden reference (the same Map +
+// partial Reduce executed in Go, in the same order and float32 precision as
+// the kernel), and the host-side final Reduce (Section IV-D).
 //
 // The golden reference is the repository's ground truth: every architecture
 // model must produce identical per-thread live state for identical streams,
-// which the integration tests assert word-for-word.
+// which the integration tests assert word-for-word. Both the datasets and
+// the golden executor are streaming — per-record Fold over bounded chunks —
+// so record counts can reach the paper's big-data scales without ever
+// holding a dataset in memory.
 package workloads
 
 import (
@@ -16,6 +19,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/layout"
+	"repro/internal/mapreduce"
 )
 
 // Kind classifies a state word for the host Reduce.
@@ -27,17 +31,24 @@ const (
 	KindKeep             // per-thread only (sample rings, scratch): zero in the reduce
 )
 
+// GoldenChunkWords is the bounded buffer size (in words) the streaming
+// golden executor draws records through; 16 KB regardless of record count.
+const GoldenChunkWords = 4096
+
 // Benchmark is one BMLA workload.
 type Benchmark struct {
 	K *kernels.Kernel
 	// DefaultRecords is the per-thread record count used by the paper-
 	// scale harness runs.
 	DefaultRecords int
-	// Gen produces one thread's packed record stream.
-	Gen func(rng *datagen.RNG, records int) []uint32
-	// GoldenThread executes the Map + partial Reduce over one stream in
-	// Go, mirroring the kernel bit-for-bit. It returns StateWords words.
-	GoldenThread func(stream []uint32, records int) []uint32
+	// Gen returns one thread's record stream as a resumable Source; the
+	// caller's RNG state is snapshotted, not advanced.
+	Gen func(rng *datagen.RNG, records int) *datagen.Source
+	// Fold executes the Map + partial Reduce for one record (K.RecordWords
+	// words) into st (K.StateWords words), mirroring the kernel
+	// bit-for-bit. It must not retain rec and must not share mutable state
+	// across calls, so golden threads can fold concurrently.
+	Fold func(st, rec []uint32)
 	// ReduceSpec classifies each state word for Reduce.
 	ReduceSpec []Kind
 }
@@ -48,19 +59,71 @@ func (b *Benchmark) Name() string { return b.K.Name }
 // StreamWords returns the per-thread stream length for records records.
 func (b *Benchmark) StreamWords(records int) int { return records * b.K.RecordWords }
 
-// Streams generates per-thread streams; thread t's stream depends only on
-// (seed, t), so golden state is independent of how threads map to hardware.
-func (b *Benchmark) Streams(threads, records int, seed uint64) [][]uint32 {
-	out := make([][]uint32, threads)
+// Source returns thread's record Source for a run seed: the stream depends
+// only on (seed, thread) via datagen.ThreadSeed, so golden state is
+// independent of how threads map to hardware.
+func (b *Benchmark) Source(seed uint64, thread, records int) *datagen.Source {
+	src := b.Gen(datagen.NewRNG(datagen.ThreadSeed(seed, thread)), records)
+	if src.RecordWords() != b.K.RecordWords || src.Records() != records {
+		panic(fmt.Sprintf("workloads: %s generator shape %dx%d, want %dx%d",
+			b.Name(), src.Records(), src.RecordWords(), records, b.K.RecordWords))
+	}
+	return src
+}
+
+// Sources returns one Source per thread for a run seed.
+func (b *Benchmark) Sources(threads, records int, seed uint64) []*datagen.Source {
+	out := make([]*datagen.Source, threads)
 	for t := range out {
-		rng := datagen.NewRNG(seed*0x10001 + uint64(t)*0x9E3779B97F4A7C15 + 1)
-		out[t] = b.Gen(rng, records)
-		if len(out[t]) != b.StreamWords(records) {
-			panic(fmt.Sprintf("workloads: %s generator produced %d words, want %d",
-				b.Name(), len(out[t]), b.StreamWords(records)))
-		}
+		out[t] = b.Source(seed, t, records)
 	}
 	return out
+}
+
+// Streams materializes per-thread streams — the legacy one-slice-per-thread
+// shape, still used by tests and small fixed-scale runs.
+func (b *Benchmark) Streams(threads, records int, seed uint64) [][]uint32 {
+	out := make([][]uint32, threads)
+	for t, src := range b.Sources(threads, records, seed) {
+		out[t] = src.Materialize()
+	}
+	return out
+}
+
+// GoldenThread executes the golden reference over one materialized stream.
+func (b *Benchmark) GoldenThread(stream []uint32, records int) []uint32 {
+	st := make([]uint32, b.K.StateWords)
+	rw := b.K.RecordWords
+	for i := 0; i < records; i++ {
+		b.Fold(st, stream[i*rw:(i+1)*rw])
+	}
+	return st
+}
+
+// GoldenSource executes the golden reference over a Source through a
+// bounded chunk buffer: constant memory in the record count.
+func (b *Benchmark) GoldenSource(src *datagen.Source) []uint32 {
+	st := make([]uint32, b.K.StateWords)
+	rw := src.RecordWords()
+	buf := make([]uint32, chunkWordsFor(rw))
+	for {
+		n := src.Next(buf)
+		if n == 0 {
+			return st
+		}
+		for w := 0; w < n; w += rw {
+			b.Fold(st, buf[w:w+rw])
+		}
+	}
+}
+
+// chunkWordsFor rounds GoldenChunkWords down to a whole-record multiple,
+// never below one record.
+func chunkWordsFor(recordWords int) int {
+	if recordWords >= GoldenChunkWords {
+		return recordWords
+	}
+	return GoldenChunkWords - GoldenChunkWords%recordWords
 }
 
 // GoldenStates runs the golden reference over every stream.
@@ -68,29 +131,49 @@ func (b *Benchmark) GoldenStates(streams [][]uint32, records int) [][]uint32 {
 	out := make([][]uint32, len(streams))
 	for t, s := range streams {
 		out[t] = b.GoldenThread(s, records)
-		if len(out[t]) != b.K.StateWords {
-			panic(fmt.Sprintf("workloads: %s golden produced %d state words, want %d",
-				b.Name(), len(out[t]), b.K.StateWords))
-		}
 	}
 	return out
 }
 
-// Reduce performs the host-side final Reduce over per-thread states,
-// merging words according to the ReduceSpec.
-func (b *Benchmark) Reduce(states [][]uint32) []uint32 {
-	out := make([]uint32, b.K.StateWords)
-	for _, s := range states {
-		for i, v := range s {
-			switch b.ReduceSpec[i] {
-			case KindInt:
-				out[i] += v
-			case KindF32:
-				out[i] = isa.Bits(isa.F32(out[i]) + isa.F32(v))
-			}
-		}
+// GoldenStatesStreamed computes per-thread golden states directly from the
+// seeded Sources without materializing any stream.
+func (b *Benchmark) GoldenStatesStreamed(threads, records int, seed uint64) [][]uint32 {
+	out := make([][]uint32, threads)
+	for t := range out {
+		out[t] = b.GoldenSource(b.Source(seed, t, records))
 	}
 	return out
+}
+
+// Job exposes the benchmark as a mapreduce.Job: Map is the per-record Fold
+// and Merge applies the ReduceSpec — the exact host-Reduce semantics, now
+// usable by the generic framework (per-node and tree Reduce in the cluster
+// experiment).
+func (b *Benchmark) Job() mapreduce.Job[[]uint32, []uint32] {
+	return mapreduce.Job[[]uint32, []uint32]{
+		NewState: func() []uint32 { return make([]uint32, b.K.StateWords) },
+		Map:      func(st []uint32, rec []uint32) { b.Fold(st, rec) },
+		Merge: func(dst, src []uint32) {
+			for i, v := range src {
+				switch b.ReduceSpec[i] {
+				case KindInt:
+					dst[i] += v
+				case KindF32:
+					dst[i] = isa.Bits(isa.F32(dst[i]) + isa.F32(v))
+				}
+			}
+		},
+	}
+}
+
+// Reduce performs the host-side final Reduce over per-thread states,
+// merging words left to right according to the ReduceSpec.
+func (b *Benchmark) Reduce(states [][]uint32) []uint32 {
+	final, err := mapreduce.ReduceStates(b.Job(), states)
+	if err != nil {
+		panic(err) // Job is fully populated by construction
+	}
+	return final
 }
 
 // StateReader abstracts post-run access to a corelet's local (or an SM's
@@ -179,21 +262,17 @@ func CountBench() *Benchmark {
 	return &Benchmark{
 		K:              k,
 		DefaultRecords: 4096,
-		Gen: func(rng *datagen.RNG, records int) []uint32 {
-			return datagen.Ratings(rng, records, kernels.RatingMax)
+		Gen: func(rng *datagen.RNG, records int) *datagen.Source {
+			return datagen.RatingsSource(rng, records, kernels.RatingMax)
 		},
-		GoldenThread: func(stream []uint32, records int) []uint32 {
-			st := make([]uint32, k.StateWords)
-			for i := 0; i < records; i++ {
-				r := stream[i]
-				if int32(r) < int32(kernels.CountThresh) {
-					st[kernels.CountBins+(r>>4)]++
-					st[2*kernels.CountBins] += r
-				} else {
-					st[r>>4]++
-				}
+		Fold: func(st, rec []uint32) {
+			r := rec[0]
+			if int32(r) < int32(kernels.CountThresh) {
+				st[kernels.CountBins+(r>>4)]++
+				st[2*kernels.CountBins] += r
+			} else {
+				st[r>>4]++
 			}
-			return st
 		},
 		ReduceSpec: reduceSpec(seg(KindInt, 2*kernels.CountBins+1)),
 	}
@@ -207,24 +286,20 @@ func SampleBench() *Benchmark {
 	return &Benchmark{
 		K:              k,
 		DefaultRecords: 4096,
-		Gen: func(rng *datagen.RNG, records int) []uint32 {
-			return datagen.Ratings(rng, records, kernels.RatingMax)
+		Gen: func(rng *datagen.RNG, records int) *datagen.Source {
+			return datagen.RatingsSource(rng, records, kernels.RatingMax)
 		},
-		GoldenThread: func(stream []uint32, records int) []uint32 {
-			st := make([]uint32, k.StateWords)
-			for i := 0; i < records; i++ {
-				r := stream[i]
-				if int32(r) >= int32(kernels.CountThresh) {
-					st[kernels.CountBins*(1+kernels.SampleRing)+(r>>4)]++
-					continue
-				}
-				bin := r >> 4
-				base := bin * (1 + kernels.SampleRing)
-				st[base]++
-				slot := (st[base] - 1) % kernels.SampleRing
-				st[base+1+slot] = r
+		Fold: func(st, rec []uint32) {
+			r := rec[0]
+			if int32(r) >= int32(kernels.CountThresh) {
+				st[kernels.CountBins*(1+kernels.SampleRing)+(r>>4)]++
+				return
 			}
-			return st
+			bin := r >> 4
+			base := bin * (1 + kernels.SampleRing)
+			st[base]++
+			slot := (st[base] - 1) % kernels.SampleRing
+			st[base+1+slot] = r
 		},
 		ReduceSpec: func() []Kind {
 			var spec []Kind
@@ -247,19 +322,15 @@ func VarianceBench() *Benchmark {
 	return &Benchmark{
 		K:              k,
 		DefaultRecords: 4096,
-		Gen: func(rng *datagen.RNG, records int) []uint32 {
-			return datagen.Ratings(rng, records, kernels.RatingMax)
+		Gen: func(rng *datagen.RNG, records int) *datagen.Source {
+			return datagen.RatingsSource(rng, records, kernels.RatingMax)
 		},
-		GoldenThread: func(stream []uint32, records int) []uint32 {
-			st := make([]uint32, k.StateWords)
-			for i := 0; i < records; i++ {
-				r := stream[i]
-				b := (r >> 4) * 3
-				st[b]++
-				st[b+1] += r
-				st[b+2] += r * r
-			}
-			return st
+		Fold: func(st, rec []uint32) {
+			r := rec[0]
+			b := (r >> 4) * 3
+			st[b]++
+			st[b+1] += r
+			st[b+2] += r * r
 		},
 		ReduceSpec: reduceSpec(seg(KindInt, kernels.CountBins*3)),
 	}
@@ -275,40 +346,30 @@ func NBayesBench() *Benchmark {
 	return &Benchmark{
 		K:              k,
 		DefaultRecords: 512,
-		Gen: func(rng *datagen.RNG, records int) []uint32 {
-			out := make([]uint32, 0, records*(1+dims))
-			for i := 0; i < records; i++ {
-				var year uint32
-				if rng.Bernoulli(0.7) {
-					year = uint32(kernels.NBYearMin + rng.Intn(kernels.NBYearThresh-kernels.NBYearMin))
-				} else {
-					year = uint32(kernels.NBYearThresh + 1 + rng.Intn(kernels.NBYearMax-kernels.NBYearThresh))
+		Gen: func(rng *datagen.RNG, records int) *datagen.Source {
+			return datagen.NewSource(1+dims, records, rng, func(r *datagen.RNG) func(rec []uint32) {
+				return func(rec []uint32) {
+					if r.Bernoulli(0.7) {
+						rec[0] = uint32(kernels.NBYearMin + r.Intn(kernels.NBYearThresh-kernels.NBYearMin))
+					} else {
+						rec[0] = uint32(kernels.NBYearThresh + 1 + r.Intn(kernels.NBYearMax-kernels.NBYearThresh))
+					}
+					for d := 0; d < dims; d++ {
+						rec[1+d] = uint32(r.Intn(vals))
+					}
 				}
-				out = append(out, year)
-				for d := 0; d < dims; d++ {
-					out = append(out, uint32(rng.Intn(vals)))
-				}
-			}
-			return out
+			})
 		},
-		GoldenThread: func(stream []uint32, records int) []uint32 {
-			st := make([]uint32, k.StateWords)
-			p := 0
-			for i := 0; i < records; i++ {
-				year := stream[p]
-				p++
-				class := uint32(0)
-				if int32(year) > int32(kernels.NBYearThresh) {
-					class = 1
-				}
-				for d := 0; d < dims; d++ {
-					x := stream[p]
-					p++
-					st[uint32(d*vals*classes)+x*2+class]++
-				}
-				st[uint32(dims*vals*classes)+class]++
+		Fold: func(st, rec []uint32) {
+			year := rec[0]
+			class := uint32(0)
+			if int32(year) > int32(kernels.NBYearThresh) {
+				class = 1
 			}
-			return st
+			for d := 0; d < dims; d++ {
+				st[uint32(d*vals*classes)+rec[1+d]*2+class]++
+			}
+			st[uint32(dims*vals*classes)+class]++
 		},
 		ReduceSpec: reduceSpec(seg(KindInt, dims*vals*classes+classes)),
 	}
@@ -316,12 +377,14 @@ func NBayesBench() *Benchmark {
 
 // --- classify ----------------------------------------------------------------
 
-func nearest(x []float32, centroids [][]float32) int {
+// nearestRec returns the index of the centroid closest to the packed
+// float32 record, accumulating distances in the kernel's float32 order.
+func nearestRec(rec []uint32, centroids [][]float32) int {
 	best, bestDist := 0, float32(3.0e38)
 	for c := range centroids {
 		var dist float32
-		for d := range x {
-			diff := x[d] - centroids[c][d]
+		for d := range rec {
+			diff := isa.F32(rec[d]) - centroids[c][d]
 			diff = diff * diff
 			dist = dist + diff
 		}
@@ -333,9 +396,9 @@ func nearest(x []float32, centroids [][]float32) int {
 	return best
 }
 
-func floatPointGen(dims int, centers [][]float32) func(*datagen.RNG, int) []uint32 {
-	return func(rng *datagen.RNG, records int) []uint32 {
-		return datagen.FloatPoints(rng, records, dims, centers, 1.5)
+func floatPointGen(dims int, centers [][]float32) func(*datagen.RNG, int) *datagen.Source {
+	return func(rng *datagen.RNG, records int) *datagen.Source {
+		return datagen.FloatPointsSource(rng, records, dims, centers, 1.5)
 	}
 }
 
@@ -343,21 +406,12 @@ func floatPointGen(dims int, centers [][]float32) func(*datagen.RNG, int) []uint
 func ClassifyBench() *Benchmark {
 	cents := ClassifyCentroids()
 	k := kernels.Classify(cents)
-	dims := kernels.ClassifyDims
 	return &Benchmark{
 		K:              k,
 		DefaultRecords: 512,
-		Gen:            floatPointGen(dims, cents),
-		GoldenThread: func(stream []uint32, records int) []uint32 {
-			st := make([]uint32, k.StateWords)
-			x := make([]float32, dims)
-			for i := 0; i < records; i++ {
-				for d := 0; d < dims; d++ {
-					x[d] = isa.F32(stream[i*dims+d])
-				}
-				st[nearest(x, cents)]++
-			}
-			return st
+		Gen:            floatPointGen(kernels.ClassifyDims, cents),
+		Fold: func(st, rec []uint32) {
+			st[nearestRec(rec, cents)]++
 		},
 		ReduceSpec: reduceSpec(seg(KindInt, kernels.ClassifyK)),
 	}
@@ -378,26 +432,17 @@ func KMeansBench() *Benchmark { return KMeansBenchWith(KMeansCentroids()) }
 func KMeansBenchWith(cents [][]float32) *Benchmark {
 	k := kernels.KMeans(cents)
 	dims, kk := kernels.KMeansDims, kernels.KMeansK
-	gen := floatPointGen(dims, KMeansCentroids())
 	return &Benchmark{
 		K:              k,
 		DefaultRecords: 512,
-		Gen:            gen,
-		GoldenThread: func(stream []uint32, records int) []uint32 {
-			st := make([]uint32, k.StateWords)
-			x := make([]float32, dims)
-			for i := 0; i < records; i++ {
-				for d := 0; d < dims; d++ {
-					x[d] = isa.F32(stream[i*dims+d])
-				}
-				best := nearest(x, cents)
-				st[best]++
-				for d := 0; d < dims; d++ {
-					idx := kk + best*dims + d
-					st[idx] = isa.Bits(isa.F32(st[idx]) + x[d])
-				}
+		Gen:            floatPointGen(dims, KMeansCentroids()),
+		Fold: func(st, rec []uint32) {
+			best := nearestRec(rec, cents)
+			st[best]++
+			for d := 0; d < dims; d++ {
+				idx := kk + best*dims + d
+				st[idx] = isa.Bits(isa.F32(st[idx]) + isa.F32(rec[d]))
 			}
-			return st
 		},
 		ReduceSpec: reduceSpec(seg(KindInt, kk), seg(KindF32, kk*dims)),
 	}
@@ -410,30 +455,26 @@ func PCABench() *Benchmark {
 	k := kernels.PCA()
 	dims := kernels.PCADims
 	cents := datagen.Centers(datagen.NewRNG(centroidSeed+2), 4, dims)
+	covBase := dims
+	scratch := dims + dims*dims
 	return &Benchmark{
 		K:              k,
 		DefaultRecords: 256,
 		Gen:            floatPointGen(dims, cents),
-		GoldenThread: func(stream []uint32, records int) []uint32 {
-			st := make([]uint32, k.StateWords)
-			covBase := dims
-			scratch := dims + dims*dims
-			for i := 0; i < records; i++ {
-				for d := 0; d < dims; d++ {
-					x := isa.F32(stream[i*dims+d])
-					st[d] = isa.Bits(isa.F32(st[d]) + x)
-					st[scratch+d] = stream[i*dims+d]
-				}
-				for a := 0; a < dims; a++ {
-					xi := isa.F32(st[scratch+a])
-					for b := 0; b < dims; b++ {
-						xj := isa.F32(st[scratch+b])
-						idx := covBase + a*dims + b
-						st[idx] = isa.Bits(isa.F32(st[idx]) + xj*xi)
-					}
+		Fold: func(st, rec []uint32) {
+			for d := 0; d < dims; d++ {
+				x := isa.F32(rec[d])
+				st[d] = isa.Bits(isa.F32(st[d]) + x)
+				st[scratch+d] = rec[d]
+			}
+			for a := 0; a < dims; a++ {
+				xi := isa.F32(st[scratch+a])
+				for b := 0; b < dims; b++ {
+					xj := isa.F32(st[scratch+b])
+					idx := covBase + a*dims + b
+					st[idx] = isa.Bits(isa.F32(st[idx]) + xj*xi)
 				}
 			}
-			return st
 		},
 		ReduceSpec: reduceSpec(seg(KindF32, dims+dims*dims), seg(KindKeep, dims)),
 	}
@@ -446,42 +487,35 @@ func PCABench() *Benchmark {
 func GDABench() *Benchmark {
 	k := kernels.GDA()
 	dims, classes := kernels.GDADims, kernels.GDAClasses
+	meanBase := classes
+	covBase := meanBase + classes*dims
+	scratch := covBase + dims*dims
 	return &Benchmark{
 		K:              k,
 		DefaultRecords: 256,
-		Gen: func(rng *datagen.RNG, records int) []uint32 {
-			return datagen.BurstyLabeledFloatPoints(rng, records, dims, classes, 0.7, 1.5)
+		Gen: func(rng *datagen.RNG, records int) *datagen.Source {
+			return datagen.BurstyLabeledFloatPointsSource(rng, records, dims, classes, 0.7, 1.5)
 		},
-		GoldenThread: func(stream []uint32, records int) []uint32 {
-			st := make([]uint32, k.StateWords)
-			meanBase := classes
-			covBase := meanBase + classes*dims
-			scratch := covBase + dims*dims
-			p := 0
-			for i := 0; i < records; i++ {
-				label := stream[p]
-				p++
-				st[label]++
-				count := float32(int32(st[label]))
-				for d := 0; d < dims; d++ {
-					x := isa.F32(stream[p])
-					p++
-					mi := meanBase + int(label)*dims + d
-					sum := isa.F32(st[mi]) + x
-					st[mi] = isa.Bits(sum)
-					mean := sum / count
-					st[scratch+d] = isa.Bits(x - mean)
-				}
-				for a := 0; a < dims; a++ {
-					xi := isa.F32(st[scratch+a])
-					for b := 0; b < dims; b++ {
-						xj := isa.F32(st[scratch+b])
-						idx := covBase + a*dims + b
-						st[idx] = isa.Bits(isa.F32(st[idx]) + xj*xi)
-					}
+		Fold: func(st, rec []uint32) {
+			label := rec[0]
+			st[label]++
+			count := float32(int32(st[label]))
+			for d := 0; d < dims; d++ {
+				x := isa.F32(rec[1+d])
+				mi := meanBase + int(label)*dims + d
+				sum := isa.F32(st[mi]) + x
+				st[mi] = isa.Bits(sum)
+				mean := sum / count
+				st[scratch+d] = isa.Bits(x - mean)
+			}
+			for a := 0; a < dims; a++ {
+				xi := isa.F32(st[scratch+a])
+				for b := 0; b < dims; b++ {
+					xj := isa.F32(st[scratch+b])
+					idx := covBase + a*dims + b
+					st[idx] = isa.Bits(isa.F32(st[idx]) + xj*xi)
 				}
 			}
-			return st
 		},
 		ReduceSpec: reduceSpec(seg(KindInt, classes), seg(KindF32, classes*dims+dims*dims), seg(KindKeep, dims)),
 	}
