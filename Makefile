@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check bench benchjson bench-diff bench-diff-par trace-demo serve-demo cluster-demo
+.PHONY: all build test check bench benchjson bench-diff bench-diff-par bench-diff-noskip trace-demo serve-demo cluster-demo
 
 all: build
 
@@ -43,12 +43,12 @@ bench:
 # benchjson regenerates the benchmark-trajectory snapshot (see
 # EXPERIMENTS.md, "Benchmark trajectory").
 benchjson:
-	$(GO) run ./cmd/milliexp -benchjson BENCH_3.json
+	$(GO) run ./cmd/milliexp -benchjson BENCH_4.json
 
 # bench-diff is the determinism gate: re-measure and fail unless every
 # records/sim_cycles/sim_picos/insts field is bit-identical to the
 # committed baseline. A timing-neutral change must pass this unchanged.
-BENCH_BASE ?= BENCH_3.json
+BENCH_BASE ?= BENCH_4.json
 bench-diff:
 	$(GO) run ./cmd/milliexp -benchdiff $(BENCH_BASE)
 
@@ -58,6 +58,13 @@ bench-diff:
 PAR ?= 4
 bench-diff-par:
 	$(GO) run ./cmd/milliexp -benchdiff $(BENCH_BASE) -parallelism $(PAR)
+
+# bench-diff-noskip replays every clock edge (quiescence time skipping off)
+# and diffs against the same baseline: the fast-forward path must be
+# bit-identical to the edge-by-edge engine, or a skip window elided an edge
+# that could have done work.
+bench-diff-noskip:
+	$(GO) run ./cmd/milliexp -benchdiff $(BENCH_BASE) -skip=off
 
 # serve-demo smoke-tests the millid simulation service end to end over real
 # HTTP: start the daemon, list the registry, run a count-kernel job twice

@@ -21,7 +21,7 @@ const benchScale = 0.04
 func BenchmarkTableIV(b *testing.B) {
 	p := arch.Default()
 	for i := 0; i < b.N; i++ {
-		f, err := harness.TableIV(context.Background(), p, benchScale)
+		f, err := harness.TableIV(context.Background(), p, benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -37,7 +37,7 @@ func BenchmarkTableIV(b *testing.B) {
 func BenchmarkFig3Performance(b *testing.B) {
 	p := arch.Default()
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Fig3(context.Background(), p, benchScale)
+		f, err := harness.Fig3(context.Background(), p, benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -50,7 +50,7 @@ func BenchmarkFig3Performance(b *testing.B) {
 func BenchmarkFig4Energy(b *testing.B) {
 	p := arch.Default()
 	for i := 0; i < b.N; i++ {
-		f, _, err := harness.Fig4(context.Background(), p, benchScale)
+		f, _, err := harness.Fig4(context.Background(), p, benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +62,7 @@ func BenchmarkFig4Energy(b *testing.B) {
 func BenchmarkFig5Multicore(b *testing.B) {
 	p := arch.Default()
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Fig5(context.Background(), p, benchScale)
+		f, err := harness.Fig5(context.Background(), p, benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +74,7 @@ func BenchmarkFig5Multicore(b *testing.B) {
 func BenchmarkFig6SystemSize(b *testing.B) {
 	p := arch.Default()
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Fig6(context.Background(), p, benchScale)
+		f, err := harness.Fig6(context.Background(), p, benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +85,7 @@ func BenchmarkFig6SystemSize(b *testing.B) {
 func BenchmarkChannelSweep(b *testing.B) {
 	p := arch.Default()
 	for i := 0; i < b.N; i++ {
-		f, err := harness.ChannelSweep(context.Background(), p, benchScale)
+		f, err := harness.ChannelSweep(context.Background(), p, benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +97,7 @@ func BenchmarkChannelSweep(b *testing.B) {
 func BenchmarkFig7PrefetchBuffers(b *testing.B) {
 	p := arch.Default()
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Fig7(context.Background(), p, benchScale)
+		f, err := harness.Fig7(context.Background(), p, benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +146,7 @@ func BenchmarkMillipedeNBayes(b *testing.B) { benchOne(b, harness.ArchMillipede,
 func BenchmarkBarrierAblation(b *testing.B) {
 	p := arch.Default()
 	for i := 0; i < b.N; i++ {
-		f, err := harness.BarrierAblation(context.Background(), p, benchScale)
+		f, err := harness.BarrierAblation(context.Background(), p, benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +159,7 @@ func BenchmarkBarrierAblation(b *testing.B) {
 func BenchmarkCharacteristicsStudy(b *testing.B) {
 	p := arch.Default()
 	for i := 0; i < b.N; i++ {
-		f, err := harness.CharacteristicsStudy(context.Background(), p, 0.01)
+		f, err := harness.CharacteristicsStudy(context.Background(), p, 0.01, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -63,6 +63,7 @@ func main() {
 	benchScale := flag.Float64("benchscale", benchreport.DefaultScale, "input scale for -benchjson throughput runs")
 	benchDiff := flag.String("benchdiff", "", "determinism gate: collect a fresh report and exit nonzero unless its records/sim_cycles/sim_picos/insts are bit-identical to this baseline BENCH_*.json (skips figures)")
 	parallelism := flag.Int("parallelism", 1, "intra-run worker count for the deterministic parallel cycle engine (1 = serial; any value is bit-identical)")
+	skip := flag.String("skip", "on", "engine quiescence time skipping, on or off (bit-identical either way; off replays every clock edge)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
@@ -91,12 +92,17 @@ func main() {
 		}()
 	}
 
+	if *skip != "on" && *skip != "off" {
+		log.Fatalf("bad -skip %q (want on or off)", *skip)
+	}
+	noskip := *skip == "off"
+
 	if *list {
 		printRegistry()
 		return
 	}
 	if *benchJSON != "" || *benchDiff != "" {
-		runBenchReport(*benchJSON, *benchBase, *benchDiff, *benchScale, *parallelism)
+		runBenchReport(*benchJSON, *benchBase, *benchDiff, *benchScale, *parallelism, noskip)
 		return
 	}
 
@@ -120,6 +126,7 @@ func main() {
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 	cfg := millipede.DefaultConfig()
 	cfg.Parallelism = *parallelism
+	cfg.NoSkip = noskip
 
 	// Ctrl-C / SIGTERM cancels the sweep in flight: the context reaches
 	// every figure's worker pool through RunExperimentContext.
@@ -153,9 +160,10 @@ func main() {
 // runBenchReport measures simulator throughput over Figure 3's workload set
 // and writes the BENCH_*.json trajectory point and/or runs the determinism
 // gate against a baseline report.
-func runBenchReport(path, basePath, diffPath string, scale float64, parallelism int) {
+func runBenchReport(path, basePath, diffPath string, scale float64, parallelism int, noskip bool) {
 	cfg := millipede.DefaultConfig()
 	cfg.Parallelism = parallelism
+	cfg.NoSkip = noskip
 	if diffPath != "" {
 		base, err := benchreport.Read(diffPath)
 		if err != nil {

@@ -41,7 +41,12 @@ type Node struct {
 	// benchmark trajectory.
 	RunAllocs uint64
 	RunBytes  uint64
-	unit      ComputeUnit
+	// RunSkippedEdges and RunSkipWindows report how much of the last Run the
+	// quiescence fast-forward elided (informational only: tick totals and
+	// results are bit-identical with skipping on or off).
+	RunSkippedEdges uint64
+	RunSkipWindows  uint64
+	unit            ComputeUnit
 }
 
 // NewNode builds the memory side; AttachCompute must be called before Run.
@@ -54,15 +59,20 @@ func NewNode(p Params, capacityBytes int) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{Params: p, Engine: sim.NewEngine(), Mem: m, DRAM: m.Store()}
+	n.Engine.SetSkip(!p.NoSkip)
 	if p.Parallelism > 1 {
 		n.Pool = sim.NewPool(p.Parallelism)
 		m.SetWorkers(n.Pool)
 	}
-	n.MemDomain, err = n.Engine.AddDomain("mem", sim.PeriodFromHz(p.ChannelHz),
-		sim.TickFunc(func(sim.Time) { m.Tick() }))
+	// The memory clock registers through mem.Ticker so the engine sees the
+	// fabric's quiescence probes (a bare TickFunc would opt the domain out of
+	// time skipping).
+	mt := &mem.Ticker{Sys: m}
+	n.MemDomain, err = n.Engine.AddDomain("mem", sim.PeriodFromHz(p.ChannelHz), mt)
 	if err != nil {
 		return nil, err
 	}
+	mt.Domain = n.MemDomain
 	return n, nil
 }
 
@@ -106,5 +116,6 @@ func (n *Node) Run(limit sim.Time) (sim.Time, error) {
 	t, err := n.Engine.Run(limit, n.unit.Halted)
 	runtime.ReadMemStats(&ms)
 	n.RunAllocs, n.RunBytes = ms.Mallocs-m0, ms.TotalAlloc-b0
+	n.RunSkippedEdges, n.RunSkipWindows = n.Engine.SkippedEdges(), n.Engine.SkipWindows()
 	return t, err
 }

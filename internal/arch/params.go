@@ -63,6 +63,12 @@ type Params struct {
 	// serially.
 	Parallelism int
 
+	// NoSkip disables the engine's quiescence time skipping, forcing
+	// edge-by-edge dispatch. Like Parallelism it is a simulator-speed knob,
+	// not a model parameter: results are bit-identical either way, skipping
+	// is only a wall-clock optimization (and on by default).
+	NoSkip bool
+
 	// Rate matching (Section IV-F).
 	DFSStepPct         float64 // 0.05
 	DFSIntervalCycles  int     // compute cycles between controller updates

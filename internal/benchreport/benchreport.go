@@ -61,6 +61,12 @@ type Entry struct {
 	// mem_* counters: excluded from the determinism gate.
 	AllocsPerRun uint64 `json:"allocs_per_run,omitempty"`
 	BytesPerRun  uint64 `json:"bytes_per_run,omitempty"`
+	// Quiescence fast-forward counters: clock edges the engine elided and the
+	// skip windows they were elided in. Skipping is bit-identical on or off,
+	// so these are informational, not part of the determinism gate; zero
+	// means the run replayed every edge (skip off, or nothing to skip).
+	SkippedEdges uint64 `json:"skipped_edges,omitempty"`
+	SkipWindows  uint64 `json:"skip_windows,omitempty"`
 }
 
 // DeterminismFields are the Entry fields that must be bit-identical between
@@ -118,6 +124,10 @@ type Report struct {
 	// serial). Any value must produce bit-identical determinism fields; the
 	// field records which configuration produced the wall-clock numbers.
 	Parallelism int `json:"parallelism,omitempty"`
+	// NoSkip records whether quiescence time skipping was disabled for the
+	// collection. Like Parallelism it cannot change the determinism fields —
+	// only the wall-clock numbers.
+	NoSkip bool `json:"no_skip,omitempty"`
 	// Fig3WallSeconds is the wall time of a full harness.Fig3 reproduction
 	// at Scale — the end-to-end number a future PR has to beat.
 	Fig3WallSeconds float64 `json:"fig3_wall_seconds"`
@@ -149,6 +159,7 @@ func Collect(p arch.Params, archs []string, scale float64) (*Report, error) {
 		NumCPU:      runtime.NumCPU(),
 		Scale:       scale,
 		Parallelism: p.Parallelism,
+		NoSkip:      p.NoSkip,
 	}
 	for _, a := range archs {
 		for _, b := range workloads.All() {
@@ -176,6 +187,7 @@ func Collect(p arch.Params, archs []string, scale float64) (*Report, error) {
 				MemStallCycles: res.MemStallCycles, MemMaxOccupancy: res.MemMaxOccupancy,
 				MemRejected:  res.MemRejected,
 				AllocsPerRun: res.CycleAllocs, BytesPerRun: res.CycleBytes,
+				SkippedEdges: res.SkippedEdges, SkipWindows: res.SkipWindows,
 			}
 			if wall > 0 {
 				e.CyclesPerSec = float64(res.Cycles) / wall
@@ -185,7 +197,7 @@ func Collect(p arch.Params, archs []string, scale float64) (*Report, error) {
 		}
 	}
 	t0 := time.Now()
-	if _, err := harness.Fig3(context.Background(), p, scale); err != nil {
+	if _, err := harness.Fig3(context.Background(), p, scale, 0); err != nil {
 		return nil, fmt.Errorf("benchreport: fig3 timing run: %w", err)
 	}
 	r.Fig3WallSeconds = time.Since(t0).Seconds()

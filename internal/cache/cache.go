@@ -14,6 +14,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 )
@@ -84,9 +85,20 @@ type line struct {
 // Cache is a single level. It is driven entirely by Access calls and fill
 // callbacks; it has no clock of its own.
 type Cache struct {
-	cfg     Config
-	sets    [][]line
-	nsets   int
+	cfg   Config
+	sets  [][]line
+	nsets int
+	// lineShift/setMask fast-path blockOf and setOf when the line size and
+	// set count are powers of two (the only geometries the models use);
+	// -1/0 fall back to the general divide/modulo, computing identical
+	// indices either way.
+	lineShift int
+	setMask   int64
+	// lastWay[set] points at the line most recently returned by find in
+	// that set (nil until its first hit) — a per-set MRU filter over the
+	// way scan that survives many interleaved streams (a single global
+	// entry thrashes when every context streams through its own lines).
+	lastWay []*line
 	backing mem.Port
 	useTick uint64
 	// mshr holds the in-flight fills (block id -> waiters). A linear-scan
@@ -192,6 +204,14 @@ func New(cfg Config, backing mem.Port, mshrMax int) (*Cache, error) {
 		mshr:            make([]mshrEntry, 0, mshrMax),
 		mshrMax:         mshrMax,
 		pendingPrefetch: -1,
+		lineShift:       -1,
+	}
+	c.lastWay = make([]*line, nsets)
+	if cfg.LineBytes&(cfg.LineBytes-1) == 0 {
+		c.lineShift = bits.TrailingZeros(uint(cfg.LineBytes))
+	}
+	if nsets&(nsets-1) == 0 {
+		c.setMask = int64(nsets - 1)
 	}
 	c.fillFree = make([]*fillCtx, 0, mshrMax+1)
 	for i := 0; i < mshrMax; i++ {
@@ -221,20 +241,39 @@ func New(cfg Config, backing mem.Port, mshrMax int) (*Cache, error) {
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
-func (c *Cache) blockOf(addr uint32) int64 { return int64(addr) / int64(c.cfg.LineBytes) }
+func (c *Cache) blockOf(addr uint32) int64 {
+	if c.lineShift >= 0 {
+		return int64(addr >> uint(c.lineShift))
+	}
+	return int64(addr) / int64(c.cfg.LineBytes)
+}
 
 func (c *Cache) setOf(block int64) int {
 	if c.cfg.HashSets {
 		block ^= block >> 5
 		block ^= block >> 10
 	}
+	if c.setMask != 0 {
+		// Blocks are non-negative (32-bit addresses), so the masked index
+		// equals the sign-fixed double modulo below.
+		return int(block & c.setMask)
+	}
 	return int((block%int64(c.nsets) + int64(c.nsets)) % int64(c.nsets))
 }
 
 func (c *Cache) find(block int64) *line {
-	set := c.sets[c.setOf(block)]
+	// MRU shortcut: streaming kernels touch a line's 16 words back to back,
+	// so each set's last-hit way answers most lookups without a way scan.
+	// Lines live in fixed arrays (never reallocated) and the tag check
+	// makes the shortcut self-validating across evictions.
+	s := c.setOf(block)
+	if ln := c.lastWay[s]; ln != nil && ln.tag == block {
+		return ln
+	}
+	set := c.sets[s]
 	for i := range set {
 		if set[i].tag == block {
+			c.lastWay[s] = &set[i]
 			return &set[i]
 		}
 	}
@@ -329,6 +368,55 @@ func (c *Cache) Access(addr uint32, onFill func()) Result {
 	c.stats.Misses++
 	c.maybePrefetch(block)
 	return Miss
+}
+
+// stallProber is the optional backing capability the quiescence
+// fast-forward uses (mem.System implements it): probe whether an enqueue
+// for addr would be accepted, and replay elided rejected attempts.
+type stallProber interface {
+	WouldAccept(addr uint32) bool
+	TallyRejects(addr uint32, n uint64)
+}
+
+// WouldRetry reports whether an Access for addr would return Retry this
+// instant, without touching any cache state. It mirrors Access's decision
+// order: hit and MSHR-merge accesses do real work (false); a full MSHR
+// table or a set with every line mid-fill retries (true); otherwise the
+// access would attempt a fill, which retries only if the backing bounces —
+// unknowable without a probe-capable backing, so that reports false (busy).
+func (c *Cache) WouldRetry(addr uint32) bool {
+	block := c.blockOf(addr)
+	if ln := c.find(block); ln != nil && !ln.inFlight {
+		return false
+	}
+	if c.mshrFind(block) >= 0 {
+		return false
+	}
+	if len(c.mshr) >= c.mshrMax {
+		return true
+	}
+	if c.victim(block) == nil {
+		return true
+	}
+	p, ok := c.backing.(stallProber)
+	return ok && !p.WouldAccept(uint32(block)*uint32(c.cfg.LineBytes))
+}
+
+// TallyRetries replays n elided Access attempts for addr inside a skip
+// window, each of which provably returned Retry (WouldRetry held and no
+// state changed in between): the use clock and retry counter advance per
+// attempt, and a bounced fill attempt additionally tallies its reject on
+// the backing — exactly Access's Retry bookkeeping, with the line array,
+// MSHR table, and freelists net untouched.
+func (c *Cache) TallyRetries(addr uint32, n uint64) {
+	c.useTick += n
+	c.stats.Retries += n
+	if len(c.mshr) >= c.mshrMax || c.victim(c.blockOf(addr)) == nil {
+		return
+	}
+	if p, ok := c.backing.(stallProber); ok {
+		p.TallyRejects(uint32(c.blockOf(addr))*uint32(c.cfg.LineBytes), n)
+	}
 }
 
 // fill completes a line fill and releases waiters.

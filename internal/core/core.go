@@ -122,6 +122,10 @@ type Result struct {
 	// cycle loop (zero in steady state by design; see benchreport).
 	Allocs     uint64
 	AllocBytes uint64
+	// SkippedEdges and SkipWindows report the quiescence fast-forward's
+	// informational counters (results are bit-identical with skipping off).
+	SkippedEdges uint64
+	SkipWindows  uint64
 }
 
 // DRAMStats is re-exported memory-side stats (avoids leaking the dram
@@ -379,6 +383,57 @@ func (pr *Processor) Tick(now sim.Time) {
 	}
 }
 
+// NextWork implements sim.NextWorker: the earliest future compute edge at
+// which Tick could change state. The cluster's issue bound supplies the
+// base; windows are clamped to the next DFS sampling tick and the next
+// timeline sample so those observers run live (the DFS may retune the
+// clock; the sampler records gauge values), keeping every skipped tick a
+// provable no-op.
+func (pr *Processor) NextWork(sim.Time) sim.Time {
+	t := int64(pr.ticks)
+	if pr.buf.PumpPending() > 0 && !pr.buf.PumpStalled() {
+		// A bounced fetch may get through on the very next pump. When every
+		// pending fetch faces a still-full channel queue the retries are
+		// provable no-ops until the next channel work tick (which ends any
+		// window), so a stalled pump does not pin the clock.
+		return pr.node.Compute.TimeOfTick(uint64(t + 1))
+	}
+	w := int64(1<<63 - 1)
+	if n := pr.cluster.NextWorkTicks(); n != corelet.NeverTicks {
+		if n <= 1 {
+			return pr.node.Compute.TimeOfTick(uint64(t + 1))
+		}
+		w = t + n
+	}
+	if pr.rate != nil && pr.P.DFSIntervalCycles > 0 {
+		iv := int64(pr.P.DFSIntervalCycles)
+		if next := t - t%iv + iv; next < w {
+			w = next
+		}
+	}
+	if pr.timeline != nil {
+		ev := int64(pr.timeline.Every())
+		if next := t - t%ev + ev; next < w {
+			w = next
+		}
+	}
+	if w == 1<<63-1 {
+		return sim.Never
+	}
+	return pr.node.Compute.TimeOfTick(uint64(w))
+}
+
+// SkipTicks implements sim.NextWorker: replays n dead compute ticks —
+// cycle counters, idle tallies, and the stalled pump's per-cycle reject
+// bookkeeping (NextWork guarantees the DFS sample and timeline sample
+// paths stay untouched in the window, and that a pump with a reachable
+// queue pins the clock instead of skipping).
+func (pr *Processor) SkipTicks(n int64) {
+	pr.ticks += uint64(n)
+	pr.cluster.SkipTicks(n)
+	pr.buf.SkipPumpTicks(n)
+}
+
 // barrierArrive collects BAR arrivals and releases everyone when the last
 // context arrives (kernels only barrier while all threads are live).
 func (pr *Processor) barrierArrive(release func()) {
@@ -423,6 +478,7 @@ func (pr *Processor) result(t sim.Time) Result {
 	r.Metrics = pr.reg.Snapshot()
 	r.Timeline = pr.timeline
 	r.Allocs, r.AllocBytes = pr.node.RunAllocs, pr.node.RunBytes
+	r.SkippedEdges, r.SkipWindows = pr.node.RunSkippedEdges, pr.node.RunSkipWindows
 	return r
 }
 
@@ -503,6 +559,9 @@ func (pr *Processor) EnableTimeline(everyCycles uint64) {
 // EnableTrace records the instruction stream of one corelet and the shared
 // prefetch buffer's events into l. Call before Run.
 func (pr *Processor) EnableTrace(l *trace.Log, coreletID int) {
+	// A traced run replays every edge: the fabric tracer fires on rejected
+	// enqueues, which the quiescence fast-forward tallies without events.
+	pr.node.Engine.SetSkip(false)
 	pr.traceLog = l
 	if coreletID < 0 || coreletID >= pr.cluster.Corelets() {
 		coreletID = 0

@@ -451,15 +451,30 @@ func (cl *Cluster) ReadLocal(c int, addr uint32) uint32 {
 // LocalWords returns the local memory size in words.
 func (cl *Cluster) LocalWords() int { return cl.localWords }
 
+// localIndex is kept small enough to inline on the LW/SW hot path; the
+// cold fault diagnostics live in localFault (panicking via a deferred-format
+// value keeps the fast path under the inlining budget).
 func (cl *Cluster) localIndex(c int, addr uint32) int {
-	if addr%4 != 0 {
-		panic(fmt.Sprintf("corelet %d: unaligned local access %#x (pc trace in kernel)", c, addr))
-	}
-	i := int(addr / 4)
-	if i >= cl.localWords {
-		panic(fmt.Sprintf("corelet %d: local access %#x beyond %d-word local memory", c, addr, cl.localWords))
+	i := int(addr >> 2)
+	if addr&3 != 0 || i >= cl.localWords {
+		panic(localFault{c: c, addr: addr, words: cl.localWords})
 	}
 	return i
+}
+
+// localFault is the panic value for an out-of-contract local access; the
+// message is formatted lazily so localIndex stays inlinable.
+type localFault struct {
+	c     int
+	addr  uint32
+	words int
+}
+
+func (f localFault) String() string {
+	if f.addr%4 != 0 {
+		return fmt.Sprintf("corelet %d: unaligned local access %#x (pc trace in kernel)", f.c, f.addr)
+	}
+	return fmt.Sprintf("corelet %d: local access %#x beyond %d-word local memory", f.c, f.addr, f.words)
 }
 
 func (cl *Cluster) csr(c, ctx int, n int32) uint32 {
@@ -555,6 +570,79 @@ func (cl *Cluster) Tick() {
 // burns its remaining slots as idle, as the object-per-core model did).
 func (cl *Cluster) TickCore(c int) { cl.tickCore(c, &cl.shards[0]) }
 
+// NeverTicks is the NextWorkTicks sentinel: every runnable context is
+// blocked awaiting a memory wake, so only another domain's tick can create
+// work.
+const NeverTicks = int64(1<<63 - 1)
+
+// NextWorkTicks returns the number of cluster ticks from now until the
+// earliest tick at which any active corelet could issue: 1 means the very
+// next tick (busy), NeverTicks means every context is parked on a wake.
+// The bound is exact given the scheduler headers: a corelet cannot issue
+// before cores[c].earliest, and wakes (which reset earliest) only run from
+// memory-domain work ticks, which end any skip window.
+func (cl *Cluster) NextWorkTicks() int64 {
+	w := NeverTicks
+	for wi, word := range cl.active {
+		base := wi * 64
+		for word != 0 {
+			c := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			hd := &cl.cores[c]
+			if hd.ready == 0 {
+				continue
+			}
+			e := hd.earliest - hd.cycle
+			if e <= 1 {
+				return 1
+			}
+			if e < w {
+				w = e
+			}
+		}
+	}
+	return w
+}
+
+// SkipTicks replays n dead cluster ticks: every active corelet's cycle
+// counter advances and each elided corelet-tick counts as an idle cycle,
+// exactly as tickCore's dead paths would have tallied. Stats land in shard
+// 0; every counter is a commutative sum, so placement matches Tick's
+// drain convention.
+func (cl *Cluster) SkipTicks(n int64) {
+	na := 0
+	for wi, word := range cl.active {
+		base := wi * 64
+		for word != 0 {
+			c := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			cl.cores[c].cycle += n
+			na++
+		}
+	}
+	cl.shards[0].idleCycles += uint64(n) * uint64(na)
+}
+
+// CoreNextIssueDelta returns, for one corelet, the distance in corelet
+// cycles from its current cycle to the earliest cycle it could issue:
+// NeverTicks when no context is runnable, otherwise earliest-cycle (which
+// may be <= 0 when it could issue on its very next cycle). The multicore
+// model, which ticks cores unevenly, derives its quiescence window from it.
+func (cl *Cluster) CoreNextIssueDelta(c int) int64 {
+	hd := &cl.cores[c]
+	if hd.ready == 0 {
+		return NeverTicks
+	}
+	return hd.earliest - hd.cycle
+}
+
+// SkipCoreTicks replays n dead cycles on a single corelet (the multicore
+// model's per-core slots), advancing its cycle counter and idle tally.
+func (cl *Cluster) SkipCoreTicks(c int, n int64) {
+	cl.cores[c].cycle += n
+	cl.shards[0].idleCycles += uint64(n)
+}
+
 func (cl *Cluster) tickCore(c int, st *shardStats) {
 	hd := &cl.cores[c]
 	hd.cycle++
@@ -575,12 +663,16 @@ func (cl *Cluster) tickCore(c int, st *shardStats) {
 		// Default geometry: a four-probe circular scan beats the bitmap
 		// segment walk, and the fixed-size array view drops bounds checks.
 		ctxs := (*[4]ctxHot)(cl.ctxs[c*4:])
+		k := int(hd.rr+1) & 3
+		if m == 15 && ctxs[k].readyAt <= cyc {
+			// Streaming steady state: all four contexts runnable and the
+			// round-robin successor ready — no bit tests, one probe.
+			hd.rr = int32(k)
+			cl.exec(c, k, cyc, st)
+			return
+		}
 		low := int64(math.MaxInt64)
-		k := int(hd.rr) + 1
 		for i := 0; i < 4; i++ {
-			if k >= 4 {
-				k = 0
-			}
 			if m>>uint(k)&1 != 0 {
 				if r := ctxs[k].readyAt; r <= cyc {
 					hd.rr = int32(k)
@@ -590,7 +682,7 @@ func (cl *Cluster) tickCore(c int, st *shardStats) {
 					low = r
 				}
 			}
-			k++
+			k = (k + 1) & 3
 		}
 		hd.earliest = low
 		st.idleCycles++

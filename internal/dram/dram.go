@@ -163,6 +163,14 @@ func (d *DRAM) BankReady(addr uint32, now int64) bool {
 	return d.banks[d.BankOf(addr)].busyUntil <= now
 }
 
+// BankFreeAt returns the first cycle at which the bank holding addr accepts
+// a new command — the earliest now for which BankReady(addr, now) holds. The
+// controller's quiescence probe uses it to bound how long a queued request
+// stays unschedulable.
+func (d *DRAM) BankFreeAt(addr uint32) int64 {
+	return d.banks[d.BankOf(addr)].busyUntil
+}
+
 // IsRowHit reports whether addr currently hits the open row of its bank.
 func (d *DRAM) IsRowHit(addr uint32) bool {
 	b := d.banks[d.BankOf(addr)]

@@ -25,7 +25,10 @@ import (
 //     behaving like no-flow-control
 //
 // Values are performance normalized to Millipede (higher is better).
-func BarrierAblation(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
+func BarrierAblation(ctx context.Context, p arch.Params, scale float64, seed uint64) (*Figure, error) {
+	if seed == 0 {
+		seed = Seed
+	}
 	b := workloads.CountBench()
 	records := recordsFor(b, scale)
 	f := &Figure{
@@ -37,7 +40,7 @@ func BarrierAblation(ctx context.Context, p arch.Params, scale float64) (*Figure
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	base, err := Run(ArchMillipede, b, p, records)
+	base, err := runSeeded(ArchMillipede, b, p, records, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -45,7 +48,7 @@ func BarrierAblation(ctx context.Context, p arch.Params, scale float64) (*Figure
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	nofc, err := Run(ArchMillipedeNoFC, b, p, records)
+	nofc, err := runSeeded(ArchMillipedeNoFC, b, p, records, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +58,7 @@ func BarrierAblation(ctx context.Context, p arch.Params, scale float64) (*Figure
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		t, err := runBarrierVariant(p, b, iv, records)
+		t, err := runBarrierVariant(p, b, iv, records, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +71,7 @@ func BarrierAblation(ctx context.Context, p arch.Params, scale float64) (*Figure
 // runBarrierVariant runs count-with-barriers on a no-flow-control Millipede
 // processor and verifies the result against count's golden reference (the
 // barrier must not change results).
-func runBarrierVariant(p arch.Params, b *workloads.Benchmark, interval, records int) (int64, error) {
+func runBarrierVariant(p arch.Params, b *workloads.Benchmark, interval, records int, seed uint64) (int64, error) {
 	q := p
 	q.FlowControl = false
 	k := kernels.CountBarrier(interval)
@@ -86,7 +89,7 @@ func runBarrierVariant(p arch.Params, b *workloads.Benchmark, interval, records 
 	args := kernels.ArgsAndConsts(k, lay.Walk(), sl, records)
 	pr, err := core.NewProcessor(q, energy.Default(), core.Launch{
 		Prog: k.Prog, Interleave: layout.Slab,
-		Sources: b.Sources(q.Threads(), records, Seed), Args: args,
+		Sources: b.Sources(q.Threads(), records, seed), Args: args,
 	})
 	if err != nil {
 		return 0, err
@@ -96,7 +99,7 @@ func runBarrierVariant(p arch.Params, b *workloads.Benchmark, interval, records 
 		return 0, err
 	}
 	got := workloads.ExtractStates(b, sl, lay, pr.ReadState)
-	want := b.GoldenStatesStreamed(q.Threads(), records, Seed)
+	want := b.GoldenStatesStreamed(q.Threads(), records, seed)
 	for th := range want {
 		for i := range want[th] {
 			if got[th][i] != want[th][i] {
@@ -113,7 +116,7 @@ func runBarrierVariant(p arch.Params, b *workloads.Benchmark, interval, records 
 // threads agree. The sweep runs the VWS organization at warp widths 4, 8,
 // 16, and 32 (32 = one slice, the plain GPGPU front-end) on the branchy
 // benchmarks and reports performance normalized to width 32.
-func WarpWidthSweep(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
+func WarpWidthSweep(ctx context.Context, p arch.Params, scale float64, seed uint64) (*Figure, error) {
 	widths := []int{4, 8, 16, 32}
 	f := &Figure{Name: "VWS warp-width sweep: performance normalized to 32-wide (plain GPGPU front-end)"}
 	for _, w := range widths {
@@ -133,7 +136,7 @@ func WarpWidthSweep(ctx context.Context, p arch.Params, scale float64) (*Figure,
 			}
 			q := p
 			q.VWSWarpWidth = w
-			r, err := Run(ArchVWS, b, q, records)
+			r, err := runSeeded(ArchVWS, b, q, records, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -156,7 +159,7 @@ func WarpWidthSweep(ctx context.Context, p arch.Params, scale float64) (*Figure,
 // and reports the break-even reuse count — how many (chained) MapReductions
 // must touch resident data before the copy-in amortizes to under 10% —
 // the Spark-like residency the paper assumes.
-func ResidencyStudy(ctx context.Context, p arch.Params, hostBandwidthGBs float64, scale float64) (*Figure, error) {
+func ResidencyStudy(ctx context.Context, p arch.Params, hostBandwidthGBs float64, scale float64, seed uint64) (*Figure, error) {
 	if hostBandwidthGBs <= 0 {
 		return nil, fmt.Errorf("harness: bad host bandwidth %g", hostBandwidthGBs)
 	}
@@ -173,7 +176,7 @@ func ResidencyStudy(ctx context.Context, p arch.Params, hostBandwidthGBs float64
 			return nil, err
 		}
 		records := recordsFor(b, scale)
-		r, err := Run(ArchMillipede, b, p, records)
+		r, err := runSeeded(ArchMillipede, b, p, records, seed)
 		if err != nil {
 			return nil, err
 		}

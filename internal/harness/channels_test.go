@@ -63,7 +63,7 @@ func TestMultiChannelGoldenEquivalence(t *testing.T) {
 }
 
 func TestChannelSweepShape(t *testing.T) {
-	f, err := ChannelSweep(context.Background(), arch.Default(), testScale)
+	f, err := ChannelSweep(context.Background(), arch.Default(), testScale, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,7 +28,10 @@ import (
 // byte). Join's amplification grows with the table size and its input
 // throughput collapses — the paper's argument that such workloads
 // "underutilize PNM's bandwidth" irrespective of the architecture.
-func CharacteristicsStudy(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
+func CharacteristicsStudy(ctx context.Context, p arch.Params, scale float64, seed uint64) (*Figure, error) {
+	if seed == 0 {
+		seed = Seed
+	}
 	f := &Figure{
 		Name:   "Characteristics study (Sec. III-D): compact (count) vs non-compact (join) on Millipede",
 		Series: []string{"input-words/us", "dram-amplification"},
@@ -40,7 +43,7 @@ func CharacteristicsStudy(ctx context.Context, p arch.Params, scale float64) (*F
 	}
 	cb := workloads.CountBench()
 	records := recordsFor(cb, scale)
-	cr, err := Run(ArchMillipede, cb, p, records)
+	cr, err := runSeeded(ArchMillipede, cb, p, records, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +57,7 @@ func CharacteristicsStudy(ctx context.Context, p arch.Params, scale float64) (*F
 		return nil, err
 	}
 	tableWords := 2 * p.LocalBytes / 4
-	jr, jWords, err := RunJoin(p, tableWords, records/8)
+	jr, jWords, err := RunJoin(p, tableWords, records/8, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +72,10 @@ func CharacteristicsStudy(ctx context.Context, p arch.Params, scale float64) (*F
 // of the threads' single-word keys is matched against a shared table of
 // tableWords words (exceeding local memory). The result is verified against
 // a host-side reference join.
-func RunJoin(p arch.Params, tableWords, records int) (core.Result, uint64, error) {
+func RunJoin(p arch.Params, tableWords, records int, seed uint64) (core.Result, uint64, error) {
+	if seed == 0 {
+		seed = Seed
+	}
 	k := kernels.Join(tableWords)
 	lay := layout.Layout{
 		RowBytes: p.DRAM.RowBytes, Corelets: p.Corelets, Contexts: p.Contexts,
@@ -84,14 +90,14 @@ func RunJoin(p arch.Params, tableWords, records int) (core.Result, uint64, error
 	}
 
 	// Keys and table share a small value domain so matches occur.
-	rng := datagen.NewRNG(Seed)
+	rng := datagen.NewRNG(seed)
 	table := make([]uint32, tableWords)
 	for i := range table {
 		table[i] = uint32(rng.Intn(1024))
 	}
 	streams := make([][]uint32, lay.Threads())
 	for t := range streams {
-		trng := datagen.NewRNG(Seed + uint64(t) + 1)
+		trng := datagen.NewRNG(seed + uint64(t) + 1)
 		streams[t] = make([]uint32, records)
 		for i := range streams[t] {
 			streams[t][i] = uint32(trng.Intn(1024))

@@ -51,7 +51,7 @@ func clusterPhases(nodes, procsPerNode int, rate float64, wordsPerProc int64, b 
 // fixed worker pool (the deterministic parallel engine's pool), through
 // bounded chunk buffers — memory stays constant in the record count. States
 // land in disjoint slots, so the result is independent of the worker count.
-func clusterMap(b *workloads.Benchmark, threads, records int) [][][]uint32 {
+func clusterMap(b *workloads.Benchmark, threads, records int, seed uint64) [][][]uint32 {
 	states := make([][][]uint32, ClusterNodes)
 	for ni := range states {
 		states[ni] = make([][]uint32, threads)
@@ -66,7 +66,7 @@ func clusterMap(b *workloads.Benchmark, threads, records int) [][][]uint32 {
 	pool.Run(func(shard int) {
 		for g := shard; g < total; g += workers {
 			ni, t := g/threads, g%threads
-			src := b.Source(node.ShardSeed(Seed, ni), t, records)
+			src := b.Source(node.ShardSeed(seed, ni), t, records)
 			states[ni][t] = b.GoldenSource(src)
 		}
 	})
@@ -137,7 +137,10 @@ func checkTreeVsFlat(b *workloads.Benchmark, tree, flat []uint32) error {
 // internal/cluster's network model. The figure reports the simulated
 // ClusterNodes-shard cluster; the returned text extrapolates the same
 // measured rates to the paper's 5000x32 example.
-func ClusterStudy(ctx context.Context, p arch.Params, scale float64) (*Figure, string, error) {
+func ClusterStudy(ctx context.Context, p arch.Params, scale float64, seed uint64) (*Figure, string, error) {
+	if seed == 0 {
+		seed = Seed
+	}
 	f := &Figure{
 		Name: fmt.Sprintf("Cluster-scale MapReduce: %d node shards, dataset %dx the default per-processor input (Section IV-D)",
 			ClusterNodes, ClusterStreamFactor),
@@ -171,7 +174,7 @@ func ClusterStudy(ctx context.Context, p arch.Params, scale float64) (*Figure, s
 		rates := make([]float64, ClusterNodes)
 		err = runJobs(ctx, ClusterNodes, func(ni int) error {
 			res, _, err := RunWith(ArchMillipede, b, p, simRecords,
-				Options{Seed: node.ShardSeed(Seed, ni)})
+				Options{Seed: node.ShardSeed(seed, ni)})
 			if err != nil {
 				return fmt.Errorf("cluster %s node %d: %w", name, ni, err)
 			}
@@ -189,11 +192,11 @@ func ClusterStudy(ctx context.Context, p arch.Params, scale float64) (*Figure, s
 		}
 
 		// (2) Map at cluster scale over bounded buffers.
-		states := clusterMap(b, threads, perThread)
+		states := clusterMap(b, threads, perThread, seed)
 
 		// Spot-check on live data: thread 0 of node 0 recomputed from a
 		// one-shot materialized stream must match the chunked fold.
-		oneShot := b.GoldenThread(b.Source(node.ShardSeed(Seed, 0), 0, perThread).Materialize(), perThread)
+		oneShot := b.GoldenThread(b.Source(node.ShardSeed(seed, 0), 0, perThread).Materialize(), perThread)
 		for i, v := range oneShot {
 			if states[0][0][i] != v {
 				return nil, "", fmt.Errorf("cluster %s: chunked fold diverged from one-shot at word %d", name, i)

@@ -66,7 +66,7 @@ func TestRunJobsErrorPriority(t *testing.T) {
 func TestFig3Cancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	f, err := Fig3(ctx, arch.Default(), testScale)
+	f, err := Fig3(ctx, arch.Default(), testScale, 0)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("Fig3: got %v, want context.Canceled", err)
 	}

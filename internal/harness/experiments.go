@@ -40,6 +40,19 @@ type ExpOptions struct {
 	// TimelineEvery is the sampling period of the timeline experiment in
 	// compute cycles; zero picks DefaultTimelineEvery.
 	TimelineEvery uint64
+	// Seed overrides the dataset seed of every run the experiment performs;
+	// zero means the canonical Seed. Shard- and thread-level seeds are
+	// derived from it (datagen.ThreadSeed, node.ShardSeed), so any base
+	// value yields a valid, reproducible dataset.
+	Seed uint64
+}
+
+// seed resolves the dataset seed, mapping zero to the canonical Seed.
+func (o ExpOptions) seed() uint64 {
+	if o.Seed == 0 {
+		return Seed
+	}
+	return o.Seed
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -85,9 +98,9 @@ type expEntry struct {
 
 // oneFig adapts the harness's (Params, scale) figure functions to the
 // registry's run signature.
-func oneFig(f func(context.Context, arch.Params, float64) (*Figure, error)) func(context.Context, arch.Params, ExpOptions) (ExperimentResult, error) {
+func oneFig(f func(context.Context, arch.Params, float64, uint64) (*Figure, error)) func(context.Context, arch.Params, ExpOptions) (ExperimentResult, error) {
 	return func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
-		fig, err := f(ctx, p, o.Scale)
+		fig, err := f(ctx, p, o.Scale, o.Seed)
 		if err != nil {
 			return ExperimentResult{}, err
 		}
@@ -105,41 +118,41 @@ var experiments = []expEntry{
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			return ExperimentResult{Text: TableII()}, nil
 		}},
-	{info("table4", "per-benchmark execution profile (Table IV)", "scale"), oneFig(TableIV)},
-	{info("fig3", "throughput across PNM architectures (Figure 3)", "scale"), oneFig(Fig3)},
-	{info("fig4", "energy totals and breakdown (Figure 4)", "scale"),
+	{info("table4", "per-benchmark execution profile (Table IV)", "scale", "seed"), oneFig(TableIV)},
+	{info("fig3", "throughput across PNM architectures (Figure 3)", "scale", "seed"), oneFig(Fig3)},
+	{info("fig4", "energy totals and breakdown (Figure 4)", "scale", "seed"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
-			fig, parts, err := Fig4(ctx, p, o.Scale)
+			fig, parts, err := Fig4(ctx, p, o.Scale, o.Seed)
 			if err != nil {
 				return ExperimentResult{}, err
 			}
 			return ExperimentResult{Figures: []*Figure{fig, parts}}, nil
 		}},
-	{info("fig5", "node-level comparison vs a conventional multicore (Figure 5)", "scale"), oneFig(Fig5)},
-	{info("fig6", "system-size scaling study (Figure 6)", "scale"), oneFig(Fig6)},
-	{info("fig7", "rate-matching DFS study (Figure 7)", "scale"), oneFig(Fig7)},
-	{info("ablation", "software-barrier interval ablation", "scale"), oneFig(BarrierAblation)},
-	{info("characteristics", "join/table characteristics study (runs at Scale/4)", "scale"),
+	{info("fig5", "node-level comparison vs a conventional multicore (Figure 5)", "scale", "seed"), oneFig(Fig5)},
+	{info("fig6", "system-size scaling study (Figure 6)", "scale", "seed"), oneFig(Fig6)},
+	{info("fig7", "rate-matching DFS study (Figure 7)", "scale", "seed"), oneFig(Fig7)},
+	{info("ablation", "software-barrier interval ablation", "scale", "seed"), oneFig(BarrierAblation)},
+	{info("characteristics", "join/table characteristics study (runs at Scale/4)", "scale", "seed"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			// Historical milliexp default: the characteristics study squares
 			// the work per record, so it runs at a quarter of the scale.
-			fig, err := CharacteristicsStudy(ctx, p, o.Scale/4)
+			fig, err := CharacteristicsStudy(ctx, p, o.Scale/4, o.Seed)
 			if err != nil {
 				return ExperimentResult{}, err
 			}
 			return ExperimentResult{Figures: []*Figure{fig}}, nil
 		}},
-	{info("warpwidth", "VWS warp-width sweep", "scale"), oneFig(WarpWidthSweep)},
-	{info("channels", "die-stacked channel-count sweep", "scale"), oneFig(ChannelSweep)},
-	{info("residency", "dataset-residency study vs host-link bandwidth", "scale", "host_bandwidth_gbs"),
+	{info("warpwidth", "VWS warp-width sweep", "scale", "seed"), oneFig(WarpWidthSweep)},
+	{info("channels", "die-stacked channel-count sweep", "scale", "seed"), oneFig(ChannelSweep)},
+	{info("residency", "dataset-residency study vs host-link bandwidth", "scale", "host_bandwidth_gbs", "seed"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
-			fig, err := ResidencyStudy(ctx, p, o.HostBandwidthGBs, o.Scale)
+			fig, err := ResidencyStudy(ctx, p, o.HostBandwidthGBs, o.Scale, o.Seed)
 			if err != nil {
 				return ExperimentResult{}, err
 			}
 			return ExperimentResult{Figures: []*Figure{fig}}, nil
 		}},
-	{info("node", "measured 8-processor node run (count benchmark)"),
+	{info("node", "measured 8-processor node run (count benchmark)", "seed"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
 			if err := ctx.Err(); err != nil {
 				return ExperimentResult{}, err
@@ -148,7 +161,7 @@ var experiments = []expEntry{
 			if err != nil {
 				return ExperimentResult{}, err
 			}
-			r, err := node.Run(p, energy.Default(), b, 8, 1024, Seed)
+			r, err := node.Run(p, energy.Default(), b, 8, 1024, o.seed())
 			if err != nil {
 				return ExperimentResult{}, err
 			}
@@ -157,17 +170,17 @@ var experiments = []expEntry{
 				float64(r.Time)/1e6, r.Imbalance()*100, r.Energy.TotalPJ()/1e6)
 			return ExperimentResult{Text: text}, nil
 		}},
-	{info("timeline", "cycle-sampled observability timeline (prefetch occupancy, row hit rate, queue depth, DFS clock)", "scale", "timeline_every"),
+	{info("timeline", "cycle-sampled observability timeline (prefetch occupancy, row hit rate, queue depth, DFS clock)", "scale", "timeline_every", "seed"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
-			fig, err := TimelineStudy(ctx, p, o.Scale, o.TimelineEvery)
+			fig, err := TimelineStudy(ctx, p, o.Scale, o.TimelineEvery, o.Seed)
 			if err != nil {
 				return ExperimentResult{}, err
 			}
 			return ExperimentResult{Figures: []*Figure{fig}}, nil
 		}},
-	{info("cluster", "cluster-scale MapReduce over streamed datasets: measured map/node-reduce/tree-reduce breakdown (Section IV-D)", "scale"),
+	{info("cluster", "cluster-scale MapReduce over streamed datasets: measured map/node-reduce/tree-reduce breakdown (Section IV-D)", "scale", "seed"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
-			fig, text, err := ClusterStudy(ctx, p, o.Scale)
+			fig, text, err := ClusterStudy(ctx, p, o.Scale, o.Seed)
 			if err != nil {
 				return ExperimentResult{}, err
 			}

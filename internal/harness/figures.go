@@ -123,7 +123,7 @@ func runJobs(ctx context.Context, n int, fn func(i int) error) error {
 
 // runAll executes the given architectures over all benchmarks at the given
 // record scale, returning results[arch][bench].
-func runAll(ctx context.Context, p arch.Params, archs []string, scale float64) (map[string]map[string]RunResult, error) {
+func runAll(ctx context.Context, p arch.Params, archs []string, scale float64, seed uint64) (map[string]map[string]RunResult, error) {
 	type job struct {
 		a string
 		b *workloads.Benchmark
@@ -137,7 +137,7 @@ func runAll(ctx context.Context, p arch.Params, archs []string, scale float64) (
 	res := make([]RunResult, len(jobs))
 	err := runJobs(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
-		r, err := Run(j.a, j.b, p, recordsFor(j.b, scale))
+		r, err := runSeeded(j.a, j.b, p, recordsFor(j.b, scale), seed)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", j.a, j.b.Name(), err)
 		}
@@ -159,9 +159,9 @@ func runAll(ctx context.Context, p arch.Params, archs []string, scale float64) (
 
 // Fig3 reproduces Figure 3: performance of each PNM architecture normalized
 // to GPGPU-with-prefetch, benchmarks in the paper's order.
-func Fig3(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
+func Fig3(ctx context.Context, p arch.Params, scale float64, seed uint64) (*Figure, error) {
 	archs := []string{ArchGPGPU, ArchVWS, ArchSSMC, ArchMillipedeNoFC, ArchVWSRow, ArchMillipede}
-	res, err := runAll(ctx, p, archs, scale)
+	res, err := runAll(ctx, p, archs, scale, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -181,9 +181,9 @@ func Fig3(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 // Fig4 reproduces Figure 4: total energy normalized to GPGPU (lower is
 // better), including the rate-matched Millipede variant. Component
 // breakdowns are exposed via Fig4Breakdown.
-func Fig4(ctx context.Context, p arch.Params, scale float64) (*Figure, *Figure, error) {
+func Fig4(ctx context.Context, p arch.Params, scale float64, seed uint64) (*Figure, *Figure, error) {
 	archs := []string{ArchGPGPU, ArchVWS, ArchSSMC, ArchVWSRow, ArchMillipede, ArchMillipedeRM}
-	res, err := runAll(ctx, p, archs, scale)
+	res, err := runAll(ctx, p, archs, scale, seed)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -219,7 +219,7 @@ const NodeProcessors = 32
 
 // Fig5 reproduces Figure 5: full-node Millipede speedup and energy
 // improvement over the conventional multicore.
-func Fig5(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
+func Fig5(ctx context.Context, p arch.Params, scale float64, seed uint64) (*Figure, error) {
 	f := &Figure{Name: "Figure 5: 32-processor Millipede node vs conventional 8-core multicore",
 		Series: []string{"speedup", "energy-improvement"}}
 	benches := workloads.All()
@@ -229,11 +229,11 @@ func Fig5(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 		b := benches[i/2]
 		records := recordsFor(b, scale)
 		if i%2 == 0 {
-			r, err := Run(ArchMillipede, b, p, records)
+			r, err := runSeeded(ArchMillipede, b, p, records, seed)
 			mps[i/2] = r
 			return err
 		}
-		r, err := Run(ArchMulticore, b, p, records)
+		r, err := runSeeded(ArchMulticore, b, p, records, seed)
 		mcs[i/2] = r
 		return err
 	})
@@ -264,7 +264,7 @@ func Fig5(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 // second die-stack channel — and each also gets a "-wide" cross-check
 // column that doubles the single channel's clock instead, the pre-fabric
 // approximation; the two should land close together.
-func Fig6(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
+func Fig6(ctx context.Context, p arch.Params, scale float64, seed uint64) (*Figure, error) {
 	sizes := []int{32, 64}
 	archs := []string{ArchGPGPU, ArchSSMC, ArchMillipede}
 	f := &Figure{Name: "Figure 6: speedup vs system size (normalized to 32-lane GPGPU)"}
@@ -300,7 +300,7 @@ func Fig6(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 	res := make([]RunResult, len(jobs))
 	err := runJobs(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
-		r, err := Run(j.a, j.b, j.params, j.records)
+		r, err := runSeeded(j.a, j.b, j.params, j.records, seed)
 		res[i] = r
 		return err
 	})
@@ -342,7 +342,7 @@ const ChannelSweepChannelHz = 150e6
 // benchmark, normalized to the single-channel run. Memory-bound kernels
 // (count, sample) gain the most from extra channels; compute-bound ones
 // (kmeans, gda) barely move.
-func ChannelSweep(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
+func ChannelSweep(ctx context.Context, p arch.Params, scale float64, seed uint64) (*Figure, error) {
 	channels := []int{1, 2, 4}
 	f := &Figure{Name: "Channel sweep: Millipede speedup vs die-stack channel count (150 MHz vault channels, normalized to 1 channel)"}
 	for _, n := range channels {
@@ -355,7 +355,7 @@ func ChannelSweep(ctx context.Context, p arch.Params, scale float64) (*Figure, e
 		q := p
 		q.ChannelHz = ChannelSweepChannelHz
 		q.Channels = channels[i%len(channels)]
-		r, err := Run(ArchMillipede, b, q, recordsFor(b, scale))
+		r, err := runSeeded(ArchMillipede, b, q, recordsFor(b, scale), seed)
 		res[i] = r
 		return err
 	})
@@ -376,7 +376,7 @@ func ChannelSweep(ctx context.Context, p arch.Params, scale float64) (*Figure, e
 
 // Fig7 reproduces Figure 7: Millipede speedup versus prefetch-buffer entry
 // count (2, 4, 8, 16, 32), normalized to 2 entries.
-func Fig7(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
+func Fig7(ctx context.Context, p arch.Params, scale float64, seed uint64) (*Figure, error) {
 	counts := []int{2, 4, 8, 16, 32}
 	f := &Figure{Name: "Figure 7: Millipede speedup vs prefetch buffer count (normalized to 2 buffers)"}
 	for _, n := range counts {
@@ -388,7 +388,7 @@ func Fig7(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 		b := benches[i/len(counts)]
 		q := p
 		q.PrefetchEntries = counts[i%len(counts)]
-		r, err := Run(ArchMillipede, b, q, recordsFor(b, scale))
+		r, err := runSeeded(ArchMillipede, b, q, recordsFor(b, scale), seed)
 		res[i] = r
 		return err
 	})
@@ -410,7 +410,7 @@ func Fig7(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
 // TableIV reproduces Table IV: per-benchmark instructions per input word,
 // branches per instruction, SSMC's DRAM row miss rate, and Millipede's
 // rate-matched clock.
-func TableIV(ctx context.Context, p arch.Params, scale float64) (*Figure, error) {
+func TableIV(ctx context.Context, p arch.Params, scale float64, seed uint64) (*Figure, error) {
 	f := &Figure{Name: "Table IV: benchmark parameters and characteristics",
 		Series: []string{"insts/word", "branches/inst", "ssmc-row-miss", "rate-clock-MHz"}}
 	benches := workloads.All()
@@ -420,11 +420,11 @@ func TableIV(ctx context.Context, p arch.Params, scale float64) (*Figure, error)
 		b := benches[i/2]
 		records := recordsFor(b, scale)
 		if i%2 == 0 {
-			r, err := Run(ArchMillipedeRM, b, p, records)
+			r, err := runSeeded(ArchMillipedeRM, b, p, records, seed)
 			mps[i/2] = r
 			return err
 		}
-		r, err := Run(ArchSSMC, b, p, records)
+		r, err := runSeeded(ArchSSMC, b, p, records, seed)
 		scs[i/2] = r
 		return err
 	})

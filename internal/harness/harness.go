@@ -79,6 +79,11 @@ type RunResult struct {
 	// records them per run as the zero-alloc gate).
 	CycleAllocs uint64
 	CycleBytes  uint64
+	// SkippedEdges and SkipWindows report the engine's quiescence
+	// fast-forward activity (informational only: results are bit-identical
+	// with skipping off).
+	SkippedEdges uint64
+	SkipWindows  uint64
 }
 
 // setMemStats copies the controller counters out of a processor result.
@@ -109,6 +114,10 @@ type Options struct {
 	// (serial by default). Results are bit-identical for every value — this
 	// is a simulator-speed knob, not a model parameter.
 	Parallelism int
+	// NoSkip disables the engine's quiescence time skipping
+	// (arch.Params.NoSkip), forcing edge-by-edge dispatch. Like Parallelism
+	// it is a simulator-speed knob: results are bit-identical either way.
+	NoSkip bool
 }
 
 // WithParallelism returns Options running the parallel cycle engine with n
@@ -136,6 +145,13 @@ func RunReduced(archName string, b *workloads.Benchmark, p arch.Params, records 
 	return RunWith(archName, b, p, records, Options{})
 }
 
+// runSeeded is Run with a dataset-seed override (zero means the canonical
+// Seed); the figure generators thread ExpOptions.Seed through it.
+func runSeeded(archName string, b *workloads.Benchmark, p arch.Params, records int, seed uint64) (RunResult, error) {
+	res, _, err := RunWith(archName, b, p, records, Options{Seed: seed})
+	return res, err
+}
+
 // attachMetrics stores the model's registry snapshot on the result after
 // adding the run-level ("run.*") and energy ("energy.*") samples, so every
 // RunResult carries one uniform snapshot regardless of architecture.
@@ -158,6 +174,9 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 	seed := o.seed()
 	if o.Parallelism > 0 {
 		p.Parallelism = o.Parallelism
+	}
+	if o.NoSkip {
+		p.NoSkip = true
 	}
 	res := RunResult{Arch: archName, Bench: b.Name()}
 	res.Words = uint64(p.Threads()) * uint64(b.StreamWords(records))
@@ -215,6 +234,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
 		res.CycleAllocs, res.CycleBytes = r.Allocs, r.AllocBytes
+		res.SkippedEdges, res.SkipWindows = r.SkippedEdges, r.SkipWindows
 		res.Timeline = r.Timeline
 		res.attachMetrics(r.Metrics)
 
@@ -242,6 +262,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
 		res.CycleAllocs, res.CycleBytes = r.Allocs, r.AllocBytes
+		res.SkippedEdges, res.SkipWindows = r.SkippedEdges, r.SkipWindows
 		res.attachMetrics(r.Metrics)
 
 	case ArchGPGPU, ArchVWS, ArchVWSRow:
@@ -274,10 +295,12 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
 		res.CycleAllocs, res.CycleBytes = r.Allocs, r.AllocBytes
+		res.SkippedEdges, res.SkipWindows = r.SkippedEdges, r.SkipWindows
 		res.attachMetrics(r.Metrics)
 
 	case ArchMulticore:
 		c := multicore.DefaultConfig()
+		c.NoSkip = p.NoSkip
 		// Same total input as a p-geometry PNM run: the node comparison
 		// (Figure 5) scales per-processor results by the processor count.
 		mcRecords := records * p.Threads() / c.Threads()
@@ -321,6 +344,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
 		res.CycleAllocs, res.CycleBytes = r.Allocs, r.AllocBytes
+		res.SkippedEdges, res.SkipWindows = r.SkippedEdges, r.SkipWindows
 		res.Words = uint64(c.Threads()) * uint64(b.StreamWords(mcRecords))
 		res.attachMetrics(r.Metrics)
 

@@ -28,7 +28,7 @@ func TestRunAllArchitecturesVerified(t *testing.T) {
 }
 
 func TestFig3Orderings(t *testing.T) {
-	f, err := Fig3(context.Background(), arch.Default(), testScale)
+	f, err := Fig3(context.Background(), arch.Default(), testScale, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestFig3Orderings(t *testing.T) {
 }
 
 func TestFig4Energy(t *testing.T) {
-	f, parts, err := Fig4(context.Background(), arch.Default(), testScale)
+	f, parts, err := Fig4(context.Background(), arch.Default(), testScale, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestFig4Energy(t *testing.T) {
 }
 
 func TestFig5NodeComparison(t *testing.T) {
-	f, err := Fig5(context.Background(), arch.Default(), testScale)
+	f, err := Fig5(context.Background(), arch.Default(), testScale, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestFig5NodeComparison(t *testing.T) {
 }
 
 func TestFig6ScalingTrend(t *testing.T) {
-	f, err := Fig6(context.Background(), arch.Default(), testScale)
+	f, err := Fig6(context.Background(), arch.Default(), testScale, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestFig6ScalingTrend(t *testing.T) {
 }
 
 func TestFig7BufferSensitivity(t *testing.T) {
-	f, err := Fig7(context.Background(), arch.Default(), testScale)
+	f, err := Fig7(context.Background(), arch.Default(), testScale, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestFig7BufferSensitivity(t *testing.T) {
 func TestTableIVCharacteristics(t *testing.T) {
 	// Straying (and hence SSMC's row-miss rate) needs run length to
 	// develop; use a larger scale than the other tests.
-	f, err := TableIV(context.Background(), arch.Default(), 0.12)
+	f, err := TableIV(context.Background(), arch.Default(), 0.12, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestTableRenderers(t *testing.T) {
 }
 
 func TestBarrierAblation(t *testing.T) {
-	f, err := BarrierAblation(context.Background(), arch.Default(), 0.12)
+	f, err := BarrierAblation(context.Background(), arch.Default(), 0.12, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestBarrierAblation(t *testing.T) {
 }
 
 func TestCharacteristicsStudy(t *testing.T) {
-	f, err := CharacteristicsStudy(context.Background(), arch.Default(), 0.02)
+	f, err := CharacteristicsStudy(context.Background(), arch.Default(), 0.02, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestCharacteristicsStudy(t *testing.T) {
 }
 
 func TestWarpWidthSweep(t *testing.T) {
-	f, err := WarpWidthSweep(context.Background(), arch.Default(), testScale)
+	f, err := WarpWidthSweep(context.Background(), arch.Default(), testScale, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,11 +279,11 @@ func TestWarpWidthSweep(t *testing.T) {
 }
 
 func TestResidencyStudy(t *testing.T) {
-	f, err := ResidencyStudy(context.Background(), arch.Default(), 16, testScale)
+	f, err := ResidencyStudy(context.Background(), arch.Default(), 16, testScale, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ResidencyStudy(context.Background(), arch.Default(), 0, testScale); err == nil {
+	if _, err := ResidencyStudy(context.Background(), arch.Default(), 0, testScale, 0); err == nil {
 		t.Error("zero bandwidth accepted")
 	}
 	for _, r := range f.Rows {

@@ -133,7 +133,7 @@ func TestRunWithTimeline(t *testing.T) {
 // TestTimelineStudyRenders exercises the registered timeline experiment
 // end to end at a tiny scale.
 func TestTimelineStudyRenders(t *testing.T) {
-	fig, err := TimelineStudy(context.Background(), arch.Default(), 0.02, 256)
+	fig, err := TimelineStudy(context.Background(), arch.Default(), 0.02, 256, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

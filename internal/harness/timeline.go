@@ -24,7 +24,7 @@ const timelineRows = 32
 // the simulator-side counterpart of the paper's Figure 2 motivation: row
 // prefetch keeps the buffer occupied while rate matching walks the clock to
 // the memory-bound operating point.
-func TimelineStudy(ctx context.Context, p arch.Params, scale float64, everyCycles uint64) (*Figure, error) {
+func TimelineStudy(ctx context.Context, p arch.Params, scale float64, everyCycles uint64, seed uint64) (*Figure, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -36,7 +36,7 @@ func TimelineStudy(ctx context.Context, p arch.Params, scale float64, everyCycle
 		return nil, err
 	}
 	res, _, err := RunWith(ArchMillipedeRM, b, p, recordsFor(b, scale),
-		Options{TimelineEvery: everyCycles})
+		Options{TimelineEvery: everyCycles, Seed: seed})
 	if err != nil {
 		return nil, err
 	}

@@ -321,9 +321,28 @@ func (l Layout) PackFrom(streamWords int, fill func(t int, buf []uint32) int) ([
 			if l.Interleave == Split {
 				copy(out[t*part+p:], buf[:n])
 			} else {
-				for j := 0; j < n; j++ {
+				// Walk whole row-chunks: within a chunk, Slab targets are
+				// contiguous (bulk copy) and Word targets are a fixed
+				// Threads() stride, so the per-word div/mod disappears.
+				rw, nt := l.RowWords(), l.Threads()
+				for j := 0; j < n; {
 					q := p + j
-					out[(q/w)*l.RowWords()+l.wordIdx(t, q%w)] = buf[j]
+					row, k := q/w, q%w
+					run := w - k
+					if rem := n - j; run > rem {
+						run = rem
+					}
+					if l.Interleave == Word {
+						idx := row*rw + k*nt + t
+						for i := 0; i < run; i++ {
+							out[idx] = buf[j+i]
+							idx += nt
+						}
+					} else {
+						base := row*rw + t*w + k
+						copy(out[base:base+run], buf[j:j+run])
+					}
+					j += run
 				}
 			}
 			p += n

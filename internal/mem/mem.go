@@ -216,6 +216,70 @@ func (s *System) Pending() int {
 	return n
 }
 
+// WouldAccept reports whether an Enqueue for addr would currently be
+// accepted — the target channel's queue has room.
+func (s *System) WouldAccept(addr uint32) bool {
+	ch, _ := s.Route(addr)
+	return s.chans[ch].ctl.WouldAccept()
+}
+
+// TallyRejects replays n elided rejected enqueues on addr's channel (see
+// memctrl.Controller.TallyRejects).
+func (s *System) TallyRejects(addr uint32, n uint64) {
+	ch, _ := s.Route(addr)
+	s.chans[ch].ctl.TallyRejects(n)
+}
+
+// NextWorkCycle returns the earliest future channel cycle at which any
+// channel could change state — the min over the per-controller quiescence
+// probes (all channels share the channel clock, so their cycle counters
+// agree). memctrl.NeverCycle means the whole fabric is empty and only a new
+// Enqueue can create work.
+func (s *System) NextWorkCycle() int64 {
+	w := memctrl.NeverCycle
+	for i := range s.chans {
+		c := s.chans[i].ctl.NextWorkCycle()
+		if c < w {
+			w = c
+		}
+	}
+	return w
+}
+
+// SkipCycles replays n dead Ticks on every channel arithmetically.
+func (s *System) SkipCycles(n int64) {
+	for i := range s.chans {
+		s.chans[i].ctl.SkipCycles(n)
+	}
+}
+
+// Ticker adapts the System to the engine's clock-domain interface, including
+// the quiescence protocol: the System's own cycle counts translate to edge
+// times through the registered Domain (set Domain after sim.Engine.AddDomain
+// returns). Both arch.Node and the multicore system register their memory
+// clock through it.
+type Ticker struct {
+	Sys    *System
+	Domain *sim.Domain
+}
+
+// Tick implements sim.Ticker.
+func (t *Ticker) Tick(sim.Time) { t.Sys.Tick() }
+
+// NextWork implements sim.NextWorker. The controller cycle counter equals
+// the domain's tick count (one Tick per edge since reset), so cycle c maps
+// to the domain's c'th rising edge.
+func (t *Ticker) NextWork(sim.Time) sim.Time {
+	c := t.Sys.NextWorkCycle()
+	if c == memctrl.NeverCycle {
+		return sim.Never
+	}
+	return t.Domain.TimeOfTick(uint64(c))
+}
+
+// SkipTicks implements sim.NextWorker.
+func (t *Ticker) SkipTicks(n int64) { t.Sys.SkipCycles(n) }
+
 // SetJitter threads the completion-jitter fault injection through every
 // channel. Channel 0 uses the seed as given (so the single-channel system
 // reproduces the direct controller's jitter stream exactly); later channels

@@ -82,7 +82,15 @@ type Controller struct {
 	// populated by Harvest, drained by Deliver.
 	ready []inflight
 	cycle int64
-	stats Stats
+	// flyMin caches the earliest in-flight doneAt (NeverCycle when fly is
+	// empty) so Harvest's sweep runs only on cycles with a completion due.
+	flyMin int64
+	// nextTry, when > cycle, records the min BankFreeAt found by an Issue
+	// sweep that schedulable nothing: banks only change on this controller's
+	// own Service calls, so the sweep provably fails until then. Enqueue and
+	// a successful issue reset it to zero (unknown).
+	nextTry int64
+	stats   Stats
 	// Fault injection: completion jitter (see SetJitter).
 	jitterMax int64
 	jitterRNG uint64
@@ -113,7 +121,7 @@ func New(d *dram.DRAM, depth int) (*Controller, error) {
 	// pending-delivery lists grow only if DRAM service overlap ever exceeds
 	// twice the queue depth.
 	return &Controller{
-		D: d, depth: depth,
+		D: d, depth: depth, flyMin: NeverCycle,
 		queue: make([]queued, 0, depth),
 		fly:   make([]inflight, 0, 2*depth),
 		ready: make([]inflight, 0, 2*depth),
@@ -159,6 +167,61 @@ func (c *Controller) Idle() bool {
 	return len(c.queue) == 0 && len(c.fly) == 0 && len(c.ready) == 0
 }
 
+// NeverCycle is the NextWorkCycle sentinel for "no self-generated work":
+// only a new Enqueue (from another clock domain's tick) can create any.
+const NeverCycle = int64(1<<63 - 1)
+
+// NextWorkCycle returns the earliest future channel cycle (the next Tick is
+// Cycle()+1) at which Tick could change state, computed arithmetically from
+// the timing counters: the earliest in-flight completion (Harvest) and the
+// earliest cycle a queued request's bank frees up (Issue). Cycles strictly
+// before it only advance the cycle counter and, when requests are queued,
+// the StallCycles tally — exactly what SkipCycles replays. Returns
+// NeverCycle when the controller is empty.
+func (c *Controller) NextWorkCycle() int64 {
+	if len(c.ready) > 0 {
+		return c.cycle + 1
+	}
+	w := NeverCycle
+	if len(c.fly) > 0 {
+		if c.flyMin <= c.cycle+1 {
+			return c.cycle + 1
+		}
+		w = c.flyMin
+	}
+	if len(c.queue) > 0 {
+		if c.nextTry <= c.cycle {
+			// No proven stall bound: a queued request may issue on the
+			// very next cycle.
+			return c.cycle + 1
+		}
+		if c.nextTry < w {
+			w = c.nextTry
+		}
+	}
+	return w
+}
+
+// SkipCycles replays n dead Ticks arithmetically: the cycle counter
+// advances and, when requests are waiting unschedulable, each elided cycle
+// counts as a stall, matching Issue's per-tick bookkeeping bit for bit.
+func (c *Controller) SkipCycles(n int64) {
+	c.cycle += n
+	if len(c.queue) > 0 {
+		c.stats.StallCycles += uint64(n)
+	}
+}
+
+// WouldAccept reports whether Enqueue would currently accept a request.
+// The quiescence fast-forward uses it to prove a client's bounced retry
+// will bounce again: the queue only drains on this controller's own work
+// ticks, which end any skip window.
+func (c *Controller) WouldAccept() bool { return len(c.queue) < c.depth }
+
+// TallyRejects replays n elided rejected Enqueue attempts (a stalled client
+// retrying inside a skip window), matching Enqueue's full-queue bookkeeping.
+func (c *Controller) TallyRejects(n uint64) { c.stats.Rejected += n }
+
 // Enqueue adds a request; it returns false (and drops the request) when the
 // queue is full, in which case the client must retry — processor models
 // translate that into a stall.
@@ -171,6 +234,7 @@ func (c *Controller) Enqueue(r Request) bool {
 		return false
 	}
 	c.queue = append(c.queue, queued{req: r, at: c.cycle})
+	c.nextTry = 0 // new arrival: the stall proof no longer covers the queue
 	c.stats.Enqueued++
 	if len(c.queue) > c.stats.MaxOccupancy {
 		c.stats.MaxOccupancy = len(c.queue)
@@ -199,6 +263,10 @@ func (c *Controller) Tick() {
 // run; Harvest only touches controller-private state.
 func (c *Controller) Harvest() {
 	c.cycle++
+	if c.cycle < c.flyMin {
+		return // nothing due: sweeping would move nothing
+	}
+	min := NeverCycle
 	for i := 0; i < len(c.fly); {
 		if c.fly[i].doneAt <= c.cycle {
 			f := c.fly[i]
@@ -207,8 +275,12 @@ func (c *Controller) Harvest() {
 			c.ready = append(c.ready, f)
 			continue
 		}
+		if c.fly[i].doneAt < min {
+			min = c.fly[i].doneAt
+		}
 		i++
 	}
+	c.flyMin = min
 }
 
 // Deliver invokes the Done callback of every request harvested this cycle,
@@ -233,11 +305,21 @@ func (c *Controller) Issue() {
 	// on enqueue, order-preserving splice on issue), so the oldest ready
 	// request is simply the first ready one; a ready row hit anywhere ahead
 	// of it still wins.
+	if c.nextTry > c.cycle {
+		// The last sweep proved every queued request's bank busy until
+		// nextTry, and banks haven't been touched since.
+		c.stats.StallCycles++
+		return
+	}
 	pick := -1
 	firstReady := -1
+	minFree := NeverCycle
 	for i := range c.queue {
 		q := &c.queue[i]
-		if !c.D.BankReady(q.req.Addr, c.cycle) {
+		if f := c.D.BankFreeAt(q.req.Addr); f > c.cycle {
+			if f < minFree {
+				minFree = f
+			}
 			continue
 		}
 		if c.D.IsRowHit(q.req.Addr) {
@@ -252,9 +334,11 @@ func (c *Controller) Issue() {
 		pick = firstReady
 	}
 	if pick < 0 {
+		c.nextTry = minFree
 		c.stats.StallCycles++
 		return
 	}
+	c.nextTry = 0
 	q := c.queue[pick]
 	c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
 	if b := bits.Len64(uint64(c.cycle - q.at)); b < QueueLatBuckets {
@@ -266,6 +350,10 @@ func (c *Controller) Issue() {
 		c.tracer(EvIssue, q.req.Addr)
 	}
 	done, hit := c.D.Service(c.cycle, q.req.Addr, q.req.Bytes)
-	c.fly = append(c.fly, inflight{doneAt: done + c.jitter(), hit: hit, done: q.req.Done})
+	at := done + c.jitter()
+	c.fly = append(c.fly, inflight{doneAt: at, hit: hit, done: q.req.Done})
+	if at < c.flyMin {
+		c.flyMin = at
+	}
 	c.stats.Issued++
 }

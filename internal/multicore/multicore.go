@@ -43,6 +43,9 @@ type Config struct {
 	MemClockHz    float64
 	MemQueueDepth int
 	Latencies     corelet.Latencies
+	// NoSkip disables the engine's quiescence time skipping (see
+	// arch.Params.NoSkip): a speed knob, never a model change.
+	NoSkip bool
 }
 
 // DefaultConfig returns the Section VI-C parameters.
@@ -199,6 +202,10 @@ type Result struct {
 	// cycle loop (zero in steady state by design; see benchreport).
 	Allocs     uint64
 	AllocBytes uint64
+	// SkippedEdges and SkipWindows report the quiescence fast-forward's
+	// informational counters (results are bit-identical with skipping off).
+	SkippedEdges uint64
+	SkipWindows  uint64
 }
 
 // System is the 8-core conventional machine.
@@ -214,13 +221,14 @@ type System struct {
 	cluster *corelet.Cluster
 	// live is the active set of non-halted core indices, compacted in
 	// registration order as cores halt (cores never un-halt).
-	live  []int32
-	l1s   []*cache.Cache
-	l2s   []*cache.Cache
-	delay *delayLine
-	lay   layout.Layout
-	ticks uint64
-	reg   *metrics.Registry
+	live     []int32
+	l1s      []*cache.Cache
+	l2s      []*cache.Cache
+	delay    *delayLine
+	lay      layout.Layout
+	ticks    uint64
+	coresDom *sim.Domain
+	reg      *metrics.Registry
 }
 
 type port struct{ c *cache.Cache }
@@ -328,14 +336,74 @@ func New(c Config, ep energy.Params, l core.Launch) (*System, error) {
 	cache.RegisterStats(s.reg, "l2", func() cache.Stats { return s.cacheStats(s.l2s) })
 	msys.RegisterMetrics(s.reg)
 
-	if _, err := s.eng.AddDomain("mem", sim.PeriodFromHz(c.MemClockHz),
-		sim.TickFunc(func(sim.Time) { msys.Tick() })); err != nil {
+	s.eng.SetSkip(!c.NoSkip)
+	mt := &mem.Ticker{Sys: msys}
+	memDom, err := s.eng.AddDomain("mem", sim.PeriodFromHz(c.MemClockHz), mt)
+	if err != nil {
 		return nil, err
 	}
-	if _, err := s.eng.AddDomain("cores", sim.PeriodFromHz(c.ClockHz), sim.TickFunc(s.tick)); err != nil {
+	mt.Domain = memDom
+	s.coresDom, err = s.eng.AddDomain("cores", sim.PeriodFromHz(c.ClockHz), coresTicker{s})
+	if err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// coresTicker registers the core clock with the engine, including the
+// quiescence protocol (the System's exported method set stays the model
+// API).
+type coresTicker struct{ s *System }
+
+func (t coresTicker) Tick(now sim.Time) { t.s.tick(now) }
+
+// NextWork reports the earliest future core-clock tick at which the system
+// tick could change state: the earliest delayed completion due to fire, or
+// the earliest issue any live core's slots can reach. Each system tick
+// hands a core IssueWidth corelet cycles, so a core with issue distance d
+// (corelet cycles) first issues ceil(d/IssueWidth) system ticks from now.
+func (t coresTicker) NextWork(sim.Time) sim.Time {
+	s := t.s
+	tk := int64(s.ticks)
+	iw := int64(s.C.IssueWidth)
+	w := int64(1<<63 - 1)
+	for _, e := range s.delay.q {
+		if due := int64(e.due); due < w {
+			if due <= tk+1 {
+				return s.coresDom.TimeOfTick(uint64(tk + 1))
+			}
+			w = due
+		}
+	}
+	for _, co := range s.live {
+		d := s.cluster.CoreNextIssueDelta(int(co))
+		if d == corelet.NeverTicks {
+			continue
+		}
+		if d <= iw {
+			return s.coresDom.TimeOfTick(uint64(tk + 1))
+		}
+		if n := tk + (d+iw-1)/iw; n < w {
+			w = n
+		}
+	}
+	if w == 1<<63-1 {
+		return sim.Never
+	}
+	return s.coresDom.TimeOfTick(uint64(w))
+}
+
+// SkipTicks replays n dead system ticks: the tick counter and delay-line
+// clock advance, and every live core burns n*IssueWidth idle issue slots,
+// exactly as the dispatched loop would have.
+func (t coresTicker) SkipTicks(n int64) {
+	s := t.s
+	s.ticks += uint64(n)
+	s.delay.now += uint64(n)
+	slots := n * int64(s.C.IssueWidth)
+	for _, co := range s.live {
+		s.cluster.SkipCoreTicks(int(co), slots)
+	}
 }
 
 // tick gives each core IssueWidth issue slots per cycle. A core that halts
@@ -378,6 +446,7 @@ func (s *System) Run(limit sim.Time) (Result, error) {
 	runtime.ReadMemStats(&ms)
 	r := Result{Time: t, ComputeCycles: s.ticks}
 	r.Allocs, r.AllocBytes = ms.Mallocs-m0, ms.TotalAlloc-b0
+	r.SkippedEdges, r.SkipWindows = s.eng.SkippedEdges(), s.eng.SkipWindows()
 	r.Cores = s.coreStats()
 	r.L1 = s.cacheStats(s.l1s)
 	r.L2 = s.cacheStats(s.l2s)

@@ -168,6 +168,9 @@ type Buffer struct {
 	// pending are fetches bounced off a full controller queue, retried by
 	// Pump (same key encoding as inFlight).
 	pending []int64
+	// prober is the port's optional stall-probe capability (mem.System has
+	// it); nil keeps bounced fetches on the quiescence busy path.
+	prober stallProber
 	// ctxFree recycles fetch-context objects (see fetchCtx); pre-seeded to
 	// the in-flight bound so steady-state issues allocate nothing.
 	ctxFree []*fetchCtx
@@ -198,6 +201,7 @@ func New(cfg Config, port mem.Port) (*Buffer, error) {
 		port:     port,
 		fullMask: uint64(1)<<uint(cfg.SlabWords()) - 1,
 	}
+	b.prober, _ = port.(stallProber)
 	maxW := cfg.MaxWaiters
 	if maxW <= 0 {
 		maxW = cfg.Corelets
@@ -427,6 +431,60 @@ func (b *Buffer) issue(row int64, who int) {
 		return
 	}
 	b.inFlight = append(b.inFlight, key)
+}
+
+// PumpPending returns the number of bounced fetches awaiting a Pump retry.
+// The owning processor's quiescence probe treats any pending retry as work
+// on its very next cycle.
+func (b *Buffer) PumpPending() int { return len(b.pending) }
+
+// stallProber is the optional port capability the quiescence fast-forward
+// uses to prove a bounced fetch will bounce again: the target queue is
+// still full, and only channel-domain work ticks (which end any skip
+// window) can drain it.
+type stallProber interface {
+	WouldAccept(addr uint32) bool
+	TallyRejects(addr uint32, n uint64)
+}
+
+// keyAddr recomputes the request address issue() built for a pending key.
+func (b *Buffer) keyAddr(k int64) uint32 {
+	row, who := k/256, int(k%256)
+	addr := uint32((b.baseRow + row) * b.rowBytes)
+	if who != fullRowKey {
+		addr += uint32(who * b.cfg.SlabWords() * 4)
+	}
+	return addr
+}
+
+// PumpStalled reports whether every bounced fetch would provably bounce
+// again this instant (its channel queue is still full). False when nothing
+// is pending or the port cannot be probed.
+func (b *Buffer) PumpStalled() bool {
+	if b.prober == nil || len(b.pending) == 0 {
+		return false
+	}
+	for _, k := range b.pending {
+		if b.prober.WouldAccept(b.keyAddr(k)) {
+			return false
+		}
+	}
+	return true
+}
+
+// SkipPumpTicks replays n elided Pump calls taken under PumpStalled: per
+// elided cycle every pending fetch re-issues and is rejected, so each
+// tallies one fetch reject here and one enqueue reject on its channel —
+// exactly Pump's per-cycle bookkeeping against a full queue, with the
+// pending set, its order, and the context freelist left untouched.
+func (b *Buffer) SkipPumpTicks(n int64) {
+	if n <= 0 {
+		return
+	}
+	for _, k := range b.pending {
+		b.stats.FetchRejects += uint64(n)
+		b.prober.TallyRejects(b.keyAddr(k), uint64(n))
+	}
 }
 
 // Pump retries fetches that bounced off a full controller queue. The owning

@@ -50,13 +50,14 @@ func paramsFor(uses []string) []paramDesc {
 	return append(ps,
 		paramDesc{Name: "params", Type: "object",
 			Description: "architecture parameter overrides, decoded over the node's base configuration and validated like the milliexp flags"},
-		paramDesc{Name: "seed", Type: "integer", Default: float64(harness.Seed),
-			Min: bound(float64(harness.Seed)), Max: bound(float64(harness.Seed)),
-			Description: "dataset seed; the registry runs at the canonical seed only (0 = canonical)"},
+		paramDesc{Name: "seed", Type: "integer", Default: float64(harness.Seed), Min: bound(0),
+			Description: "dataset seed threaded through every run the experiment performs (0 = canonical)"},
 		paramDesc{Name: "timeout_ms", Type: "integer", Default: 0.0, Min: bound(0),
 			Description: "service-side execution bound; operational only, not part of the job id (0 = server default)"},
 		paramDesc{Name: "parallelism", Type: "integer", Default: 0.0, Min: bound(0),
 			Description: "cycle-engine worker count; results are bit-identical at every value (0 = server default)"},
+		paramDesc{Name: "skip", Type: "string", Default: "",
+			Description: "engine quiescence time skipping: \"on\" or \"off\"; bit-identical either way (\"\" = server default)"},
 	)
 }
 

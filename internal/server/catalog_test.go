@@ -14,7 +14,7 @@ import (
 type paramDesc struct {
 	Name        string   `json:"name"`
 	Type        string   `json:"type"`
-	Default     *float64 `json:"default"`
+	Default     any      `json:"default"`
 	Min         *float64 `json:"min"`
 	Max         *float64 `json:"max"`
 	Description string   `json:"description"`
@@ -59,14 +59,17 @@ func TestParamDescriptorShape(t *testing.T) {
 
 	for _, e := range entries {
 		ds := descriptors(e)
-		for _, universal := range []string{"params", "seed", "timeout_ms", "parallelism"} {
+		for _, universal := range []string{"params", "seed", "timeout_ms", "parallelism", "skip"} {
 			if _, ok := ds[universal]; !ok {
 				t.Errorf("%s: missing universal descriptor %q", e.Name, universal)
 			}
 		}
 		if seed, ok := ds["seed"]; ok {
-			if seed.Min == nil || seed.Max == nil || *seed.Min != *seed.Max || *seed.Min != float64(harness.Seed) {
-				t.Errorf("%s: seed descriptor must pin the canonical seed, got %+v", e.Name, seed)
+			if seed.Default != any(float64(harness.Seed)) {
+				t.Errorf("%s: seed default must be the canonical seed, got %+v", e.Name, seed)
+			}
+			if seed.Min == nil || *seed.Min != 0 || seed.Max != nil {
+				t.Errorf("%s: seed descriptor must accept any seed, got %+v", e.Name, seed)
 			}
 		}
 	}
@@ -88,8 +91,8 @@ func TestParamDescriptorShape(t *testing.T) {
 			}
 		}
 	}
-	if ds := descriptors(byName["table3"]); len(ds) != 4 {
-		t.Errorf("table3 reads no options, want only the 4 universal descriptors, got %d", len(ds))
+	if ds := descriptors(byName["table3"]); len(ds) != 5 {
+		t.Errorf("table3 reads no options, want only the 5 universal descriptors, got %d", len(ds))
 	}
 }
 
@@ -114,6 +117,18 @@ func TestParamDescriptorsMatchDecoder(t *testing.T) {
 			if d.Type == "object" {
 				continue
 			}
+			if d.Type == "string" {
+				// The only string option is the skip toggle, which decodes a
+				// closed value set: a made-up value must be rejected, the
+				// documented ones accepted.
+				if code := post(map[string]any{"experiment": e.Name, d.Name: "no-such-value"}); code != http.StatusBadRequest {
+					t.Errorf("%s: %s=no-such-value accepted with HTTP %d", e.Name, d.Name, code)
+				}
+				if code := post(map[string]any{"experiment": e.Name, d.Name: "off"}); code != http.StatusOK && code != http.StatusAccepted {
+					t.Errorf("%s: %s=off rejected with HTTP %d", e.Name, d.Name, code)
+				}
+				continue
+			}
 			if d.Min != nil {
 				if code := post(map[string]any{"experiment": e.Name, d.Name: *d.Min - 1}); code != http.StatusBadRequest {
 					t.Errorf("%s: %s=%g (below min) accepted with HTTP %d", e.Name, d.Name, *d.Min-1, code)
@@ -128,9 +143,9 @@ func TestParamDescriptorsMatchDecoder(t *testing.T) {
 				t.Errorf("%s: %s: numeric descriptor without a default", e.Name, d.Name)
 				continue
 			}
-			code := post(map[string]any{"experiment": e.Name, d.Name: *d.Default})
+			code := post(map[string]any{"experiment": e.Name, d.Name: d.Default})
 			if code != http.StatusOK && code != http.StatusAccepted {
-				t.Errorf("%s: %s=%g (the default) rejected with HTTP %d", e.Name, d.Name, *d.Default, code)
+				t.Errorf("%s: %s=%v (the default) rejected with HTTP %d", e.Name, d.Name, d.Default, code)
 			}
 		}
 		if code := post(map[string]any{"experiment": e.Name, "no_such_option": 1}); code != http.StatusBadRequest {

@@ -72,6 +72,11 @@ type jobRequest struct {
 	// bit-identical results, so ids and cache entries are shared across
 	// parallelism settings.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Skip picks the engine's quiescence time skipping for this job: "on",
+	// "off", or "" for the server default. Skipping is bit-identical either
+	// way — a wall-clock knob like parallelism — so it too is stripped from
+	// the canonical form; ids and cached bodies are shared across settings.
+	Skip string `json:"skip,omitempty"`
 }
 
 // Runner executes one canonical request. The default runner dispatches to
@@ -97,6 +102,10 @@ type Options struct {
 	// cycle engine for jobs that do not set "parallelism" themselves (0 or 1
 	// = serial). Results are bit-identical for every value.
 	Parallelism int
+	// NoSkip disables the engine's quiescence time skipping by default for
+	// jobs that do not set "skip" themselves. Results are bit-identical
+	// either way; skipping only changes wall-clock time.
+	NoSkip bool
 	// Runner overrides the simulation backend (tests); nil runs the real
 	// experiment registry.
 	Runner Runner
@@ -115,7 +124,8 @@ type jobRecord struct {
 	ID          string
 	Req         Request
 	Timeout     time.Duration
-	Parallelism int // effective engine worker count (operational, like Timeout)
+	Parallelism int  // effective engine worker count (operational, like Timeout)
+	NoSkip      bool // effective time-skipping setting (operational, like Timeout)
 	Status      jobStatus
 	Error       string
 	Cached      bool // satisfied from the result cache without simulating
@@ -135,7 +145,8 @@ type Server struct {
 	reg      *metrics.Registry
 	run      Runner
 	timeout  time.Duration
-	par      int // default cycle-engine parallelism for jobs that set none
+	par      int  // default cycle-engine parallelism for jobs that set none
+	noskip   bool // default time-skipping off-switch for jobs that set none
 	expNames map[string]bool
 
 	mu       sync.Mutex
@@ -165,6 +176,7 @@ func New(base arch.Params, o Options) *Server {
 		run:      o.Runner,
 		timeout:  o.DefaultTimeout,
 		par:      o.Parallelism,
+		noskip:   o.NoSkip,
 		expNames: map[string]bool{},
 		jobsByID: map[string]*jobRecord{},
 		mux:      http.NewServeMux(),
@@ -178,6 +190,7 @@ func New(base arch.Params, o Options) *Server {
 				Scale:            req.Scale,
 				HostBandwidthGBs: req.HostBandwidthGBs,
 				TimelineEvery:    req.TimelineEvery,
+				Seed:             req.Seed,
 			})
 		}
 	}
@@ -228,8 +241,9 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // normalize validates the wire request and produces its canonical form plus
-// the operational knobs (timeout, engine parallelism) that ride alongside it.
-func (s *Server) normalize(jr jobRequest) (Request, time.Duration, int, error) {
+// the operational knobs (timeout, engine parallelism, time skipping) that
+// ride alongside it.
+func (s *Server) normalize(jr jobRequest) (Request, time.Duration, int, bool, error) {
 	return canonicalize(s.base, s.expNames, s.timeout, jr)
 }
 
@@ -250,7 +264,7 @@ func CanonicalID(base arch.Params, body []byte) (string, error) {
 	if err := dec.Decode(&jr); err != nil {
 		return "", fmt.Errorf("bad request body: %w", err)
 	}
-	req, _, _, err := canonicalize(base, canonNames, 0, jr)
+	req, _, _, _, err := canonicalize(base, canonNames, 0, jr)
 	if err != nil {
 		return "", err
 	}
@@ -264,29 +278,29 @@ var (
 
 // canonicalize validates one wire request against the experiment set and
 // produces its canonical form over the base configuration.
-func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Duration, jr jobRequest) (Request, time.Duration, int, error) {
+func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Duration, jr jobRequest) (Request, time.Duration, int, bool, error) {
 	if !expNames[jr.Experiment] {
-		return Request{}, 0, 0, fmt.Errorf("unknown experiment %q (see GET /v1/experiments)", jr.Experiment)
+		return Request{}, 0, 0, false, fmt.Errorf("unknown experiment %q (see GET /v1/experiments)", jr.Experiment)
 	}
 	if jr.Scale < 0 || math.IsInf(jr.Scale, 0) {
-		return Request{}, 0, 0, fmt.Errorf("bad scale %g", jr.Scale)
+		return Request{}, 0, 0, false, fmt.Errorf("bad scale %g", jr.Scale)
 	}
 	if jr.TimeoutMS < 0 {
-		return Request{}, 0, 0, fmt.Errorf("bad timeout_ms %d", jr.TimeoutMS)
+		return Request{}, 0, 0, false, fmt.Errorf("bad timeout_ms %d", jr.TimeoutMS)
 	}
 	if jr.Parallelism < 0 {
-		return Request{}, 0, 0, fmt.Errorf("bad parallelism %d", jr.Parallelism)
+		return Request{}, 0, 0, false, fmt.Errorf("bad parallelism %d", jr.Parallelism)
 	}
 	if jr.HostBandwidthGBs < 0 {
-		return Request{}, 0, 0, fmt.Errorf("bad host_bandwidth_gbs %g", jr.HostBandwidthGBs)
+		return Request{}, 0, 0, false, fmt.Errorf("bad host_bandwidth_gbs %g", jr.HostBandwidthGBs)
 	}
 	p := base
 	if len(jr.Params) > 0 {
 		if err := json.Unmarshal(jr.Params, &p); err != nil {
-			return Request{}, 0, 0, fmt.Errorf("bad params: %v", err)
+			return Request{}, 0, 0, false, fmt.Errorf("bad params: %v", err)
 		}
 		if err := p.Validate(); err != nil {
-			return Request{}, 0, 0, fmt.Errorf("bad params: %v", err)
+			return Request{}, 0, 0, false, fmt.Errorf("bad params: %v", err)
 		}
 	}
 	// Engine parallelism never changes what is simulated (results are
@@ -299,6 +313,20 @@ func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Du
 		par = jr.Parallelism
 	}
 	p.Parallelism = 0
+	// Quiescence time skipping is the same kind of knob: bit-identical on or
+	// off, so "skip" is validated here and stripped from the canonical form.
+	// The top-level field wins over a NoSkip smuggled in via params.
+	noskip := p.NoSkip
+	switch jr.Skip {
+	case "":
+	case "on":
+		noskip = false
+	case "off":
+		noskip = true
+	default:
+		return Request{}, 0, 0, false, fmt.Errorf("bad skip %q (want \"on\" or \"off\")", jr.Skip)
+	}
+	p.NoSkip = false
 	req := Request{
 		Experiment:       jr.Experiment,
 		Params:           p,
@@ -311,14 +339,11 @@ func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Du
 	if req.Scale == 0 {
 		req.Scale = 1
 	}
+	// Any seed is accepted: the registry threads it through every run
+	// function (zero maps to the canonical seed, so historical job ids are
+	// unchanged).
 	if req.Seed == 0 {
 		req.Seed = harness.Seed
-	}
-	if req.Seed != harness.Seed {
-		// The registry's experiments all run at the canonical dataset seed;
-		// per-experiment seed plumbing is future work (the field is in the
-		// canonical form already so ids won't change when it lands).
-		return Request{}, 0, 0, fmt.Errorf("unsupported seed %d: registry experiments run at the canonical seed %d", req.Seed, harness.Seed)
 	}
 	if req.HostBandwidthGBs == 0 {
 		req.HostBandwidthGBs = 16
@@ -330,7 +355,7 @@ func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Du
 	if jr.TimeoutMS > 0 {
 		timeout = time.Duration(jr.TimeoutMS) * time.Millisecond
 	}
-	return req, timeout, par, nil
+	return req, timeout, par, noskip, nil
 }
 
 // statusBody is the job-status wire form (POST /v1/jobs, GET /v1/jobs/{id}).
@@ -382,13 +407,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	req, timeout, par, err := s.normalize(jr)
+	req, timeout, par, noskip, err := s.normalize(jr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if par == 0 {
 		par = s.par
+	}
+	if jr.Skip == "" && !noskip {
+		noskip = s.noskip
 	}
 	id, err := rescache.Key(req)
 	if err != nil {
@@ -426,8 +454,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	rec = &jobRecord{
-		ID: id, Req: req, Timeout: timeout, Parallelism: par, Status: statusQueued,
-		SubmittedAt: time.Now(), seq: s.seq,
+		ID: id, Req: req, Timeout: timeout, Parallelism: par, NoSkip: noskip,
+		Status: statusQueued, SubmittedAt: time.Now(), seq: s.seq,
 	}
 	s.jobsByID[id] = rec
 	err = s.pool.Submit(jobs.Job{ID: id, Timeout: timeout, Run: func(ctx context.Context) { s.execute(ctx, id) }})
@@ -462,6 +490,7 @@ func (s *Server) execute(ctx context.Context, id string) {
 	rec.StartedAt = time.Now()
 	req := rec.Req
 	par := rec.Parallelism
+	noskip := rec.NoSkip
 	s.mu.Unlock()
 
 	// The engine worker count is applied to the run only — the canonical
@@ -469,6 +498,7 @@ func (s *Server) execute(ctx context.Context, id string) {
 	// parallelism-free so cache bodies are byte-identical across settings.
 	runReq := req
 	runReq.Params.Parallelism = par
+	runReq.Params.NoSkip = noskip
 
 	// DoContext: if this job's ctx ends while an identical computation is in
 	// flight (a resubmitted id joining its predecessor), the join detaches

@@ -408,7 +408,8 @@ func TestValidation(t *testing.T) {
 		"negative scale":     {"experiment": "fig3", "scale": -1},
 		"negative timeout":   {"experiment": "fig3", "timeout_ms": -5},
 		"bad parallelism":    {"experiment": "fig3", "parallelism": -2},
-		"unsupported seed":   {"experiment": "fig3", "seed": 7},
+		"negative seed":      {"experiment": "fig3", "seed": -7},
+		"bad skip":           {"experiment": "fig3", "skip": "sideways"},
 		"unknown field":      {"experiment": "fig3", "bogus": true},
 		"bad params":         {"experiment": "fig3", "params": map[string]any{"Corelets": -4}},
 	} {
@@ -462,6 +463,50 @@ func TestParallelismOperational(t *testing.T) {
 	}
 	if a.ID != c.ID {
 		t.Fatal("params.Parallelism changed the job id; canonicalization must strip it")
+	}
+}
+
+// TestSkipOperational: quiescence time skipping is the other operational
+// knob — requests that differ only in the skip setting (top-level or a
+// NoSkip smuggled through params) share one job id and one cache entry,
+// because skipping is bit-identical on or off.
+func TestSkipOperational(t *testing.T) {
+	g := newGateRunner()
+	defer close(g.gate)
+	_, ts := newTestServer(t, server.Options{Runner: g.run})
+	_, a := postJob(t, ts, map[string]any{"experiment": "fig3"})
+	_, b := postJob(t, ts, map[string]any{"experiment": "fig3", "skip": "off"})
+	_, c := postJob(t, ts, map[string]any{"experiment": "fig3", "skip": "on"})
+	_, d := postJob(t, ts, map[string]any{"experiment": "fig3", "params": map[string]any{"NoSkip": true}})
+	if a.ID != b.ID || a.ID != c.ID {
+		t.Fatal("skip setting changed the job id; it must stay operational")
+	}
+	if a.ID != d.ID {
+		t.Fatal("params.NoSkip changed the job id; canonicalization must strip it")
+	}
+}
+
+// TestSeedChangesJob: any seed is accepted now that the registry threads it
+// through every experiment; a non-canonical seed is a different simulation
+// (new job id), while an explicit canonical seed stays the default job.
+func TestSeedChangesJob(t *testing.T) {
+	g := newGateRunner()
+	defer close(g.gate)
+	_, ts := newTestServer(t, server.Options{Runner: g.run})
+	code, a := postJob(t, ts, map[string]any{"experiment": "fig3"})
+	if code != http.StatusAccepted {
+		t.Fatalf("default job: HTTP %d", code)
+	}
+	code, b := postJob(t, ts, map[string]any{"experiment": "fig3", "seed": 7})
+	if code != http.StatusAccepted {
+		t.Fatalf("seed=7 job: HTTP %d, want 202", code)
+	}
+	_, c := postJob(t, ts, map[string]any{"experiment": "fig3", "seed": float64(harness.Seed)})
+	if a.ID == b.ID {
+		t.Fatal("non-canonical seed shares the default job id")
+	}
+	if a.ID != c.ID {
+		t.Fatal("explicit canonical seed changed the job id; canonicalization broken")
 	}
 }
 

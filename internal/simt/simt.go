@@ -120,6 +120,9 @@ type SM struct {
 	l1      *cache.Cache
 	buf     *prefetch.Buffer
 	rr      []int // per-slice round-robin pointer
+	// maskAll is the all-lanes-active mask for this warp width; execute's
+	// hot arms drop the per-lane mask test when a warp is not diverged.
+	maskAll uint64
 	// latTab maps isa.Class to issue latency (built at NewSM), so the
 	// per-instruction latency pick is one indexed load.
 	latTab [10]int64
@@ -127,15 +130,29 @@ type SM struct {
 	// bounced off a full L1 queue, so the per-tick retry scan is skipped
 	// entirely in the common case of no structural stalls.
 	slicePending []int
-	ticks        uint64
-	stats        Stats
-	reg          *metrics.Registry
-	running      int
+	// sliceNext[s] caches the earliest tick at which any warp gate in slice
+	// s can open, recorded when an issue scan comes up empty; until then
+	// the scan is skipped outright. Gate writes outside the scan (memory
+	// wakes, retry drains) reset it to zero, which means "must rescan".
+	sliceNext []int64
+	ticks     uint64
+	stats     Stats
+	reg       *metrics.Registry
+	running   int
 	// liveSlices holds the indices of slices with at least one non-done
 	// warp, in ascending order (warps never un-halt, so Tick compacts the
 	// list in place); sliceLive counts non-done warps per slice.
 	liveSlices []int
 	sliceLive  []int
+	// progress records whether the last tick issued any lanes: while it
+	// holds, NextWork answers "busy" without scanning gates or probing the
+	// L1, so the quiescence machinery costs O(1) on non-stalled ticks.
+	progress bool
+	// busyUntil memoizes a full stall scan that concluded "busy": until
+	// this tick NextWork answers "busy" without rescanning. Claiming busy
+	// is always safe — at worst a window opening inside the horizon is
+	// entered a few edges late — so no invalidation is needed.
+	busyUntil int64
 	// Scratch buffers reused across memory accesses (hot path).
 	scratchBlocks []uint32
 	// seen stamps shared-memory words with the epoch of the access that last
@@ -154,6 +171,11 @@ type SM struct {
 // gateBlocked marks a warp that cannot issue until a memory event (or never,
 // once done); completions rewrite the gate with the warp's readyAt.
 const gateBlocked = int64(math.MaxInt64)
+
+// busyMemoTicks bounds how long a "busy" stall-scan verdict is reused before
+// rescanning: a window opening inside the horizon is entered at most this
+// many edges late, in exchange for an 8x cut in scan cost on stalled ticks.
+const busyMemoTicks = 8
 
 // NewSM builds and loads an SM for one launch. The launch's interleave must
 // be Word (the coalesceable layout the paper says GPGPUs require).
@@ -203,8 +225,10 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 		slices: p.Corelets / width,
 		shared: make([]uint32, p.SharedMemBytes/4),
 	}
+	m.maskAll = (&warp{}).fullMask(width)
 	m.rr = make([]int, m.slices)
 	m.slicePending = make([]int, m.slices)
+	m.sliceNext = make([]int64, m.slices)
 	m.seen = make([]uint64, len(m.shared))
 	for cl := range m.latTab {
 		m.latTab[cl] = int64(m.latencyOf(isa.Class(cl)))
@@ -266,6 +290,7 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 				w.outstanding--
 				if w.outstanding == 0 && len(w.pendingBlk) == 0 {
 					m.gate[w.id] = w.readyAt
+					m.sliceNext[w.slice] = 0
 				}
 			}
 			m.warps = append(m.warps, w)
@@ -344,6 +369,101 @@ func (m *SM) Tick(now sim.Time) {
 	}
 	m.liveSlices = live[:k]
 	m.stats.LaneIdle += uint64(m.P.Corelets - issuedLanes)
+	m.progress = issuedLanes > 0
+}
+
+// NextWork implements sim.NextWorker: the earliest future tick at which any
+// live slice could retry a bounced transaction (next tick, when pending) or
+// issue a warp (its gate value; gateBlocked warps wait on memory events,
+// which only arrive from memory-domain work ticks that end the window).
+func (m *SM) NextWork(sim.Time) sim.Time {
+	t := int64(m.ticks)
+	if m.progress {
+		// An SM that issued lanes last tick is busy; the full stall scan
+		// below runs only on dead ticks, where a window might open.
+		// (Conservative is always safe: claiming busy just skips less.)
+		return m.node.Compute.TimeOfTick(uint64(t + 1))
+	}
+	if t < m.busyUntil {
+		// A recent full scan already proved the SM busy; re-answer busy
+		// until the horizon without paying the gate/L1 sweeps again.
+		return m.node.Compute.TimeOfTick(uint64(t + 1))
+	}
+	if m.buf != nil && m.buf.PumpPending() > 0 && !m.buf.PumpStalled() {
+		// Stalled pumps (every pending fetch facing a full channel queue)
+		// are provable no-ops until the next channel work tick; SkipTicks
+		// replays their reject bookkeeping.
+		m.busyUntil = t + busyMemoTicks
+		return m.node.Compute.TimeOfTick(uint64(t + 1))
+	}
+	w := gateBlocked
+	for _, s := range m.liveSlices {
+		if m.slicePending[s] > 0 && !m.sliceRetriesStalled(s) {
+			m.busyUntil = t + busyMemoTicks
+			return m.node.Compute.TimeOfTick(uint64(t + 1))
+		}
+		base := s * m.P.Contexts
+		for _, g := range m.gate[base : base+m.P.Contexts] {
+			if g == gateBlocked {
+				continue
+			}
+			if g <= t+1 {
+				m.busyUntil = t + busyMemoTicks
+				return m.node.Compute.TimeOfTick(uint64(t + 1))
+			}
+			if g < w {
+				w = g
+			}
+		}
+	}
+	if w == gateBlocked {
+		return sim.Never
+	}
+	return m.node.Compute.TimeOfTick(uint64(w))
+}
+
+// SkipTicks implements sim.NextWorker: a dead SM tick touches only the
+// cycle counters and the all-lanes-idle tally (no slice issues, so the
+// live-slice list and round-robin pointers are untouched).
+func (m *SM) SkipTicks(n int64) {
+	m.ticks += uint64(n)
+	m.stats.Cycles += uint64(n)
+	m.stats.LaneIdle += uint64(n) * uint64(m.P.Corelets)
+	if m.buf != nil {
+		m.buf.SkipPumpTicks(n)
+	}
+	for _, s := range m.liveSlices {
+		if m.slicePending[s] == 0 {
+			continue
+		}
+		// Each elided tick re-attempted every bounced transaction once
+		// (tickSlice's retry sweep); replay the per-attempt bookkeeping.
+		base := s * m.P.Contexts
+		for _, w := range m.warps[base : base+m.P.Contexts] {
+			for _, b := range w.pendingBlk {
+				m.l1.TallyRetries(b, uint64(n))
+			}
+		}
+	}
+}
+
+// sliceRetriesStalled reports whether every transaction bounced off the L1
+// by slice s would provably bounce again: the cache's answer can change
+// only on a fill completion or another warp's access, and blocked warps
+// (the only state under which a window forms) produce neither.
+func (m *SM) sliceRetriesStalled(s int) bool {
+	if m.l1 == nil {
+		return false
+	}
+	base := s * m.P.Contexts
+	for _, w := range m.warps[base : base+m.P.Contexts] {
+		for _, b := range w.pendingBlk {
+			if !m.l1.WouldRetry(b) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (m *SM) tickSlice(s int) int {
@@ -359,21 +479,31 @@ func (m *SM) tickSlice(s int) int {
 					m.slicePending[s]--
 					if w.outstanding == 0 {
 						m.gate[w.id] = w.readyAt
+						m.sliceNext[s] = 0
 					}
 				}
 			}
 		}
 	}
+	now := int64(m.ticks)
+	if m.sliceNext[s] > now {
+		// A previous empty scan proved no gate can open before sliceNext,
+		// and every gate write since would have reset it.
+		return 0
+	}
 	// The issue scan reads only the flat gate array; warp state is touched
 	// just for the warp that actually issues.
 	gates := m.gate[base : base+n]
-	now := int64(m.ticks)
 	idx := m.rr[s] + 1
+	low := int64(gateBlocked)
 	for i := 0; i < n; i++ {
 		if idx >= n {
 			idx -= n
 		}
-		if gates[idx] > now {
+		if g := gates[idx]; g > now {
+			if g < low {
+				low = g
+			}
 			idx++
 			continue
 		}
@@ -387,6 +517,7 @@ func (m *SM) tickSlice(s int) int {
 		gates[idx] = g
 		return act
 	}
+	m.sliceNext[s] = low
 	return 0
 }
 
@@ -542,89 +673,175 @@ func (m *SM) execute(w *warp) int {
 		}
 		w.pc = int(target)
 		lat = int64(m.P.Latencies.TakenBranch)
+	// Hot ALU arms: the rd==0 (discard) test is loop-invariant and hoisted,
+	// and an undiverged warp (mask == maskAll, the overwhelmingly common
+	// case) runs a straight-line lane loop with no per-lane mask test.
 	case isa.ADD:
-		for l := range regs {
-			if mask>>uint(l)&1 != 0 && rd != 0 {
-				r := &regs[l]
-				r[rd&31] = r[rs1&31] + r[rs2&31]
+		if rd != 0 {
+			if mask == m.maskAll {
+				for l := range regs {
+					r := &regs[l]
+					r[rd&31] = r[rs1&31] + r[rs2&31]
+				}
+			} else {
+				for l := range regs {
+					if mask>>uint(l)&1 != 0 {
+						r := &regs[l]
+						r[rd&31] = r[rs1&31] + r[rs2&31]
+					}
+				}
 			}
 		}
 		w.pc++
 	case isa.SUB:
-		for l := range regs {
-			if mask>>uint(l)&1 != 0 && rd != 0 {
-				r := &regs[l]
-				r[rd&31] = r[rs1&31] - r[rs2&31]
+		if rd != 0 {
+			if mask == m.maskAll {
+				for l := range regs {
+					r := &regs[l]
+					r[rd&31] = r[rs1&31] - r[rs2&31]
+				}
+			} else {
+				for l := range regs {
+					if mask>>uint(l)&1 != 0 {
+						r := &regs[l]
+						r[rd&31] = r[rs1&31] - r[rs2&31]
+					}
+				}
 			}
 		}
 		w.pc++
 	case isa.MUL:
-		for l := range regs {
-			if mask>>uint(l)&1 != 0 && rd != 0 {
-				r := &regs[l]
-				r[rd&31] = uint32(int32(r[rs1&31]) * int32(r[rs2&31]))
+		if rd != 0 {
+			if mask == m.maskAll {
+				for l := range regs {
+					r := &regs[l]
+					r[rd&31] = uint32(int32(r[rs1&31]) * int32(r[rs2&31]))
+				}
+			} else {
+				for l := range regs {
+					if mask>>uint(l)&1 != 0 {
+						r := &regs[l]
+						r[rd&31] = uint32(int32(r[rs1&31]) * int32(r[rs2&31]))
+					}
+				}
 			}
 		}
 		w.pc++
 	case isa.ADDI:
-		for l := range regs {
-			if mask>>uint(l)&1 != 0 && rd != 0 {
-				r := &regs[l]
-				r[rd&31] = uint32(int32(r[rs1&31]) + in.imm)
+		if rd != 0 {
+			if mask == m.maskAll {
+				for l := range regs {
+					r := &regs[l]
+					r[rd&31] = uint32(int32(r[rs1&31]) + in.imm)
+				}
+			} else {
+				for l := range regs {
+					if mask>>uint(l)&1 != 0 {
+						r := &regs[l]
+						r[rd&31] = uint32(int32(r[rs1&31]) + in.imm)
+					}
+				}
 			}
 		}
 		w.pc++
 	case isa.SLLI:
 		sh := uint32(in.imm) & 31
-		for l := range regs {
-			if mask>>uint(l)&1 != 0 && rd != 0 {
-				r := &regs[l]
-				r[rd&31] = r[rs1&31] << sh
+		if rd != 0 {
+			if mask == m.maskAll {
+				for l := range regs {
+					r := &regs[l]
+					r[rd&31] = r[rs1&31] << sh
+				}
+			} else {
+				for l := range regs {
+					if mask>>uint(l)&1 != 0 {
+						r := &regs[l]
+						r[rd&31] = r[rs1&31] << sh
+					}
+				}
 			}
 		}
 		w.pc++
 	case isa.SRLI:
 		sh := uint32(in.imm) & 31
-		for l := range regs {
-			if mask>>uint(l)&1 != 0 && rd != 0 {
-				r := &regs[l]
-				r[rd&31] = r[rs1&31] >> sh
+		if rd != 0 {
+			if mask == m.maskAll {
+				for l := range regs {
+					r := &regs[l]
+					r[rd&31] = r[rs1&31] >> sh
+				}
+			} else {
+				for l := range regs {
+					if mask>>uint(l)&1 != 0 {
+						r := &regs[l]
+						r[rd&31] = r[rs1&31] >> sh
+					}
+				}
 			}
 		}
 		w.pc++
 	case isa.FADD:
-		for l := range regs {
-			if mask>>uint(l)&1 != 0 && rd != 0 {
-				r := &regs[l]
-				r[rd&31] = isa.Bits(isa.F32(r[rs1&31]) + isa.F32(r[rs2&31]))
+		if rd != 0 {
+			if mask == m.maskAll {
+				for l := range regs {
+					r := &regs[l]
+					r[rd&31] = isa.Bits(isa.F32(r[rs1&31]) + isa.F32(r[rs2&31]))
+				}
+			} else {
+				for l := range regs {
+					if mask>>uint(l)&1 != 0 {
+						r := &regs[l]
+						r[rd&31] = isa.Bits(isa.F32(r[rs1&31]) + isa.F32(r[rs2&31]))
+					}
+				}
 			}
 		}
 		w.pc++
 	case isa.FSUB:
-		for l := range regs {
-			if mask>>uint(l)&1 != 0 && rd != 0 {
-				r := &regs[l]
-				r[rd&31] = isa.Bits(isa.F32(r[rs1&31]) - isa.F32(r[rs2&31]))
+		if rd != 0 {
+			if mask == m.maskAll {
+				for l := range regs {
+					r := &regs[l]
+					r[rd&31] = isa.Bits(isa.F32(r[rs1&31]) - isa.F32(r[rs2&31]))
+				}
+			} else {
+				for l := range regs {
+					if mask>>uint(l)&1 != 0 {
+						r := &regs[l]
+						r[rd&31] = isa.Bits(isa.F32(r[rs1&31]) - isa.F32(r[rs2&31]))
+					}
+				}
 			}
 		}
 		w.pc++
 	case isa.FMUL:
-		for l := range regs {
-			if mask>>uint(l)&1 != 0 && rd != 0 {
-				r := &regs[l]
-				r[rd&31] = isa.Bits(isa.F32(r[rs1&31]) * isa.F32(r[rs2&31]))
+		if rd != 0 {
+			if mask == m.maskAll {
+				for l := range regs {
+					r := &regs[l]
+					r[rd&31] = isa.Bits(isa.F32(r[rs1&31]) * isa.F32(r[rs2&31]))
+				}
+			} else {
+				for l := range regs {
+					if mask>>uint(l)&1 != 0 {
+						r := &regs[l]
+						r[rd&31] = isa.Bits(isa.F32(r[rs1&31]) * isa.F32(r[rs2&31]))
+					}
+				}
 			}
 		}
 		w.pc++
 	case isa.FLT:
-		for l := range regs {
-			if mask>>uint(l)&1 != 0 && rd != 0 {
-				r := &regs[l]
-				var v uint32
-				if isa.F32(r[rs1&31]) < isa.F32(r[rs2&31]) {
-					v = 1
+		if rd != 0 {
+			for l := range regs {
+				if mask>>uint(l)&1 != 0 {
+					r := &regs[l]
+					var v uint32
+					if isa.F32(r[rs1&31]) < isa.F32(r[rs2&31]) {
+						v = 1
+					}
+					r[rd&31] = v
 				}
-				r[rd&31] = v
 			}
 		}
 		w.pc++
@@ -720,7 +937,7 @@ func (m *SM) sharedAccess(w *warp, in *sdinst, store bool) int {
 		if m.seen[word] != epoch {
 			m.seen[word] = epoch
 			distinct++
-			b := word % 32
+			b := word & 31
 			perBank[b]++
 			if int(perBank[b]) > worst {
 				worst = int(perBank[b])
@@ -848,6 +1065,7 @@ func (m *SM) Run(limit sim.Time) (Result, error) {
 	r.Energy = m.energy(t)
 	r.Metrics = m.reg.Snapshot()
 	r.Allocs, r.AllocBytes = m.node.RunAllocs, m.node.RunBytes
+	r.SkippedEdges, r.SkipWindows = m.node.RunSkippedEdges, m.node.RunSkipWindows
 	return r, nil
 }
 
@@ -866,6 +1084,10 @@ type Result struct {
 	// cycle loop (zero in steady state by design; see benchreport).
 	Allocs     uint64
 	AllocBytes uint64
+	// SkippedEdges and SkipWindows report the quiescence fast-forward's
+	// informational counters (results are bit-identical with skipping off).
+	SkippedEdges uint64
+	SkipWindows  uint64
 }
 
 // energy: SIMT amortizes instruction fetch over the warp but pays the

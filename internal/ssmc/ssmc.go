@@ -57,6 +57,10 @@ type Result struct {
 	// cycle loop (zero in steady state by design; see benchreport).
 	Allocs     uint64
 	AllocBytes uint64
+	// SkippedEdges and SkipWindows report the quiescence fast-forward's
+	// informational counters (results are bit-identical with skipping off).
+	SkippedEdges uint64
+	SkipWindows  uint64
 }
 
 // NewProcessor builds and loads an SSMC processor for one launch.
@@ -194,6 +198,23 @@ func (pr *Processor) Tick(now sim.Time) {
 // Halted reports whether every core has finished.
 func (pr *Processor) Halted() bool { return pr.cluster.Halted() }
 
+// NextWork implements sim.NextWorker: the SSMC tick is the cluster sweep
+// alone (the caches are event-driven), so the cluster's issue bound is the
+// whole story.
+func (pr *Processor) NextWork(sim.Time) sim.Time {
+	n := pr.cluster.NextWorkTicks()
+	if n == corelet.NeverTicks {
+		return sim.Never
+	}
+	return pr.node.Compute.TimeOfTick(pr.ticks + uint64(n))
+}
+
+// SkipTicks implements sim.NextWorker.
+func (pr *Processor) SkipTicks(n int64) {
+	pr.ticks += uint64(n)
+	pr.cluster.SkipTicks(n)
+}
+
 // Run executes to completion and returns aggregated results.
 func (pr *Processor) Run(limit sim.Time) (Result, error) {
 	t, err := pr.node.Run(limit)
@@ -208,6 +229,7 @@ func (pr *Processor) Run(limit sim.Time) (Result, error) {
 	cs := pr.node.Mem.CtlStats()
 	r.Mem = core.MemStats{StallCycles: cs.StallCycles, MaxOccupancy: cs.MaxOccupancy, Rejected: cs.Rejected}
 	r.Allocs, r.AllocBytes = pr.node.RunAllocs, pr.node.RunBytes
+	r.SkippedEdges, r.SkipWindows = pr.node.RunSkippedEdges, pr.node.RunSkipWindows
 	r.Energy = pr.energy(r, t)
 	r.Metrics = pr.reg.Snapshot()
 	return r, nil

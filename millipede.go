@@ -328,7 +328,7 @@ func BarrierAblation(cfg Config, scale float64) (*Figure, error) {
 // scale here is applied as given; the registry's "characteristics"
 // experiment divides its scale by 4 first (milliexp's historical default).
 func CharacteristicsStudy(cfg Config, scale float64) (*Figure, error) {
-	return harness.CharacteristicsStudy(context.Background(), cfg, scale)
+	return harness.CharacteristicsStudy(context.Background(), cfg, scale, 0)
 }
 
 // WarpWidthSweep examines the VWS design space: performance at warp widths
