@@ -14,7 +14,7 @@ test:
 
 # check is the pre-merge gate: static analysis plus the race detector over
 # the concurrent packages (the figure harness fans runs out over a worker
-# pool; sim, prefetch, corelet, mem, and memctrl carry the
+# pool; sim, prefetch, corelet, mem, memctrl, and stack carry the
 # determinism-critical hot paths, now including the barrier-batched parallel
 # cycle engine; the serving layer — jobs, rescache, server, router, sla — is
 # concurrent by construction; datagen and workloads carry the streaming
@@ -30,10 +30,15 @@ test:
 #   TestStreamingConstantMemory — folding an 800x dataset through bounded
 #     buffers must not grow the heap (streamed inputs are O(chunk), never
 #     O(records)).
+#
+# The harness race suite runs ~10 minutes of simulation wall time on its
+# own (the alloc-free and bit-identity gates each replay full benchmark
+# sweeps), which sits right at go test's default 10-minute kill timer —
+# give it explicit headroom so a loaded machine doesn't flake the gate.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/harness ./internal/sim ./internal/prefetch \
-		./internal/corelet ./internal/mem ./internal/memctrl \
+	$(GO) test -race -timeout 30m ./internal/harness ./internal/sim ./internal/prefetch \
+		./internal/corelet ./internal/mem ./internal/memctrl ./internal/stack \
 		./internal/datagen ./internal/workloads \
 		./internal/jobs ./internal/rescache ./internal/server ./internal/router ./internal/sla
 

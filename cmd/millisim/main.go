@@ -43,6 +43,9 @@ func main() {
 	corelets := flag.Int("corelets", 32, "corelets/lanes per processor")
 	buffers := flag.Int("buffers", 16, "prefetch buffer entries")
 	channels := flag.Int("channels", 0, "die-stack memory channels (0 = geometry default)")
+	stackMode := flag.String("stack", "", "die-stack capacity discipline: memory, hwcache, memcache (empty = all-resident pass-through)")
+	stackBytes := flag.Int("stack-bytes", 0, "die-stack capacity in bytes (0 = holds the whole dataset)")
+	backingLatency := flag.Int("backing-latency", 0, "planar backing store latency in channel cycles (0 = default)")
 	flag.Parse()
 
 	cfg := millipede.DefaultConfig().WithSize(*corelets)
@@ -50,6 +53,9 @@ func main() {
 	if *channels > 0 {
 		cfg.Channels = *channels
 	}
+	cfg.StackMode = *stackMode
+	cfg.StackBytes = *stackBytes
+	cfg.BackingLatency = *backingLatency
 	n := *records
 	if n == 0 {
 		n = 512
@@ -100,6 +106,17 @@ func main() {
 	fmt.Printf("mem channels        %d\n", cfg.Channels)
 	fmt.Printf("mem stall cycles    %d (max queue occupancy %d, rejected %d)\n",
 		res.MemStallCycles, res.MemMaxOccupancy, res.MemRejected)
+	if st := res.Stack; st.Mode != "" {
+		fmt.Printf("stack discipline    %s (%d B resident)\n", st.Mode, st.ResidentBytes)
+		fmt.Printf("stack hit rate      %.3f (%d of %d accesses served in-stack)\n",
+			st.HitRate(), st.StackServed, st.Accesses)
+		fmt.Printf("backing traffic     %d reads / %d writes (%d B read, %d B written)\n",
+			st.Backing.Reads, st.Backing.Writes, st.Backing.BytesRead, st.Backing.BytesWritten)
+		if st.Writebacks > 0 || st.Evictions > 0 {
+			fmt.Printf("cache churn         %d evictions, %d writebacks, %d MSHR joins\n",
+				st.Evictions, st.Writebacks, st.MSHRJoins)
+		}
+	}
 	fmt.Printf("final clock         %.0f MHz\n", res.FinalHz/1e6)
 	fmt.Printf("energy              %.3f uJ (core %.3f / dram %.3f / leak %.3f)\n",
 		res.Energy.TotalPJ()/1e6, res.Energy.CorePJ/1e6, res.Energy.DRAMPJ/1e6, res.Energy.LeakPJ/1e6)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/stack"
 )
 
 // ComputeUnit is a processor model driven at the compute clock.
@@ -21,10 +22,16 @@ type ComputeUnit interface {
 // only through Mem's Port interface; DRAM is the functional word store
 // behind the fabric.
 type Node struct {
-	Params    Params
-	Engine    *sim.Engine
-	Mem       *mem.System
-	DRAM      *dram.DRAM // functional backing store (Mem.Store())
+	Params Params
+	Engine *sim.Engine
+	Mem    *mem.System
+	DRAM   *dram.DRAM // functional backing store (Mem.Store())
+	// Port is the memory system as processor-side clients must see it. In
+	// the paper's machine (the default) it is Mem itself; when Params selects
+	// a die-stacked capacity discipline it is the internal/stack backend
+	// wrapping Mem, and Stack is non-nil.
+	Port      mem.Port
+	Stack     stack.Backend
 	Compute   *sim.Domain
 	MemDomain *sim.Domain
 	// Pool is the worker set of the barrier-batched parallel cycle engine,
@@ -58,15 +65,53 @@ func NewNode(p Params, capacityBytes int) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Node{Params: p, Engine: sim.NewEngine(), Mem: m, DRAM: m.Store()}
+	n := &Node{Params: p, Engine: sim.NewEngine(), Mem: m, DRAM: m.Store(), Port: m}
 	n.Engine.SetSkip(!p.NoSkip)
 	if p.Parallelism > 1 {
 		n.Pool = sim.NewPool(p.Parallelism)
 		m.SetWorkers(n.Pool)
 	}
-	// The memory clock registers through mem.Ticker so the engine sees the
-	// fabric's quiescence probes (a bare TickFunc would opt the domain out of
-	// time skipping).
+	// A capacity discipline wraps the fabric only when it changes behavior:
+	// hwcache/memcache always do; memory mode only once the dataset spills
+	// past the stack. The pass-through path below is byte-for-byte today's
+	// machine — same objects, same ticker — so the paper's results stay
+	// bit-identical by construction.
+	mode, err := stack.ParseMode(p.StackMode)
+	if err != nil {
+		return nil, err
+	}
+	if mode != stack.ModeMemory || (p.StackBytes > 0 && p.StackBytes < capacityBytes) {
+		if p.BackingBytes > 0 && p.BackingBytes < capacityBytes {
+			return nil, fmt.Errorf("arch: dataset needs %d B but planar backing is %d B", capacityBytes, p.BackingBytes)
+		}
+		cfg := stack.Config{
+			StackBytes: p.StackBytes,
+			LineBytes:  p.DRAM.RowBytes,
+			PageBytes:  p.DRAM.RowBytes,
+			Backing: stack.BackingParams{
+				LatencyCycles: p.BackingLatency,
+				CapacityBytes: p.BackingBytes,
+			},
+		}
+		n.Stack, err = stack.New(mode, cfg, m)
+		if err != nil {
+			return nil, err
+		}
+		n.Port = n.Stack
+	}
+	// The memory clock registers through a quiescence-aware ticker so the
+	// engine sees the fabric's probes (a bare TickFunc would opt the domain
+	// out of time skipping). The stack backend, when present, ticks the
+	// fabric from inside its own Tick.
+	if n.Stack != nil {
+		st := &stack.Ticker{B: n.Stack}
+		n.MemDomain, err = n.Engine.AddDomain("mem", sim.PeriodFromHz(p.ChannelHz), st)
+		if err != nil {
+			return nil, err
+		}
+		st.Domain = n.MemDomain
+		return n, nil
+	}
 	mt := &mem.Ticker{Sys: m}
 	n.MemDomain, err = n.Engine.AddDomain("mem", sim.PeriodFromHz(p.ChannelHz), mt)
 	if err != nil {

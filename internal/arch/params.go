@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/corelet"
 	"repro/internal/dram"
+	"repro/internal/stack"
 )
 
 // Params is the Table III configuration.
@@ -73,6 +74,16 @@ type Params struct {
 	DFSStepPct         float64 // 0.05
 	DFSIntervalCycles  int     // compute cycles between controller updates
 	DFSMinHz, DFSMaxHz float64
+
+	// Die-stacked capacity discipline (internal/stack): how the stack
+	// relates to a larger, slower planar backing store when the dataset
+	// outgrows it. The zero value is the paper's machine — the stack IS the
+	// memory and the dataset is entirely stack-resident (strict
+	// pass-through, bit-identical to a bare fabric).
+	StackMode      string // "", "memory", "hwcache", "memcache"
+	StackBytes     int    // stack capacity in bytes (row multiple); 0 = unbounded
+	BackingBytes   int    // planar backing capacity; 0 = sized to the dataset
+	BackingLatency int    // planar access latency in channel cycles; 0 = default
 }
 
 // Default returns the paper's Table III configuration.
@@ -126,6 +137,19 @@ func (p Params) Validate() error {
 		return fmt.Errorf("arch: bad parallelism %d", p.Parallelism)
 	case p.DRAM.RowBytes/4%p.Corelets != 0:
 		return fmt.Errorf("arch: row words %d not divisible by %d corelets", p.DRAM.RowBytes/4, p.Corelets)
+	}
+	if _, err := stack.ParseMode(p.StackMode); err != nil {
+		return err
+	}
+	switch {
+	case p.StackBytes < 0 || p.BackingBytes < 0 || p.BackingLatency < 0:
+		return fmt.Errorf("arch: negative stack/backing sizing (stack %d B, backing %d B, latency %d)",
+			p.StackBytes, p.BackingBytes, p.BackingLatency)
+	case p.StackBytes > 0 && p.StackBytes%p.DRAM.RowBytes != 0:
+		return fmt.Errorf("arch: stack bytes %d not a multiple of the %d B DRAM row",
+			p.StackBytes, p.DRAM.RowBytes)
+	case (p.StackMode == string(stack.ModeHWCache) || p.StackMode == string(stack.ModeMemCache)) && p.StackBytes == 0:
+		return fmt.Errorf("arch: stack mode %q needs StackBytes > 0 (cache capacity)", p.StackMode)
 	}
 	return p.DRAM.Validate()
 }

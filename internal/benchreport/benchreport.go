@@ -67,6 +67,15 @@ type Entry struct {
 	// means the run replayed every edge (skip off, or nothing to skip).
 	SkippedEdges uint64 `json:"skipped_edges,omitempty"`
 	SkipWindows  uint64 `json:"skip_windows,omitempty"`
+	// Die-stacked capacity backend counters (internal/stack), present only
+	// when the collection ran with a StackMode configured. Informational,
+	// like the mem_* counters: excluded from the determinism gate, and absent
+	// entirely on the default pass-through machine.
+	StackMode          string  `json:"stack_mode,omitempty"`
+	StackHitRate       float64 `json:"stack_hit_rate,omitempty"`
+	StackBackingReads  uint64  `json:"stack_backing_reads,omitempty"`
+	StackBackingWrites uint64  `json:"stack_backing_writes,omitempty"`
+	StackWritebacks    uint64  `json:"stack_writebacks,omitempty"`
 }
 
 // DeterminismFields are the Entry fields that must be bit-identical between
@@ -188,6 +197,13 @@ func Collect(p arch.Params, archs []string, scale float64) (*Report, error) {
 				MemRejected:  res.MemRejected,
 				AllocsPerRun: res.CycleAllocs, BytesPerRun: res.CycleBytes,
 				SkippedEdges: res.SkippedEdges, SkipWindows: res.SkipWindows,
+			}
+			if res.Stack.Mode != "" {
+				e.StackMode = res.Stack.Mode
+				e.StackHitRate = res.Stack.HitRate()
+				e.StackBackingReads = res.Stack.Backing.Reads
+				e.StackBackingWrites = res.Stack.Backing.Writes
+				e.StackWritebacks = res.Stack.Writebacks
 			}
 			if wall > 0 {
 				e.CyclesPerSec = float64(res.Cycles) / wall

@@ -25,6 +25,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
+	"repro/internal/stack"
 	"repro/internal/trace"
 )
 
@@ -110,8 +111,11 @@ type Result struct {
 	Prefetch      prefetch.Stats
 	DRAM          DRAMStats
 	Mem           MemStats
-	FinalHz       float64
-	Energy        energy.Breakdown
+	// Stack is the die-stacked capacity backend's counter block; zero (Mode
+	// "") when the node runs the paper's pass-through machine.
+	Stack   stack.Stats
+	FinalHz float64
+	Energy  energy.Breakdown
 	// Metrics is the uniform registry snapshot taken at run end; it carries
 	// every counter above plus per-channel and DFS detail under stable names.
 	Metrics metrics.Snapshot
@@ -232,7 +236,7 @@ func NewProcessor(p arch.Params, ep energy.Params, l Launch) (*Processor, error)
 		FlowControl: p.FlowControl,
 		MaxWaiters:  p.Corelets * p.Contexts,
 	}
-	pr.buf, err = prefetch.New(bcfg, node.Mem)
+	pr.buf, err = prefetch.New(bcfg, node.Port)
 	if err != nil {
 		return nil, err
 	}
@@ -287,6 +291,9 @@ func NewProcessor(p arch.Params, ep energy.Params, l Launch) (*Processor, error)
 	corelet.RegisterStats(pr.reg, "corelet", pr.coreStats)
 	pr.buf.RegisterMetrics(pr.reg, "prefetch")
 	node.Mem.RegisterMetrics(pr.reg)
+	if node.Stack != nil {
+		stack.RegisterMetrics(pr.reg, node.Stack)
+	}
 	if pr.rate != nil {
 		pr.rate.RegisterMetrics(pr.reg, "dfs")
 	}
@@ -322,7 +329,7 @@ func (pt *port) Read(ctx int, addr uint32, ready func()) corelet.Status {
 		if pt.tableValid && pt.tableBlock == blk {
 			return corelet.Done
 		}
-		ok := pt.pr.node.Mem.Enqueue(mem.Request{Addr: blk, Bytes: 64,
+		ok := pt.pr.node.Port.Enqueue(mem.Request{Addr: blk, Bytes: 64,
 			Done: func(int64, bool) {
 				pt.tableBlock = blk
 				pt.tableValid = true
@@ -470,6 +477,9 @@ func (pr *Processor) result(t sim.Time) Result {
 	r.DRAM = DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
 	cs := pr.node.Mem.CtlStats()
 	r.Mem = MemStats{StallCycles: cs.StallCycles, MaxOccupancy: cs.MaxOccupancy, Rejected: cs.Rejected}
+	if pr.node.Stack != nil {
+		r.Stack = pr.node.Stack.Stats()
+	}
 	r.FinalHz = pr.P.ComputeHz
 	if pr.rate != nil {
 		r.FinalHz = pr.rate.Hz()

@@ -47,16 +47,17 @@ func clusterPhases(nodes, procsPerNode int, rate float64, wordsPerProc int64, b 
 }
 
 // clusterMap executes the Map phase over the full-scale dataset: every
-// (node, thread) Source is streamed through the golden per-record Fold on a
-// fixed worker pool (the deterministic parallel engine's pool), through
-// bounded chunk buffers — memory stays constant in the record count. States
-// land in disjoint slots, so the result is independent of the worker count.
-func clusterMap(b *workloads.Benchmark, threads, records int, seed uint64) [][][]uint32 {
-	states := make([][][]uint32, ClusterNodes)
-	for ni := range states {
-		states[ni] = make([][]uint32, threads)
+// (processor shard, thread) Source is streamed through the golden
+// per-record Fold on a fixed worker pool (the deterministic parallel
+// engine's pool), through bounded chunk buffers — memory stays constant in
+// the record count. States land in disjoint slots, so the result is
+// independent of the worker count.
+func clusterMap(b *workloads.Benchmark, shards, threads, records int, seed uint64) [][][]uint32 {
+	states := make([][][]uint32, shards)
+	for si := range states {
+		states[si] = make([][]uint32, threads)
 	}
-	total := ClusterNodes * threads
+	total := shards * threads
 	workers := runtime.GOMAXPROCS(0)
 	if workers > total {
 		workers = total
@@ -65,9 +66,9 @@ func clusterMap(b *workloads.Benchmark, threads, records int, seed uint64) [][][
 	defer pool.Close()
 	pool.Run(func(shard int) {
 		for g := shard; g < total; g += workers {
-			ni, t := g/threads, g%threads
-			src := b.Source(node.ShardSeed(seed, ni), t, records)
-			states[ni][t] = b.GoldenSource(src)
+			si, t := g/threads, g%threads
+			src := b.Source(node.ShardSeed(seed, si), t, records)
+			states[si][t] = b.GoldenSource(src)
 		}
 	})
 	return states
@@ -135,15 +136,24 @@ func checkTreeVsFlat(b *workloads.Benchmark, tree, flat []uint32) error {
 // flat reduction, and (4) converts the measured rates into the Section
 // IV-D map / node-reduce / global-reduce breakdown through
 // internal/cluster's network model. The figure reports the simulated
-// ClusterNodes-shard cluster; the returned text extrapolates the same
-// measured rates to the paper's 5000x32 example.
-func ClusterStudy(ctx context.Context, p arch.Params, scale float64, seed uint64) (*Figure, string, error) {
+// nodes x procs cluster (default 4x1); the returned text extrapolates the
+// same measured rates to the paper's 5000x32 example. The total streamed
+// dataset is held constant, so a larger cluster maps a smaller shard per
+// processor.
+func ClusterStudy(ctx context.Context, p arch.Params, scale float64, seed uint64, nodes, procs int) (*Figure, string, error) {
 	if seed == 0 {
 		seed = Seed
 	}
+	if nodes <= 0 {
+		nodes = ClusterNodes
+	}
+	if procs <= 0 {
+		procs = 1
+	}
+	shards := nodes * procs
 	f := &Figure{
-		Name: fmt.Sprintf("Cluster-scale MapReduce: %d node shards, dataset %dx the default per-processor input (Section IV-D)",
-			ClusterNodes, ClusterStreamFactor),
+		Name: fmt.Sprintf("Cluster-scale MapReduce: %d nodes x %d processors, dataset %dx the default per-processor input (Section IV-D)",
+			nodes, procs, ClusterStreamFactor),
 		Series: []string{"records (M)", "Mwords/s/proc", "map (ms)", "node-red (us)", "tree-red (us)", "total (ms)"},
 	}
 	paper := cluster.DefaultConfig()
@@ -161,20 +171,20 @@ func ClusterStudy(ctx context.Context, p arch.Params, scale float64, seed uint64
 			return nil, "", err
 		}
 		simRecords := recordsFor(b, scale)
-		perThread := simRecords * ClusterStreamFactor / ClusterNodes
+		perThread := simRecords * ClusterStreamFactor / shards
 		if perThread < 1 {
 			perThread = 1
 		}
 		wordsPerProc := int64(threads) * int64(perThread) * int64(b.K.RecordWords)
 
-		// (1) Measure: cycle-level simulation of each node shard's
-		// processor at the default input size, on its own data shard. The
-		// rate is simulated input words per simulated second —
-		// deterministic, unlike wall-clock throughput.
-		rates := make([]float64, ClusterNodes)
-		err = runJobs(ctx, ClusterNodes, func(ni int) error {
+		// (1) Measure: cycle-level simulation of one processor per node at
+		// the default input size, on that node's first data shard. The rate
+		// is simulated input words per simulated second — deterministic,
+		// unlike wall-clock throughput.
+		rates := make([]float64, nodes)
+		err = runJobs(ctx, nodes, func(ni int) error {
 			res, _, err := RunWith(ArchMillipede, b, p, simRecords,
-				Options{Seed: node.ShardSeed(seed, ni)})
+				Options{Seed: node.ShardSeed(seed, ni*procs)})
 			if err != nil {
 				return fmt.Errorf("cluster %s node %d: %w", name, ni, err)
 			}
@@ -192,7 +202,7 @@ func ClusterStudy(ctx context.Context, p arch.Params, scale float64, seed uint64
 		}
 
 		// (2) Map at cluster scale over bounded buffers.
-		states := clusterMap(b, threads, perThread, seed)
+		states := clusterMap(b, shards, threads, perThread, seed)
 
 		// Spot-check on live data: thread 0 of node 0 recomputed from a
 		// one-shot materialized stream must match the chunked fold.
@@ -203,13 +213,28 @@ func ClusterStudy(ctx context.Context, p arch.Params, scale float64, seed uint64
 			}
 		}
 
-		// (3) Per-node Reduce, then the cross-node tree Reduce.
+		// (3) Per-processor Reduce, a per-node merge of its processors'
+		// states, then the cross-node tree Reduce. The single-processor
+		// node skips the merge so its float association order — and thus
+		// the historical 4x1 output — is preserved bit for bit.
 		job := b.Job()
-		nodeStates := make([][]uint32, ClusterNodes)
-		for ni := range nodeStates {
-			if nodeStates[ni], err = mapreduce.ReduceStates(job, states[ni]); err != nil {
+		shardStates := make([][]uint32, shards)
+		for si := range shardStates {
+			if shardStates[si], err = mapreduce.ReduceStates(job, states[si]); err != nil {
 				return nil, "", err
 			}
+		}
+		nodeStates := make([][]uint32, nodes)
+		for ni := range nodeStates {
+			if procs == 1 {
+				nodeStates[ni] = shardStates[ni]
+				continue
+			}
+			merged := job.NewState()
+			for pi := 0; pi < procs; pi++ {
+				job.Merge(merged, shardStates[ni*procs+pi])
+			}
+			nodeStates[ni] = merged
 		}
 		global := treeReduce(job, nodeStates)
 		flat, err := mapreduce.ReduceStates(job, nodeStates)
@@ -220,15 +245,14 @@ func ClusterStudy(ctx context.Context, p arch.Params, scale float64, seed uint64
 			return nil, "", err
 		}
 
-		// (4) Time breakdown from the measured rates. The simulated
-		// cluster has single-processor nodes, so wordsPerNode ==
-		// wordsPerProc — exactly the data that was mapped above.
-		ph, err := clusterPhases(ClusterNodes, 1, minRate, wordsPerProc, b, threads)
+		// (4) Time breakdown from the measured rates, at the simulated
+		// cluster's geometry — exactly the data that was mapped above.
+		ph, err := clusterPhases(nodes, procs, minRate, wordsPerProc, b, threads)
 		if err != nil {
 			return nil, "", err
 		}
 		f.Rows = append(f.Rows, Row{Bench: name, Values: map[string]float64{
-			"records (M)":   float64(perThread) * float64(threads) * ClusterNodes / 1e6,
+			"records (M)":   float64(perThread) * float64(threads) * float64(shards) / 1e6,
 			"Mwords/s/proc": minRate / 1e6,
 			"map (ms)":      float64(ph.Map) / 1e9,
 			"node-red (us)": float64(ph.NodeReduce) / 1e6,

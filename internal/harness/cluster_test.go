@@ -17,7 +17,7 @@ func TestClusterStudySmall(t *testing.T) {
 	p.Contexts = 2
 	p.PrefetchEntries = 8
 
-	fig, text, err := ClusterStudy(context.Background(), p, 0.02, 0)
+	fig, text, err := ClusterStudy(context.Background(), p, 0.02, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestClusterStudySmall(t *testing.T) {
 func TestClusterStudyCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := ClusterStudy(ctx, arch.Default(), 0.02, 0); err == nil {
+	if _, _, err := ClusterStudy(ctx, arch.Default(), 0.02, 0, 0, 0); err == nil {
 		t.Fatal("cancelled context did not abort the cluster study")
 	}
 }

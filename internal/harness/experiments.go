@@ -45,6 +45,12 @@ type ExpOptions struct {
 	// derived from it (datagen.ThreadSeed, node.ShardSeed), so any base
 	// value yields a valid, reproducible dataset.
 	Seed uint64
+	// ClusterNodes and ClusterProcs set the cluster experiment's geometry:
+	// nodes in the simulated cluster and processors per node. Zero means the
+	// historical 4-node, 1-processor-per-node setup. The total streamed work
+	// is held constant, so growing the cluster shrinks each shard.
+	ClusterNodes int
+	ClusterProcs int
 }
 
 // seed resolves the dataset seed, mapping zero to the canonical Seed.
@@ -64,6 +70,12 @@ func (o ExpOptions) withDefaults() ExpOptions {
 	}
 	if o.TimelineEvery == 0 {
 		o.TimelineEvery = DefaultTimelineEvery
+	}
+	if o.ClusterNodes == 0 {
+		o.ClusterNodes = ClusterNodes
+	}
+	if o.ClusterProcs == 0 {
+		o.ClusterProcs = 1
 	}
 	return o
 }
@@ -178,9 +190,17 @@ var experiments = []expEntry{
 			}
 			return ExperimentResult{Figures: []*Figure{fig}}, nil
 		}},
-	{info("cluster", "cluster-scale MapReduce over streamed datasets: measured map/node-reduce/tree-reduce breakdown (Section IV-D)", "scale", "seed"),
+	{info("cluster", "cluster-scale MapReduce over streamed datasets: measured map/node-reduce/tree-reduce breakdown (Section IV-D)", "scale", "nodes", "processors", "seed"),
 		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
-			fig, text, err := ClusterStudy(ctx, p, o.Scale, o.Seed)
+			fig, text, err := ClusterStudy(ctx, p, o.Scale, o.Seed, o.ClusterNodes, o.ClusterProcs)
+			if err != nil {
+				return ExperimentResult{}, err
+			}
+			return ExperimentResult{Figures: []*Figure{fig}, Text: text}, nil
+		}},
+	{info("capacity", "die-stacked capacity study: stack as memory vs hardware cache vs memcache over a planar backing store, swept across dataset-to-stack ratios", "scale", "seed"),
+		func(ctx context.Context, p arch.Params, o ExpOptions) (ExperimentResult, error) {
+			fig, text, err := CapacityStudy(ctx, p, o.Scale, o.Seed)
 			if err != nil {
 				return ExperimentResult{}, err
 			}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/arch"
+	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -462,6 +463,26 @@ func TableIII(p arch.Params) string {
 	w("DRAM tCAS-tRP-tRCD-tRAS", fmt.Sprintf("%d-%d-%d-%d", p.DRAM.TCAS, p.DRAM.TRP, p.DRAM.TRCD, p.DRAM.TRAS))
 	w("DRAM row size (B), banks/channel", fmt.Sprintf("%d, %d", p.DRAM.RowBytes, p.DRAM.Banks))
 	w("memory controller", fmt.Sprintf("FR-FCFS (%d deep)", p.MemQueueDepth))
+	// The capacity-discipline lines appear only when a discipline is
+	// configured, so the paper's default table is unchanged.
+	if p.StackMode != "" || p.StackBytes > 0 {
+		mode := p.StackMode
+		if mode == "" {
+			mode = string(stack.ModeMemory)
+		}
+		w("die-stack capacity discipline", mode)
+		w("die-stack capacity (B)", p.StackBytes)
+		backing := "sized to dataset"
+		if p.BackingBytes > 0 {
+			backing = fmt.Sprintf("%d", p.BackingBytes)
+		}
+		w("planar backing capacity (B)", backing)
+		lat := p.BackingLatency
+		if lat == 0 {
+			lat = stack.DefaultBackingLatency
+		}
+		w("planar backing latency (channel cycles)", lat)
+	}
 	return b.String()
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simt"
 	"repro/internal/ssmc"
+	"repro/internal/stack"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -84,6 +85,11 @@ type RunResult struct {
 	// with skipping off).
 	SkippedEdges uint64
 	SkipWindows  uint64
+	// Stack is the die-stacked capacity backend's counter block (hit rate,
+	// backing traffic, writebacks); zero (Mode "") on the paper's
+	// pass-through machine and on the multicore baseline, which has no die
+	// stack at all.
+	Stack stack.Stats
 }
 
 // setMemStats copies the controller counters out of a processor result.
@@ -233,6 +239,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
+		res.Stack = r.Stack
 		res.CycleAllocs, res.CycleBytes = r.Allocs, r.AllocBytes
 		res.SkippedEdges, res.SkipWindows = r.SkippedEdges, r.SkipWindows
 		res.Timeline = r.Timeline
@@ -261,6 +268,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
+		res.Stack = r.Stack
 		res.CycleAllocs, res.CycleBytes = r.Allocs, r.AllocBytes
 		res.SkippedEdges, res.SkipWindows = r.SkippedEdges, r.SkipWindows
 		res.attachMetrics(r.Metrics)
@@ -294,6 +302,7 @@ func RunWith(archName string, b *workloads.Benchmark, p arch.Params, records int
 		res.RowMissRate = r.DRAM.RowMissRate()
 		res.DRAMBytes = r.DRAM.BytesRead
 		res.setMemStats(r.Mem)
+		res.Stack = r.Stack
 		res.CycleAllocs, res.CycleBytes = r.Allocs, r.AllocBytes
 		res.SkippedEdges, res.SkipWindows = r.SkippedEdges, r.SkipWindows
 		res.attachMetrics(r.Metrics)

@@ -25,12 +25,18 @@ import (
 	"repro/internal/sim"
 )
 
-// Request is one read request from a processor-side client. Done is called
+// Request is one request from a processor-side client. Done is called
 // exactly once, on the channel-clock tick at which the last data beat has
 // arrived, with the completion cycle and whether the access hit an open row.
+// Write marks a store; the DRAM fabric times reads and writes identically
+// (the modeled part's read/write turnaround is symmetric) so the System
+// ignores it, but hierarchy backends (internal/stack) use it to track line
+// dirtiness and writeback traffic. The BMLA kernels themselves never write
+// DRAM — live state is on-processor — so on kernel runs it stays false.
 type Request struct {
 	Addr  uint32
 	Bytes int
+	Write bool
 	Done  func(cycle int64, rowHit bool)
 }
 

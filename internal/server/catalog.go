@@ -45,11 +45,27 @@ func paramsFor(uses []string) []paramDesc {
 			ps = append(ps, paramDesc{Name: "timeline_every", Type: "integer",
 				Default: float64(harness.DefaultTimelineEvery), Min: bound(0),
 				Description: "timeline sampling period in compute cycles (0 = default)"})
+		case "nodes":
+			ps = append(ps, paramDesc{Name: "nodes", Type: "integer",
+				Default: float64(harness.ClusterNodes), Min: bound(0), Max: bound(64),
+				Description: "nodes in the simulated cluster (0 = default)"})
+		case "processors":
+			ps = append(ps, paramDesc{Name: "processors", Type: "integer",
+				Default: 1.0, Min: bound(0), Max: bound(32),
+				Description: "processors per cluster node (0 = default 1)"})
 		}
 	}
 	return append(ps,
 		paramDesc{Name: "params", Type: "object",
 			Description: "architecture parameter overrides, decoded over the node's base configuration and validated like the milliexp flags"},
+		paramDesc{Name: "stack_mode", Type: "string", Default: "",
+			Description: "die-stack capacity discipline: \"memory\", \"hwcache\", or \"memcache\"; folds into params.StackMode (\"\" = all-resident pass-through)"},
+		paramDesc{Name: "stack_bytes", Type: "integer", Default: 0.0, Min: bound(0),
+			Description: "die-stack capacity in bytes, a multiple of the DRAM row size; folds into params.StackBytes (0 = holds the whole dataset)"},
+		paramDesc{Name: "backing_bytes", Type: "integer", Default: 0.0, Min: bound(0),
+			Description: "planar backing store capacity in bytes; folds into params.BackingBytes (0 = sized to the dataset)"},
+		paramDesc{Name: "backing_latency", Type: "integer", Default: 0.0, Min: bound(0),
+			Description: "planar backing store latency in channel cycles; folds into params.BackingLatency (0 = default)"},
 		paramDesc{Name: "seed", Type: "integer", Default: float64(harness.Seed), Min: bound(0),
 			Description: "dataset seed threaded through every run the experiment performs (0 = canonical)"},
 		paramDesc{Name: "timeout_ms", Type: "integer", Default: 0.0, Min: bound(0),

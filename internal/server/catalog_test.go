@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/harness"
 	"repro/internal/server"
 	"repro/internal/workloads"
@@ -59,7 +60,8 @@ func TestParamDescriptorShape(t *testing.T) {
 
 	for _, e := range entries {
 		ds := descriptors(e)
-		for _, universal := range []string{"params", "seed", "timeout_ms", "parallelism", "skip"} {
+		for _, universal := range []string{"params", "seed", "timeout_ms", "parallelism", "skip",
+			"stack_mode", "stack_bytes", "backing_bytes", "backing_latency"} {
 			if _, ok := ds[universal]; !ok {
 				t.Errorf("%s: missing universal descriptor %q", e.Name, universal)
 			}
@@ -75,7 +77,8 @@ func TestParamDescriptorShape(t *testing.T) {
 	}
 
 	for exp, want := range map[string][]string{
-		"cluster":   {"scale"},
+		"cluster":   {"scale", "nodes", "processors"},
+		"capacity":  {"scale"},
 		"fig3":      {"scale"},
 		"residency": {"scale", "host_bandwidth_gbs"},
 		"timeline":  {"scale", "timeline_every"},
@@ -91,8 +94,8 @@ func TestParamDescriptorShape(t *testing.T) {
 			}
 		}
 	}
-	if ds := descriptors(byName["table3"]); len(ds) != 5 {
-		t.Errorf("table3 reads no options, want only the 5 universal descriptors, got %d", len(ds))
+	if ds := descriptors(byName["table3"]); len(ds) != 9 {
+		t.Errorf("table3 reads no options, want only the 9 universal descriptors, got %d", len(ds))
 	}
 }
 
@@ -118,14 +121,18 @@ func TestParamDescriptorsMatchDecoder(t *testing.T) {
 				continue
 			}
 			if d.Type == "string" {
-				// The only string option is the skip toggle, which decodes a
-				// closed value set: a made-up value must be rejected, the
-				// documented ones accepted.
+				// String options decode closed value sets: a made-up value
+				// must be rejected, a documented one accepted.
+				valid, ok := map[string]string{"skip": "off", "stack_mode": "memory"}[d.Name]
+				if !ok {
+					t.Errorf("%s: string descriptor %q has no known-good probe value", e.Name, d.Name)
+					continue
+				}
 				if code := post(map[string]any{"experiment": e.Name, d.Name: "no-such-value"}); code != http.StatusBadRequest {
 					t.Errorf("%s: %s=no-such-value accepted with HTTP %d", e.Name, d.Name, code)
 				}
-				if code := post(map[string]any{"experiment": e.Name, d.Name: "off"}); code != http.StatusOK && code != http.StatusAccepted {
-					t.Errorf("%s: %s=off rejected with HTTP %d", e.Name, d.Name, code)
+				if code := post(map[string]any{"experiment": e.Name, d.Name: valid}); code != http.StatusOK && code != http.StatusAccepted {
+					t.Errorf("%s: %s=%s rejected with HTTP %d", e.Name, d.Name, valid, code)
 				}
 				continue
 			}
@@ -151,6 +158,57 @@ func TestParamDescriptorsMatchDecoder(t *testing.T) {
 		if code := post(map[string]any{"experiment": e.Name, "no_such_option": 1}); code != http.StatusBadRequest {
 			t.Errorf("%s: undeclared field accepted with HTTP %d", e.Name, code)
 		}
+	}
+}
+
+// TestStackAndClusterDecoder pins the semantics of the new job fields: the
+// stack knobs fold into the validated params block (so an incoherent
+// combination is a 400, not a crash mid-simulation), the cluster geometry is
+// bounded, and a different stack discipline is a different canonical job.
+func TestStackAndClusterDecoder(t *testing.T) {
+	_, ts := newTestServer(t, server.Options{
+		Runner: func(ctx context.Context, req server.Request) (harness.ExperimentResult, error) {
+			return harness.ExperimentResult{Text: "ok"}, nil
+		},
+	})
+	post := func(body map[string]any) (int, string) {
+		code, data := doJSON(t, "POST", ts.URL+"/v1/jobs", body)
+		var st struct {
+			ID string `json:"id"`
+		}
+		json.Unmarshal(data, &st)
+		return code, st.ID
+	}
+	rowBytes := arch.Default().DRAM.RowBytes
+
+	if code, _ := post(map[string]any{"experiment": "fig3", "stack_mode": "hwcache"}); code != http.StatusBadRequest {
+		t.Errorf("hwcache without stack_bytes accepted with HTTP %d", code)
+	}
+	if code, _ := post(map[string]any{"experiment": "fig3", "stack_mode": "hwcache",
+		"stack_bytes": 8 * rowBytes}); code != http.StatusAccepted && code != http.StatusOK {
+		t.Errorf("hwcache with stack_bytes rejected with HTTP %d", code)
+	}
+	if code, _ := post(map[string]any{"experiment": "fig3", "stack_bytes": rowBytes + 1}); code != http.StatusBadRequest {
+		t.Errorf("stack_bytes off the row grid accepted with HTTP %d", code)
+	}
+	if code, _ := post(map[string]any{"experiment": "cluster", "nodes": 65}); code != http.StatusBadRequest {
+		t.Errorf("nodes=65 accepted with HTTP %d", code)
+	}
+	if code, _ := post(map[string]any{"experiment": "cluster", "nodes": 8, "processors": 2}); code != http.StatusAccepted && code != http.StatusOK {
+		t.Errorf("nodes=8 processors=2 rejected with HTTP %d", code)
+	}
+
+	// A stack discipline changes what is simulated, so it must change the id.
+	_, base := post(map[string]any{"experiment": "fig3"})
+	_, mem := post(map[string]any{"experiment": "fig3", "stack_mode": "memory",
+		"stack_bytes": 8 * rowBytes})
+	_, hw := post(map[string]any{"experiment": "fig3", "stack_mode": "hwcache",
+		"stack_bytes": 8 * rowBytes})
+	if base == "" || mem == "" || hw == "" {
+		t.Fatalf("missing job ids: %q %q %q", base, mem, hw)
+	}
+	if base == mem || mem == hw || base == hw {
+		t.Errorf("stack disciplines share a job id: base=%s memory=%s hwcache=%s", base, mem, hw)
 	}
 }
 

@@ -54,6 +54,12 @@ type Request struct {
 	Seed             uint64      `json:"seed"`
 	HostBandwidthGBs float64     `json:"host_bandwidth_gbs"`
 	TimelineEvery    uint64      `json:"timeline_every"`
+	// Nodes and Processors are the cluster experiment's geometry (nodes in
+	// the simulated cluster, processors per node). They are canonical — a
+	// 8x2 cluster simulates different work than the default 4x1 — and
+	// normalized to their defaults so equivalent requests share one id.
+	Nodes      int `json:"nodes"`
+	Processors int `json:"processors"`
 }
 
 // jobRequest is the POST /v1/jobs wire form. Params is decoded on top of the
@@ -77,6 +83,20 @@ type jobRequest struct {
 	// way — a wall-clock knob like parallelism — so it too is stripped from
 	// the canonical form; ids and cached bodies are shared across settings.
 	Skip string `json:"skip,omitempty"`
+	// Nodes and Processors set the cluster experiment's geometry (0 = the
+	// historical 4 nodes x 1 processor). Unlike parallelism they change what
+	// is simulated, so they are part of the canonical form.
+	Nodes      int `json:"nodes,omitempty"`
+	Processors int `json:"processors,omitempty"`
+	// StackMode, StackBytes, BackingBytes, and BackingLatency are top-level
+	// conveniences for the die-stacked capacity knobs: they are folded into
+	// Params (overriding any value set there) and validated by
+	// arch.Params.Validate, so "stack_mode": "hwcache" works without nesting
+	// a params object.
+	StackMode      string `json:"stack_mode,omitempty"`
+	StackBytes     int    `json:"stack_bytes,omitempty"`
+	BackingBytes   int    `json:"backing_bytes,omitempty"`
+	BackingLatency int    `json:"backing_latency,omitempty"`
 }
 
 // Runner executes one canonical request. The default runner dispatches to
@@ -191,6 +211,8 @@ func New(base arch.Params, o Options) *Server {
 				HostBandwidthGBs: req.HostBandwidthGBs,
 				TimelineEvery:    req.TimelineEvery,
 				Seed:             req.Seed,
+				ClusterNodes:     req.Nodes,
+				ClusterProcs:     req.Processors,
 			})
 		}
 	}
@@ -294,11 +316,34 @@ func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Du
 	if jr.HostBandwidthGBs < 0 {
 		return Request{}, 0, 0, false, fmt.Errorf("bad host_bandwidth_gbs %g", jr.HostBandwidthGBs)
 	}
+	if jr.Nodes < 0 || jr.Nodes > 64 {
+		return Request{}, 0, 0, false, fmt.Errorf("bad nodes %d (want 0..64)", jr.Nodes)
+	}
+	if jr.Processors < 0 || jr.Processors > 32 {
+		return Request{}, 0, 0, false, fmt.Errorf("bad processors %d (want 0..32)", jr.Processors)
+	}
 	p := base
 	if len(jr.Params) > 0 {
 		if err := json.Unmarshal(jr.Params, &p); err != nil {
 			return Request{}, 0, 0, false, fmt.Errorf("bad params: %v", err)
 		}
+	}
+	// The top-level stack knobs are conveniences over the same Params
+	// fields; a set knob wins over the nested params value.
+	stacked := jr.StackMode != "" || jr.StackBytes != 0 || jr.BackingBytes != 0 || jr.BackingLatency != 0
+	if jr.StackMode != "" {
+		p.StackMode = jr.StackMode
+	}
+	if jr.StackBytes != 0 {
+		p.StackBytes = jr.StackBytes
+	}
+	if jr.BackingBytes != 0 {
+		p.BackingBytes = jr.BackingBytes
+	}
+	if jr.BackingLatency != 0 {
+		p.BackingLatency = jr.BackingLatency
+	}
+	if len(jr.Params) > 0 || stacked {
 		if err := p.Validate(); err != nil {
 			return Request{}, 0, 0, false, fmt.Errorf("bad params: %v", err)
 		}
@@ -334,6 +379,8 @@ func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Du
 		Seed:             jr.Seed,
 		HostBandwidthGBs: jr.HostBandwidthGBs,
 		TimelineEvery:    jr.TimelineEvery,
+		Nodes:            jr.Nodes,
+		Processors:       jr.Processors,
 	}
 	// Apply the registry defaults so equivalent requests share one id.
 	if req.Scale == 0 {
@@ -350,6 +397,12 @@ func canonicalize(base arch.Params, expNames map[string]bool, defTimeout time.Du
 	}
 	if req.TimelineEvery == 0 {
 		req.TimelineEvery = harness.DefaultTimelineEvery
+	}
+	if req.Nodes == 0 {
+		req.Nodes = harness.ClusterNodes
+	}
+	if req.Processors == 0 {
+		req.Processors = 1
 	}
 	timeout := defTimeout
 	if jr.TimeoutMS > 0 {

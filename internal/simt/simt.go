@@ -28,6 +28,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
+	"repro/internal/stack"
 )
 
 // Variant selects the SM organization.
@@ -256,7 +257,7 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 			FlowControl: p.FlowControl,
 			MaxWaiters:  p.Corelets * p.Contexts,
 		}
-		m.buf, err = prefetch.New(bcfg, node.Mem)
+		m.buf, err = prefetch.New(bcfg, node.Port)
 		if err != nil {
 			return nil, err
 		}
@@ -270,7 +271,7 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 			Assoc:         p.CacheAssoc,
 			PrefetchDepth: p.PrefetchDepth,
 		}
-		m.l1, err = cache.New(ccfg, node.Mem, 16)
+		m.l1, err = cache.New(ccfg, node.Port, 16)
 		if err != nil {
 			return nil, err
 		}
@@ -315,6 +316,9 @@ func NewSM(p arch.Params, ep energy.Params, v Variant, l core.Launch) (*SM, erro
 		m.buf.RegisterMetrics(m.reg, "prefetch")
 	}
 	node.Mem.RegisterMetrics(m.reg)
+	if node.Stack != nil {
+		stack.RegisterMetrics(m.reg, node.Stack)
+	}
 
 	if err := node.AttachCompute(m); err != nil {
 		return nil, err
@@ -1056,6 +1060,9 @@ func (m *SM) Run(limit sim.Time) (Result, error) {
 	r.DRAM = core.DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
 	cs := m.node.Mem.CtlStats()
 	r.Mem = core.MemStats{StallCycles: cs.StallCycles, MaxOccupancy: cs.MaxOccupancy, Rejected: cs.Rejected}
+	if m.node.Stack != nil {
+		r.Stack = m.node.Stack.Stats()
+	}
 	if m.l1 != nil {
 		r.Cache = m.l1.Stats()
 	}
@@ -1078,6 +1085,7 @@ type Result struct {
 	Prefetch      prefetch.Stats
 	DRAM          core.DRAMStats
 	Mem           core.MemStats
+	Stack         stack.Stats
 	Energy        energy.Breakdown
 	Metrics       metrics.Snapshot
 	// Allocs and AllocBytes count heap allocations made inside the run's

@@ -25,6 +25,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/stack"
 )
 
 // Processor is one SSMC processor plus its memory side.
@@ -51,6 +52,7 @@ type Result struct {
 	Cache         cache.Stats
 	DRAM          core.DRAMStats
 	Mem           core.MemStats
+	Stack         stack.Stats
 	Energy        energy.Breakdown
 	Metrics       metrics.Snapshot
 	// Allocs and AllocBytes count heap allocations made inside the run's
@@ -100,7 +102,7 @@ func NewProcessor(p arch.Params, ep energy.Params, l core.Launch) (*Processor, e
 	node.DRAM.LoadWords(0, flat)
 
 	pr := &Processor{P: p, EP: ep, node: node, lay: lay}
-	backing := node.Mem
+	backing := node.Port
 	ccfg := cache.Config{
 		SizeBytes:     p.SSMCL1Bytes,
 		LineBytes:     p.SSMCLineBytes,
@@ -155,6 +157,9 @@ func NewProcessor(p arch.Params, ep energy.Params, l core.Launch) (*Processor, e
 	corelet.RegisterStats(pr.reg, "corelet", pr.coreStats)
 	cache.RegisterStats(pr.reg, "cache", pr.cacheStats)
 	node.Mem.RegisterMetrics(pr.reg)
+	if node.Stack != nil {
+		stack.RegisterMetrics(pr.reg, node.Stack)
+	}
 
 	if err := node.AttachCompute(pr); err != nil {
 		return nil, err
@@ -228,6 +233,9 @@ func (pr *Processor) Run(limit sim.Time) (Result, error) {
 	r.DRAM = core.DRAMStats{RowHits: ds.RowHits, RowMisses: ds.RowMisses, BytesRead: ds.BytesRead, Requests: ds.Requests}
 	cs := pr.node.Mem.CtlStats()
 	r.Mem = core.MemStats{StallCycles: cs.StallCycles, MaxOccupancy: cs.MaxOccupancy, Rejected: cs.Rejected}
+	if pr.node.Stack != nil {
+		r.Stack = pr.node.Stack.Stats()
+	}
 	r.Allocs, r.AllocBytes = pr.node.RunAllocs, pr.node.RunBytes
 	r.SkippedEdges, r.SkipWindows = pr.node.RunSkippedEdges, pr.node.RunSkipWindows
 	r.Energy = pr.energy(r, t)

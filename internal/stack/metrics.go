@@ -1,0 +1,25 @@
+package stack
+
+import "repro/internal/metrics"
+
+// RegisterMetrics publishes a backend's counters under "stack". All getters
+// snapshot lazily through Backend.Stats, so registration never perturbs
+// timing. The fabric inside the backend registers its own "mem"/"dram"
+// probes separately (arch.Node keeps exposing the inner System).
+func RegisterMetrics(r *metrics.Registry, b Backend) {
+	r.Gauge("stack.hit_rate", func() float64 { return b.Stats().HitRate() })
+	r.Gauge("stack.resident_bytes", func() float64 { return float64(b.Stats().ResidentBytes) })
+	r.Counter("stack.accesses", func() uint64 { return b.Stats().Accesses })
+	r.Counter("stack.served", func() uint64 { return b.Stats().StackServed })
+	r.Counter("stack.backing_served", func() uint64 { return b.Stats().BackingServed })
+	r.Counter("stack.misses", func() uint64 { return b.Stats().Misses })
+	r.Counter("stack.mshr_joins", func() uint64 { return b.Stats().MSHRJoins })
+	r.Counter("stack.fills", func() uint64 { return b.Stats().Fills })
+	r.Counter("stack.evictions", func() uint64 { return b.Stats().Evictions })
+	r.Counter("stack.writebacks", func() uint64 { return b.Stats().Writebacks })
+	r.Counter("stack.rejected", func() uint64 { return b.Stats().Rejected })
+	r.Counter("stack.backing.reads", func() uint64 { return b.Stats().Backing.Reads })
+	r.Counter("stack.backing.writes", func() uint64 { return b.Stats().Backing.Writes })
+	r.Counter("stack.backing.bytes_read", func() uint64 { return b.Stats().Backing.BytesRead })
+	r.Counter("stack.backing.bytes_written", func() uint64 { return b.Stats().Backing.BytesWritten })
+}

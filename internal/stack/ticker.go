@@ -1,0 +1,30 @@
+package stack
+
+import (
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+)
+
+// Ticker adapts a Backend to the engine's clock-domain interface, mirroring
+// mem.Ticker: the backend (and the fabric inside it) ticks once per memory
+// edge, so its cycle counters map straight onto the domain's tick count.
+// Set Domain after sim.Engine.AddDomain returns.
+type Ticker struct {
+	B      Backend
+	Domain *sim.Domain
+}
+
+// Tick implements sim.Ticker.
+func (t *Ticker) Tick(sim.Time) { t.B.Tick() }
+
+// NextWork implements sim.NextWorker.
+func (t *Ticker) NextWork(sim.Time) sim.Time {
+	c := t.B.NextWorkCycle()
+	if c == memctrl.NeverCycle {
+		return sim.Never
+	}
+	return t.Domain.TimeOfTick(uint64(c))
+}
+
+// SkipTicks implements sim.NextWorker.
+func (t *Ticker) SkipTicks(n int64) { t.B.SkipCycles(n) }
